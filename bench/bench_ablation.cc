@@ -1,0 +1,141 @@
+// EXP-14 (ablations of the design choices DESIGN.md calls out):
+//
+//   (a) Tie-breaking in Algorithm 3. The paper's stateful rule (stable
+//       sort over the persistent neighbor order = lexicographic history,
+//       most recent first) is what makes Lemma III.11 work. Swapping in
+//       the "obvious" stateless rule (re-sort by value, ties by id) is a
+//       one-line change that silently breaks the second invariant: edges
+//       end up claimed by NEITHER endpoint.
+//   (b) Conflict resolution rule for doubly-claimed edges (lower-load vs
+//       higher-id): both are feasible; lower-load is never worse.
+//   (c) Aggregation message discipline (Algorithm 6): batch arrays
+//       (2T+1 words/message) vs pipelined (4 words/message, ~T more
+//       rounds) — identical selections, different CONGEST profiles.
+#include <cstdio>
+
+#include "core/compact.h"
+#include "core/densest.h"
+#include "core/orientation.h"
+#include "graph/generators.h"
+#include "seq/densest_exact.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using kcore::graph::Graph;
+using kcore::graph::NodeId;
+
+int main() {
+  std::printf("EXP-14a: tie-break ablation (Lemma III.11 machinery)\n\n");
+  {
+    kcore::util::Table t({"weights", "instances", "violating (stateful)",
+                          "violating (naive)", "max uncovered edges (naive)"});
+    for (const bool weighted : {false, true}) {
+      int trials = 0;
+      int bad_stateful = 0;
+      int bad_naive = 0;
+      std::size_t worst_naive = 0;
+      for (std::uint64_t seed = 0; seed < 150; ++seed) {
+        kcore::util::Rng rng(seed);
+        const NodeId n = static_cast<NodeId>(8 + rng.NextBounded(40));
+        Graph g = kcore::graph::ErdosRenyiGnp(n, 0.25, rng);
+        if (weighted) g = kcore::graph::WithDyadicWeights(g, 0.25, 2.0, rng, 2);
+        if (g.num_edges() == 0) continue;
+        ++trials;
+        for (const bool stateful : {true, false}) {
+          kcore::core::CompactOptions o;
+          o.rounds = 8;
+          o.track_orientation = true;
+          o.stateful_tiebreak = stateful;
+          const auto res = kcore::core::RunCompactElimination(g, o);
+          std::vector<char> covered(g.num_edges(), 0);
+          for (NodeId v = 0; v < n; ++v) {
+            for (auto idx : res.in_sets[v]) {
+              covered[g.Neighbors(v)[idx].edge] = 1;
+            }
+          }
+          std::size_t uncovered = 0;
+          for (char c : covered) uncovered += c ? 0 : 1;
+          if (uncovered > 0) {
+            (stateful ? bad_stateful : bad_naive) += 1;
+            if (!stateful) worst_naive = std::max(worst_naive, uncovered);
+          }
+        }
+      }
+      t.Row()
+          .Str(weighted ? "dyadic" : "unit")
+          .Int(trials)
+          .Int(bad_stateful)
+          .Int(bad_naive)
+          .UInt(worst_naive);
+    }
+    t.Print();
+  }
+
+  std::printf(
+      "\nEXP-14b: conflict-resolution rule (doubly-claimed edges)\n\n");
+  {
+    kcore::util::Table t({"graph seed", "conflicts", "max load (lower-load)",
+                          "max load (higher-id)", "higher-id/lower-load"});
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      kcore::util::Rng rng(seed * 100);
+      const Graph g = kcore::graph::QuantizeWeightsDyadic(
+          kcore::graph::WithParetoWeights(
+              kcore::graph::BarabasiAlbert(1500, 3, rng), 1.0, 1.8, rng));
+      const int T = kcore::core::RoundsForEpsilon(g.num_nodes(), 0.5);
+      const auto lower = kcore::core::RunDistributedOrientation(
+          g, T, kcore::core::ConflictRule::kLowerLoad);
+      const auto higher = kcore::core::RunDistributedOrientation(
+          g, T, kcore::core::ConflictRule::kHigherId);
+      t.Row()
+          .UInt(seed)
+          .UInt(lower.conflicts)
+          .Dbl(lower.orientation.max_load, 2)
+          .Dbl(higher.orientation.max_load, 2)
+          .Dbl(higher.orientation.max_load / lower.orientation.max_load, 3);
+    }
+    t.Print();
+  }
+
+  std::printf(
+      "\nEXP-14c: Algorithm 6 aggregation — batch vs pipelined messages\n\n");
+  {
+    kcore::util::Table t({"graph", "n", "variant", "phase-4 rounds",
+                          "max words/message", "total entries",
+                          "selection identical"});
+    kcore::util::Rng rng(7);
+    for (const NodeId n : {500u, 2000u}) {
+      const Graph g = kcore::graph::BarabasiAlbert(n, 3, rng);
+      kcore::core::WeakDensestOptions base;
+      base.gamma = 3.0;
+      const auto batch = kcore::core::RunWeakDensest(g, base);
+      auto popt = base;
+      popt.pipelined_aggregation = true;
+      const auto piped = kcore::core::RunWeakDensest(g, popt);
+      const bool same = batch.selected == piped.selected;
+      char name[32];
+      std::snprintf(name, sizeof(name), "ba-%u", n);
+      t.Row()
+          .Str(name)
+          .UInt(n)
+          .Str("batch 2T+1 words")
+          .Int(batch.rounds_phase4)
+          .UInt(batch.totals.max_entries_per_message)
+          .UInt(batch.totals.entries)
+          .Str(same ? "yes" : "NO");
+      t.Row()
+          .Str(name)
+          .UInt(n)
+          .Str("pipelined 4 words")
+          .Int(piped.rounds_phase4)
+          .UInt(piped.totals.max_entries_per_message)
+          .UInt(piped.totals.entries)
+          .Str(same ? "yes" : "NO");
+    }
+    t.Print();
+  }
+  std::printf(
+      "\nShape check: naive tie-break violates coverage on most instances "
+      "while the paper's rule never does; pipelining caps messages at 4 "
+      "words for ~T extra rounds with identical output.\n");
+  return 0;
+}

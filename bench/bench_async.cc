@@ -1,0 +1,64 @@
+// EXP-13 (extension; Gillet-Hanusse direction): asynchronous execution.
+//
+// The compact elimination under adversarial message delays: correctness
+// is delay-independent (monotone chaotic iteration), so the table reports
+// what asynchrony actually costs — messages and virtual makespan — next
+// to the synchronous run-to-convergence (Montresor) totals.
+#include <cstdio>
+
+#include "core/async.h"
+#include "core/montresor.h"
+#include "graph/generators.h"
+#include "seq/kcore.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using kcore::graph::NodeId;
+
+int main() {
+  std::printf(
+      "EXP-13: asynchronous compact elimination vs synchronous "
+      "run-to-convergence\n\n");
+  kcore::util::Table t({"graph", "n", "max delay", "async msgs",
+                        "sync msgs", "async/sync", "virtual makespan",
+                        "exact?"});
+  kcore::util::Rng grng(61);
+  struct Case {
+    const char* name;
+    kcore::graph::Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"ba-2000", kcore::graph::BarabasiAlbert(2000, 3, grng)});
+  cases.push_back({"er-2000",
+                   kcore::graph::ErdosRenyiGnp(2000, 8.0 / 2000, grng)});
+  cases.push_back({"cycle-2000", kcore::graph::Cycle(2000)});
+  for (const Case& c : cases) {
+    const auto exact = kcore::seq::WeightedCoreness(c.g);
+    const auto sync = kcore::core::RunToConvergence(c.g);
+    for (double delay : {1.0, 8.0, 64.0}) {
+      kcore::util::Rng rng(71);
+      const auto r = kcore::core::RunAsyncCoreness(c.g, rng, delay);
+      bool ok = true;
+      for (NodeId v = 0; v < c.g.num_nodes(); ++v) {
+        if (std::abs(r.b[v] - exact[v]) > 1e-9) ok = false;
+      }
+      t.Row()
+          .Str(c.name)
+          .UInt(c.g.num_nodes())
+          .Dbl(delay, 0)
+          .UInt(r.stats.messages_delivered)
+          .UInt(sync.totals.messages)
+          .Dbl(static_cast<double>(r.stats.messages_delivered) /
+                   static_cast<double>(sync.totals.messages),
+               3)
+          .Dbl(r.stats.virtual_makespan, 1)
+          .Str(ok ? "yes" : "NO");
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nShape check: 'exact?' is yes for every delay (correctness is "
+      "schedule-independent); async messages are far below the broadcast-"
+      "every-round synchronous total because nodes only speak on change.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// EXP-10 (the title claim): breaking the diameter barrier.
+//
+// Head-to-head on the same inputs:
+//   * Sarma et al.-style strong densest subset — O(D log n) rounds
+//     (global BFS + per-pass global density aggregation);
+//   * the paper's weak densest subset (Algorithms 2+4+5+6) — O(log n)
+//     rounds, diameter-independent.
+//
+// Workloads sweep the diameter: low-diameter expanders (BA), medium
+// (grid), and the adversarial high-diameter cycle family. Expected
+// shape: the baseline's rounds track D while ours stay flat in log n;
+// both deliver the 2(1+eps)-quality subset.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/densest.h"
+#include "core/sarma.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "seq/densest_exact.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using kcore::graph::Graph;
+using kcore::graph::NodeId;
+
+int main() {
+  std::printf(
+      "EXP-10: diameter barrier — rounds of the weak (ours) vs strong "
+      "(Sarma-style) distributed densest subset, gamma = 3 / eps = 0.5\n\n");
+
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  {
+    kcore::util::Rng rng(31);
+    cases.push_back({"ba-1000", kcore::graph::BarabasiAlbert(1000, 3, rng)});
+    cases.push_back({"ba-4000", kcore::graph::BarabasiAlbert(4000, 3, rng)});
+    cases.push_back({"grid-32x32", kcore::graph::Grid(32, 32)});
+    cases.push_back({"grid-64x64", kcore::graph::Grid(64, 64)});
+    cases.push_back({"cycle-1000", kcore::graph::Cycle(1000)});
+    cases.push_back({"cycle-4000", kcore::graph::Cycle(4000)});
+  }
+
+  kcore::util::Table t({"graph", "n", "diam>=", "ours rounds",
+                        "baseline rounds", "baseline/ours",
+                        "ours dens/rho*", "baseline dens/rho*"});
+  for (const Case& c : cases) {
+    const Graph& g = c.graph;
+    const double rho = kcore::seq::MaxDensity(g);
+    const auto ours = kcore::core::RunWeakDensest(g, 3.0);
+    const auto base = kcore::core::RunSarmaDensest(g, 0.5);
+    const auto diam = kcore::graph::DoubleSweepDiameterLowerBound(g);
+    t.Row()
+        .Str(c.name)
+        .UInt(g.num_nodes())
+        .UInt(diam)
+        .Int(ours.rounds_total)
+        .Int(base.rounds_total)
+        .Dbl(static_cast<double>(base.rounds_total) /
+                 static_cast<double>(ours.rounds_total),
+             2)
+        .Dbl(rho > 0 ? ours.best_density / rho : 1.0, 3)
+        .Dbl(rho > 0 ? base.density / rho : 1.0, 3);
+  }
+  t.Print();
+  std::printf(
+      "\nShape check: 'baseline rounds' grows with the diameter (cycle "
+      "rows explode) while 'ours rounds' stays ~4 log n; both density "
+      "columns stay >= 1/(2(1+eps)) resp. 1/gamma.\n");
+  return 0;
+}

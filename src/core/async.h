@@ -1,0 +1,52 @@
+// Asynchronous execution of the compact elimination procedure.
+//
+// Gillet & Hanusse (SSS 2017, cited in Section I.B) study graph
+// orientation in a fully asynchronous faulty model. This module provides
+// the asynchronous counterpart of our synchronous engine for the coreness
+// iteration: messages carry a node's latest surviving number and are
+// delivered after an arbitrary (seeded-random, bounded) delay; a node
+// that receives a value updates its view, recomputes its number with the
+// Algorithm 3 update, and notifies its neighbors iff the number changed.
+//
+// Because the per-node update is a monotone function of the neighbor
+// view and every value starts at +inf, this is a chaotic iteration of a
+// monotone map from the top element: it converges to the GREATEST
+// fixpoint — the exact weighted coreness — regardless of the delivery
+// order (tested against the synchronous run and the centralized
+// peeling). The point of the experiment: asynchrony costs messages, not
+// correctness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace kcore::core {
+
+struct AsyncStats {
+  std::size_t messages_delivered = 0;
+  // Number of times some node's value changed.
+  std::size_t value_changes = 0;
+  // Virtual time of the last delivery (message delays are in [1, max_delay]).
+  double virtual_makespan = 0.0;
+  // Peak size of the in-flight message set.
+  std::size_t peak_in_flight = 0;
+};
+
+struct AsyncResult {
+  // The fixpoint values (= exact weighted coreness).
+  std::vector<double> b;
+  AsyncStats stats;
+};
+
+// Runs the asynchronous iteration to quiescence. max_delay >= 1 scales
+// the adversarial jitter; rng drives delays (deterministic per seed).
+// message_budget caps deliveries (0 = unlimited) as a failure injection
+// hook: when hit, the partially-converged values are returned.
+AsyncResult RunAsyncCoreness(const graph::Graph& g, util::Rng& rng,
+                             double max_delay = 8.0,
+                             std::size_t message_budget = 0);
+
+}  // namespace kcore::core

@@ -1,0 +1,131 @@
+#include "core/compact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/update.h"
+#include "util/logging.h"
+
+namespace kcore::core {
+
+using distsim::NodeContext;
+using distsim::Payload;
+using graph::NodeId;
+
+int RoundsForGamma(NodeId n, double gamma) {
+  KCORE_CHECK_MSG(gamma > 2.0, "gamma must exceed 2 (Lemma III.13)");
+  if (n <= 1) return 1;
+  return std::max(
+      1, static_cast<int>(std::ceil(std::log(static_cast<double>(n)) /
+                                    std::log(gamma / 2.0))));
+}
+
+int RoundsForEpsilon(NodeId n, double eps) {
+  KCORE_CHECK_MSG(eps > 0.0, "eps must be positive");
+  if (n <= 1) return 1;
+  return std::max(
+      1, static_cast<int>(std::ceil(std::log(static_cast<double>(n)) /
+                                    std::log1p(eps))));
+}
+
+CompactElimination::CompactElimination(const graph::Graph& g,
+                                       const CompactOptions& opts)
+    : graph_(g), opts_(opts) {
+  KCORE_CHECK_MSG(!g.has_self_loops(),
+                  "distributed protocols run on self-loop-free graphs");
+  if (opts_.track_orientation) {
+    KCORE_CHECK_MSG(opts_.lambda == 0.0,
+                    "orientation tracking requires Lambda = R (lambda == 0), "
+                    "see Definition III.7");
+  }
+  const NodeId n = g.num_nodes();
+  b_.assign(n, std::numeric_limits<double>::infinity());
+  order_.resize(n);
+  scratch_values_.resize(n);
+  last_change_.assign(n, 0);
+  if (opts_.track_orientation) in_sets_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto deg = g.Degree(v);
+    order_[v].resize(deg);
+    std::iota(order_[v].begin(), order_[v].end(), 0u);  // id order (sorted)
+    scratch_values_[v].resize(deg);
+    if (opts_.track_orientation) {
+      // N_v starts as all neighbors (Algorithm 2, line 1).
+      in_sets_[v].resize(deg);
+      std::iota(in_sets_[v].begin(), in_sets_[v].end(), 0u);
+    }
+  }
+}
+
+void CompactElimination::Init(NodeContext& ctx) {
+  // Line 1: b_v <- +inf, broadcast it (round-1 inputs).
+  ctx.Broadcast({b_[ctx.id()]});
+}
+
+void CompactElimination::Round(NodeContext& ctx) {
+  const NodeId v = ctx.id();
+  const auto nbrs = ctx.neighbors();
+  const std::size_t d = nbrs.size();
+
+  if (d == 0) {
+    // Isolated node: survives only threshold 0.
+    if (b_[v] != 0.0) {
+      b_[v] = 0.0;
+      last_change_[v] = ctx.round();
+    }
+    ctx.Broadcast({0.0});
+    return;
+  }
+
+  // Gather the neighbors' surviving numbers. In this protocol every node
+  // broadcasts every round, so a missing broadcast is a bug.
+  auto& values = scratch_values_[v];
+  std::vector<double> weights(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const Payload* p = ctx.NeighborBroadcast(i);
+    KCORE_CHECK_MSG(p != nullptr && !p->empty(),
+                    "missing broadcast from neighbor of " << v);
+    values[i] = (*p)[0];
+    weights[i] = nbrs[i].w;
+  }
+
+  if (!opts_.stateful_tiebreak) {
+    std::iota(order_[v].begin(), order_[v].end(), 0u);
+  }
+  UpdateResult res = UpdateStep(values, weights, order_[v]);
+  double nb = res.b;
+  if (opts_.lambda > 0.0) nb = RoundDownToPower(nb, opts_.lambda);
+  if (nb != b_[v]) {
+    b_[v] = nb;
+    last_change_[v] = ctx.round();
+  }
+  if (opts_.track_orientation) {
+    std::sort(res.chosen.begin(), res.chosen.end());
+    in_sets_[v] = std::move(res.chosen);
+  }
+  ctx.Broadcast({b_[v]});
+}
+
+CompactResult RunCompactElimination(const graph::Graph& g,
+                                    const CompactOptions& opts) {
+  KCORE_CHECK_MSG(opts.rounds >= 1, "need at least one round");
+  distsim::Engine engine(g, opts.num_threads);
+  CompactElimination proto(g, opts);
+  CompactResult out;
+  engine.Start(proto);
+  if (opts.record_rounds) out.b_rounds.push_back(proto.b());
+  for (int t = 0; t < opts.rounds; ++t) {
+    engine.Step(proto);
+    if (opts.record_rounds) out.b_rounds.push_back(proto.b());
+  }
+  out.b = proto.b();
+  out.in_sets = proto.in_sets();
+  out.history = engine.history();
+  out.totals = engine.totals();
+  out.rounds = opts.rounds;
+  return out;
+}
+
+}  // namespace kcore::core

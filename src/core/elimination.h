@@ -1,0 +1,45 @@
+// Algorithm 1 of the paper: distributed elimination procedure for a
+// single threshold b.
+//
+// Each node keeps a state sigma in {0, 1}. Per round, nodes broadcast
+// their state; a surviving node whose weighted degree among surviving
+// neighbors drops below b removes itself. After T rounds the surviving
+// indicator defines the threshold-b elimination outcome; the surviving
+// number beta^T(v) (Definition III.1) is the largest b for which v
+// survives, which CompactElimination computes for all b simultaneously.
+#pragma once
+
+#include <vector>
+
+#include "distsim/engine.h"
+#include "graph/graph.h"
+
+namespace kcore::core {
+
+class SingleThresholdElimination : public distsim::Protocol {
+ public:
+  SingleThresholdElimination(graph::NodeId n, double threshold);
+
+  void Init(distsim::NodeContext& ctx) override;
+  void Round(distsim::NodeContext& ctx) override;
+
+  // sigma_v after the rounds executed so far.
+  const std::vector<char>& states() const { return state_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  std::vector<char> state_;
+};
+
+struct EliminationRun {
+  std::vector<char> surviving;      // sigma_v after T rounds
+  std::vector<std::size_t> alive_per_round;  // |A_t| for t = 0..T
+  distsim::Totals totals;
+};
+
+// Runs Algorithm 1 for T rounds on g (must be self-loop free).
+EliminationRun RunSingleThreshold(const graph::Graph& g, double threshold,
+                                  int rounds);
+
+}  // namespace kcore::core

@@ -1,0 +1,28 @@
+#include "core/montresor.h"
+
+#include <algorithm>
+
+namespace kcore::core {
+
+ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
+                                   int num_threads) {
+  if (max_rounds < 0) {
+    max_rounds = static_cast<int>(g.num_nodes()) + 2;
+  }
+  CompactOptions opts;
+  opts.rounds = max_rounds;  // upper bound; engine stops at quiescence
+  opts.num_threads = num_threads;
+  CompactElimination proto(g, opts);
+  distsim::Engine engine(g, num_threads);
+  ConvergenceResult out;
+  out.rounds_executed = engine.RunUntilQuiescent(proto, max_rounds);
+  out.coreness = proto.b();
+  out.totals = engine.totals();
+  out.last_change_round = 0;
+  for (int r : proto.last_change_round()) {
+    out.last_change_round = std::max(out.last_change_round, r);
+  }
+  return out;
+}
+
+}  // namespace kcore::core

@@ -1,0 +1,35 @@
+// Run-to-convergence baseline (Montresor, De Pellegrini, Miorandi 2013).
+//
+// The same compact elimination procedure, but iterated until a global
+// fixpoint instead of a fixed T. At the fixpoint the surviving numbers
+// equal the exact coreness values (beta^n(v) = c(v)); the price is a
+// round complexity that can reach Omega(n) even on constant-diameter
+// graphs — exactly the barrier the paper breaks. The experiment harness
+// compares rounds-to-exact against rounds-to-2(1+eps).
+#pragma once
+
+#include <vector>
+
+#include "core/compact.h"
+#include "graph/graph.h"
+
+namespace kcore::core {
+
+struct ConvergenceResult {
+  // Fixpoint surviving numbers = exact (weighted) coreness.
+  std::vector<double> coreness;
+  // Rounds executed until quiescence was detected (includes the final
+  // confirming round in which nothing changed).
+  int rounds_executed = 0;
+  // The last round in which some node's value actually changed.
+  int last_change_round = 0;
+  distsim::Totals totals;
+};
+
+// Runs Algorithm 2 until no surviving number changes (at most max_rounds;
+// default n + 2, which always suffices: at least one node fixes per
+// elimination wave).
+ConvergenceResult RunToConvergence(const graph::Graph& g,
+                                   int max_rounds = -1, int num_threads = 1);
+
+}  // namespace kcore::core

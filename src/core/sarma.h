@@ -1,0 +1,54 @@
+// Sarma et al. (DISC 2012)-style distributed densest subset baseline.
+//
+// The comparison point in Section I: a distributed 2(1+eps)-approximation
+// of the (strong) densest subset problem in O(D log_{1+eps} n) rounds —
+// every node ends up knowing whether it belongs to ONE approximately
+// densest subset, at the price of a diameter-dependent round budget
+// (learning the global density of the current survivor set needs
+// Omega(D) rounds; that is exactly the barrier the paper's weak
+// formulation removes).
+//
+// Protocol implemented here (Bahmani-style elimination with global
+// coordination):
+//   0. Build a global BFS tree from the maximum-id node (~D rounds).
+//   Repeat for O(log_{1+eps} n) passes:
+//     a. Convergecast (|S|, w(E(S))) of the current survivor set to the
+//        root (~depth rounds); root computes rho(S).
+//     b. Root floods the threshold 2(1+eps) rho(S) down (~depth rounds).
+//     c. Every survivor with degree (among survivors) below the threshold
+//        drops out (1 round). Nodes remember their pass-survival bitmap.
+//   Finally the root floods the index of the best pass; survivors of that
+//   pass form the answer (Bahmani et al. guarantee: within 2(1+eps) of
+//   rho*).
+#pragma once
+
+#include <vector>
+
+#include "distsim/engine.h"
+#include "graph/graph.h"
+
+namespace kcore::core {
+
+struct SarmaResult {
+  // Indicator of the returned (single) subset.
+  std::vector<char> in_set;
+  // Its density in G.
+  double density = 0.0;
+  // Total synchronous rounds consumed (all phases).
+  int rounds_total = 0;
+  // Rounds spent building the BFS tree (~D).
+  int rounds_bfs = 0;
+  // Number of elimination passes executed.
+  int passes = 0;
+  // Hop-depth of the coordination tree (lower bound on the diameter).
+  int tree_depth = 0;
+  distsim::Totals totals;
+};
+
+// Runs the baseline with parameter eps > 0. The graph must be self-loop
+// free; on disconnected graphs the protocol runs in the component of the
+// maximum-id node (matching what a real execution would do).
+SarmaResult RunSarmaDensest(const graph::Graph& g, double eps,
+                            int num_threads = 1);
+
+}  // namespace kcore::core

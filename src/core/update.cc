@@ -1,0 +1,107 @@
+#include "core/update.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace kcore::core {
+
+UpdateResult UpdateStep(std::span<const double> values,
+                        std::span<const double> weights,
+                        std::span<std::uint32_t> order) {
+  const std::size_t d = values.size();
+  KCORE_CHECK(weights.size() == d && order.size() == d);
+  UpdateResult out;
+  if (d == 0) return out;  // b = 0, N = {}
+
+  // Stable sort by current values: ties keep the order induced by all past
+  // rounds (most recent first), bottoming out at the caller's initial
+  // id-order — the paper's tie-breaking rule.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return values[a] < values[b];
+                   });
+
+  // Scan thresholds from the largest down (Algorithm 3). With sorted
+  // b_1 <= ... <= b_d and suffix sum s_i = sum_{j >= i} w_j, the first
+  // (largest) i with s_i > b_{i-1} yields b = min(b_i, s_i):
+  //  * if s_i > b_i: b = b_i and N = {i+1..d} (then sum_N w = s_{i+1}
+  //    <= b_i because the scan did not stop at i+1);
+  //  * else b = s_i and N = {i..d} (sum_N w = s_i = b exactly).
+  double s = 0.0;
+  for (std::size_t i = d; i-- > 0;) {
+    s += weights[order[i]];
+    const double prev =
+        i > 0 ? values[order[i - 1]] : -std::numeric_limits<double>::infinity();
+    if (s > prev) {
+      const double bi = values[order[i]];
+      if (s <= bi) {
+        out.b = s;
+        out.chosen.assign(order.begin() + static_cast<std::ptrdiff_t>(i),
+                          order.end());
+      } else {
+        out.b = bi;
+        out.chosen.assign(order.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                          order.end());
+      }
+      return out;
+    }
+  }
+  // Unreachable: the loop always stops at i == 0 (prev = -inf, s >= 0).
+  KCORE_CHECK_MSG(false, "UpdateStep scan fell through");
+  return out;
+}
+
+double UpdateValueBruteForce(std::span<const double> values,
+                             std::span<const double> weights) {
+  KCORE_CHECK(values.size() == weights.size());
+  // Candidate thresholds: each values[i], plus each suffix-sum of weights
+  // of {j : values[j] >= values[i]} (and the full sum). Evaluate
+  // f(b) = sum_{values[i] >= b} weights[i] and keep the best b <= f(b).
+  std::vector<double> candidates;
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    candidates.push_back(values[i]);
+    total += weights[i];
+  }
+  candidates.push_back(total);
+  for (double v : values) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      if (values[j] >= v) s += weights[j];
+    }
+    candidates.push_back(s);
+  }
+  double best = 0.0;
+  for (double b : candidates) {
+    if (b < 0.0) continue;
+    double s = 0.0;
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      if (values[j] >= b) s += weights[j];
+    }
+    if (s >= b) best = std::max(best, b);
+  }
+  return best;
+}
+
+double RoundDownToPower(double x, double lambda) {
+  if (lambda <= 0.0 || x <= 0.0 || std::isinf(x)) return x;
+  // The returned value must be a CANONICAL function of the integer
+  // exponent k: Fact III.9 (the discretized process computes exactly
+  // round_Lambda(beta^T)) relies on "round(x) >= b iff x >= b" for b in
+  // Lambda, which breaks if two inputs in the same Lambda-cell map to
+  // powers differing in the last ulp. Hence: derive k, correct k (not the
+  // power) under floating-point drift, and always materialize the power
+  // through the same std::pow call.
+  const double log_base = std::log1p(lambda);
+  const double base = 1.0 + lambda;
+  double k = std::floor(std::log(x) / log_base);
+  const auto power = [&](double kk) { return std::pow(base, kk); };
+  while (power(k) > x) k -= 1.0;
+  while (power(k + 1.0) <= x) k += 1.0;
+  return power(k);
+}
+
+}  // namespace kcore::core

@@ -1,0 +1,48 @@
+// D-core decomposition of directed graphs (Giatsidis et al., ICDM 2011).
+//
+// The (k, l)-core of a digraph D is the maximal subgraph in which every
+// node has (weighted) in-degree >= k AND out-degree >= l. Fixing l, the
+// function k -> (k, l)-core is nested, so each node v has an l-indexed
+// in-coreness: the largest k with v in the (k, l)-core.
+//
+// This module computes, for a fixed out-degree requirement l:
+//   1. the maximal subgraph with all out-degrees >= l (iterated pruning);
+//   2. within it, the exact in-coreness by min-peeling on in-degree
+//      (re-pruning out-degree violators as peeling cascades).
+//
+// A distributed surviving-number analogue (the natural extension of the
+// paper's Algorithm 2 to digraphs) is provided for experimentation: each
+// node repeatedly recomputes the largest k such that its in-weight from
+// nodes with value >= k is at least k, among nodes still satisfying the
+// out-degree constraint. Tests verify beta >= dcore exactly as in the
+// undirected case.
+#pragma once
+
+#include <vector>
+
+#include "directed/digraph.h"
+
+namespace kcore::directed {
+
+struct DCoreResult {
+  // in_coreness[v]: largest k such that v belongs to the (k, l)-core
+  // (0 if v is not even in the (0, l)-core).
+  std::vector<double> in_coreness;
+  // Nodes surviving the out-degree >= l pruning.
+  std::vector<char> in_zero_l_core;
+};
+
+// Exact (k, l)-core decomposition for the given l (weighted degrees).
+DCoreResult DCoreDecomposition(const Digraph& g, double l);
+
+// Surviving-number iteration (the paper's compact elimination transplanted
+// to digraphs); `rounds` synchronous iterations. Returns beta values with
+// beta[v] >= in_coreness[v] for all v (tested).
+std::vector<double> DCoreSurvivingNumbers(const Digraph& g, double l,
+                                          int rounds);
+
+// Brute force for tests: largest k such that v is in a subgraph with all
+// in-degrees >= k and out-degrees >= l. Requires n <= 16.
+std::vector<double> BruteDCore(const Digraph& g, double l);
+
+}  // namespace kcore::directed

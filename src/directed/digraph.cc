@@ -1,0 +1,65 @@
+#include "directed/digraph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kcore::directed {
+
+DigraphBuilder& DigraphBuilder::AddArc(NodeId from, NodeId to, double w) {
+  KCORE_CHECK_MSG(from < n_ && to < n_, "arc endpoint out of range");
+  KCORE_CHECK_MSG(w >= 0.0, "negative arc weight");
+  arcs_.push_back(Arc{from, to, w});
+  return *this;
+}
+
+Digraph DigraphBuilder::Build() && {
+  Digraph g;
+  g.n_ = n_;
+  g.arcs_ = std::move(arcs_);
+  g.out_off_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  g.in_off_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  g.out_deg_.assign(n_, 0.0);
+  g.in_deg_.assign(n_, 0.0);
+  for (const Arc& a : g.arcs_) {
+    ++g.out_off_[a.from + 1];
+    ++g.in_off_[a.to + 1];
+    g.out_deg_[a.from] += a.w;
+    g.in_deg_[a.to] += a.w;
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    g.out_off_[v + 1] += g.out_off_[v];
+    g.in_off_[v + 1] += g.in_off_[v];
+  }
+  g.out_adj_.resize(g.arcs_.size());
+  g.in_adj_.resize(g.arcs_.size());
+  std::vector<std::size_t> oc(g.out_off_.begin(), g.out_off_.end() - 1);
+  std::vector<std::size_t> ic(g.in_off_.begin(), g.in_off_.end() - 1);
+  for (const Arc& a : g.arcs_) {
+    g.out_adj_[oc[a.from]++] = ArcEntry{a.to, a.w};
+    g.in_adj_[ic[a.to]++] = ArcEntry{a.from, a.w};
+  }
+  return g;
+}
+
+Digraph RandomDigraph(NodeId n, double p, util::Rng& rng) {
+  DigraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v && rng.NextBool(p)) b.AddArc(u, v, 1.0);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Digraph SymmetricClosure(const graph::Graph& g) {
+  DigraphBuilder b(g.num_nodes());
+  for (const graph::Edge& e : g.edges()) {
+    if (e.u == e.v) continue;
+    b.AddArc(e.u, e.v, e.w);
+    b.AddArc(e.v, e.u, e.w);
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace kcore::directed

@@ -1,0 +1,78 @@
+// Weighted directed graph substrate for the D-core extension
+// (Giatsidis, Thilikos, Vazirgiannis — ICDM 2011, cited by the paper as
+// the directed-graph generalization of the core decomposition).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace kcore::directed {
+
+using NodeId = graph::NodeId;
+
+struct Arc {
+  NodeId from = 0;
+  NodeId to = 0;
+  double w = 1.0;
+};
+
+struct ArcEntry {
+  NodeId node = 0;  // the other endpoint
+  double w = 1.0;
+};
+
+class DigraphBuilder;
+
+// Immutable directed graph with CSR in/out adjacency.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  NodeId num_nodes() const { return n_; }
+  std::size_t num_arcs() const { return arcs_.size(); }
+  std::span<const Arc> arcs() const { return arcs_; }
+
+  std::span<const ArcEntry> OutNeighbors(NodeId v) const {
+    return {out_adj_.data() + out_off_[v], out_adj_.data() + out_off_[v + 1]};
+  }
+  std::span<const ArcEntry> InNeighbors(NodeId v) const {
+    return {in_adj_.data() + in_off_[v], in_adj_.data() + in_off_[v + 1]};
+  }
+
+  double OutDegree(NodeId v) const { return out_deg_[v]; }
+  double InDegree(NodeId v) const { return in_deg_[v]; }
+
+ private:
+  friend class DigraphBuilder;
+  NodeId n_ = 0;
+  std::vector<Arc> arcs_;
+  std::vector<std::size_t> out_off_, in_off_;
+  std::vector<ArcEntry> out_adj_, in_adj_;
+  std::vector<double> out_deg_, in_deg_;
+};
+
+class DigraphBuilder {
+ public:
+  explicit DigraphBuilder(NodeId n) : n_(n) {}
+  DigraphBuilder& AddArc(NodeId from, NodeId to, double w = 1.0);
+  Digraph Build() &&;
+
+ private:
+  NodeId n_;
+  std::vector<Arc> arcs_;
+};
+
+// Random directed graph: each ordered pair (u != v) independently with
+// probability p.
+Digraph RandomDigraph(NodeId n, double p, util::Rng& rng);
+
+// Orients every undirected edge both ways (the symmetric closure); the
+// (k,k)-cores of the result coincide with the k-cores of the input —
+// used as a cross-check in tests.
+Digraph SymmetricClosure(const graph::Graph& g);
+
+}  // namespace kcore::directed

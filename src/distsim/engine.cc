@@ -1,0 +1,223 @@
+#include "distsim/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace kcore::distsim {
+
+NodeId NodeContext::n() const { return engine_->graph_.num_nodes(); }
+
+std::span<const graph::AdjEntry> NodeContext::neighbors() const {
+  return engine_->graph_.Neighbors(id_);
+}
+
+double NodeContext::weighted_degree() const {
+  return engine_->graph_.WeightedDegree(id_);
+}
+
+const Payload* NodeContext::NeighborBroadcast(std::size_t i) const {
+  const auto nbrs = neighbors();
+  KCORE_CHECK(i < nbrs.size());
+  const NodeId u = nbrs[i].to;
+  if (!engine_->prev_has_[u]) return nullptr;
+  return &engine_->prev_bcast_[u];
+}
+
+std::span<const InMessage> NodeContext::Messages() const {
+  return engine_->inbox_[id_];
+}
+
+void NodeContext::Broadcast(Payload p) {
+  if (engine_->payload_limit_ > 0) {
+    KCORE_CHECK_MSG(p.size() <= engine_->payload_limit_,
+                    "CONGEST violation: broadcast of " << p.size()
+                        << " entries exceeds the limit "
+                        << engine_->payload_limit_);
+  }
+  engine_->next_bcast_[id_] = std::move(p);
+  engine_->next_has_[id_] = 1;
+}
+
+void NodeContext::Send(NodeId neighbor, Payload p) {
+  // Locality check: only adjacent nodes are reachable.
+  const auto nbrs = neighbors();
+  const auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), neighbor,
+      [](const graph::AdjEntry& a, NodeId x) { return a.to < x; });
+  KCORE_CHECK_MSG(it != nbrs.end() && it->to == neighbor,
+                  "Send target " << neighbor << " not adjacent to " << id_);
+  if (engine_->payload_limit_ > 0) {
+    KCORE_CHECK_MSG(p.size() <= engine_->payload_limit_,
+                    "CONGEST violation: p2p message of " << p.size()
+                        << " entries exceeds the limit "
+                        << engine_->payload_limit_);
+  }
+  engine_->outbox_[id_].push_back(
+      Engine::OutMessage{neighbor, std::move(p)});
+}
+
+void NodeContext::Halt() { engine_->halted_[id_] = 1; }
+
+Engine::Engine(const graph::Graph& g, int num_threads)
+    : graph_(g), num_threads_(std::max(1, num_threads)) {
+  const NodeId n = g.num_nodes();
+  prev_bcast_.resize(n);
+  next_bcast_.resize(n);
+  prev_has_.assign(n, 0);
+  next_has_.assign(n, 0);
+  outbox_.resize(n);
+  inbox_.resize(n);
+  halted_.assign(n, 0);
+}
+
+Engine::~Engine() = default;
+
+void Engine::ComputeRange(Protocol& p, NodeId begin, NodeId end, int round) {
+  for (NodeId v = begin; v < end; ++v) {
+    if (halted_[v]) continue;
+    NodeContext ctx(this, v, round);
+    if (round == 0) {
+      p.Init(ctx);
+    } else {
+      p.Round(ctx);
+    }
+  }
+}
+
+void Engine::CollectRound(int round) {
+  RoundStats stats;
+  stats.round = round;
+
+  // Broadcast accounting + distinct-value census (first payload entry).
+  std::unordered_set<std::uint64_t> distinct;
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (!halted_[v] && round >= 0) ++stats.active_nodes;
+    if (!next_has_[v]) continue;
+    const std::size_t deg = graph_.Degree(v);
+    stats.messages += deg;
+    stats.entries += deg * next_bcast_[v].size();
+    max_entries_per_message_ =
+        std::max(max_entries_per_message_, next_bcast_[v].size());
+    if (!next_bcast_[v].empty()) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(double));
+      std::memcpy(&bits, &next_bcast_[v][0], sizeof(bits));
+      distinct.insert(bits);
+    }
+  }
+  stats.distinct_values = distinct.size();
+
+  // Deliver point-to-point messages: iterate senders in id order so each
+  // inbox ends up sorted by sender id (deterministic).
+  for (auto& ib : inbox_) ib.clear();
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    for (OutMessage& m : outbox_[v]) {
+      stats.messages += 1;
+      stats.entries += m.payload.size();
+      max_entries_per_message_ =
+          std::max(max_entries_per_message_, m.payload.size());
+      inbox_[m.to].push_back(InMessage{v, std::move(m.payload)});
+    }
+    outbox_[v].clear();
+  }
+
+  // Publish broadcasts for the next round.
+  std::swap(prev_bcast_, next_bcast_);
+  std::swap(prev_has_, next_has_);
+  std::fill(next_has_.begin(), next_has_.end(), 0);
+
+  history_.push_back(stats);
+}
+
+void Engine::Start(Protocol& p) {
+  KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
+                  "Start() must be the first call");
+  ComputeRange(p, 0, graph_.num_nodes(), 0);
+  CollectRound(0);
+}
+
+RoundStats Engine::Step(Protocol& p) {
+  const int round = ++round_;
+  const NodeId n = graph_.num_nodes();
+  if (num_threads_ <= 1 || n < 256) {
+    ComputeRange(p, 0, n, round);
+  } else {
+    // Disjoint id ranges; per-node state writes never alias, so this is
+    // race-free and bit-identical to the sequential order.
+    const int workers = num_threads_;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    const NodeId chunk = (n + workers - 1) / static_cast<NodeId>(workers);
+    for (int t = 0; t < workers; ++t) {
+      const NodeId begin = static_cast<NodeId>(t) * chunk;
+      const NodeId end = std::min<NodeId>(n, begin + chunk);
+      if (begin >= end) break;
+      threads.emplace_back(
+          [this, &p, begin, end, round] { ComputeRange(p, begin, end, round); });
+    }
+    for (auto& th : threads) th.join();
+  }
+  CollectRound(round);
+  return history_.back();
+}
+
+void Engine::Run(Protocol& p, int rounds) {
+  Start(p);
+  for (int t = 0; t < rounds; ++t) Step(p);
+}
+
+int Engine::RunUntilQuiescent(Protocol& p, int max_rounds) {
+  Start(p);
+  std::vector<Payload> prior = prev_bcast_;
+  std::vector<char> prior_has = prev_has_;
+  int executed = 0;
+  while (executed < max_rounds) {
+    const RoundStats stats = Step(p);
+    ++executed;
+    bool changed = false;
+    // Any p2p traffic counts as activity.
+    for (const auto& ib : inbox_) {
+      if (!ib.empty()) {
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) {
+      for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+        if (prev_has_[v] != prior_has[v] ||
+            (prev_has_[v] && prev_bcast_[v] != prior[v])) {
+          changed = true;
+          break;
+        }
+      }
+    }
+    (void)stats;
+    if (!changed) return executed;
+    prior = prev_bcast_;
+    prior_has = prev_has_;
+  }
+  return executed;
+}
+
+Totals Engine::totals() const {
+  Totals t;
+  t.rounds = round_;
+  for (const RoundStats& r : history_) {
+    t.messages += r.messages;
+    t.entries += r.entries;
+  }
+  t.max_entries_per_message = max_entries_per_message_;
+  return t;
+}
+
+std::size_t Engine::num_halted() const {
+  std::size_t c = 0;
+  for (char h : halted_) c += h ? 1 : 0;
+  return c;
+}
+
+}  // namespace kcore::distsim

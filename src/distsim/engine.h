@@ -1,0 +1,184 @@
+// Synchronous round-based message-passing simulator for the LOCAL model.
+//
+// The paper's setting (Section II): each node is a processor knowing only
+// its incident edges (and weights) and n (or an upper bound); computation
+// proceeds in synchronous rounds; a node sends the same message to (a
+// subset of) its neighbors per round (broadcast model), plus we support
+// point-to-point sends for the tree phases of Algorithm 4/6. The engine
+//
+//   * enforces locality: a protocol only sees its own node's state, its
+//     incident edge list, and the messages delivered this round;
+//   * is deterministic: nodes are processed in id order sequentially, or
+//     partitioned over threads with strictly disjoint writes (results are
+//     bit-identical either way — tested);
+//   * accounts for communication: per-round message count, payload
+//     entries, and the number of distinct broadcast values (the knob the
+//     paper's Λ-discretization optimizes for CONGEST-size messages).
+//
+// Execution model per round t >= 1:
+//   1. Deliver: every neighbor's round-(t-1) broadcast and any
+//      point-to-point payloads addressed to the node become visible.
+//   2. Compute: Protocol::Round(ctx) runs for every non-halted node; it
+//      may stage a new broadcast and point-to-point sends (visible to
+//      receivers in round t+1) and may Halt() the node.
+// Protocol::Init(ctx) stages the round-0 broadcasts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::distsim {
+
+using graph::NodeId;
+
+// A message payload: a short sequence of real values. The paper's
+// protocols send O(1) reals per message (Section II, "Message Content and
+// Size"); the engine counts entries so benches can report message sizes.
+using Payload = std::vector<double>;
+
+struct InMessage {
+  NodeId from = 0;
+  Payload payload;
+};
+
+struct RoundStats {
+  int round = 0;
+  std::size_t active_nodes = 0;     // nodes that executed Compute
+  std::size_t messages = 0;         // (sender, receiver) deliveries staged
+  std::size_t entries = 0;          // doubles staged across all messages
+  std::size_t distinct_values = 0;  // distinct first-entry broadcast values
+};
+
+struct Totals {
+  int rounds = 0;
+  std::size_t messages = 0;
+  std::size_t entries = 0;
+  std::size_t max_entries_per_message = 0;
+};
+
+class Engine;
+
+// The per-node view handed to a protocol. Only local information is
+// reachable from here.
+class NodeContext {
+ public:
+  NodeId id() const { return id_; }
+  int round() const { return round_; }
+  // Number of nodes in the network — the paper assumes every node knows n
+  // (or an upper bound), which Theorem I.1 uses to pick T.
+  NodeId n() const;
+
+  // The node's incident edges (neighbor id + weight), id-sorted.
+  std::span<const graph::AdjEntry> neighbors() const;
+  std::size_t degree() const { return neighbors().size(); }
+  double weighted_degree() const;
+
+  // Broadcast of neighbor #i (index into neighbors()) from the previous
+  // round, or nullptr if that neighbor did not broadcast / has halted.
+  const Payload* NeighborBroadcast(std::size_t i) const;
+
+  // Point-to-point messages delivered this round, sorted by sender id.
+  std::span<const InMessage> Messages() const;
+
+  // Stages this node's broadcast for the next round (replaces any
+  // previously staged one this round).
+  void Broadcast(Payload p);
+
+  // Stages a point-to-point message to a neighbor (must be adjacent).
+  void Send(NodeId neighbor, Payload p);
+
+  // Stops participating: no further Compute calls, no broadcasts.
+  void Halt();
+
+ private:
+  friend class Engine;
+  NodeContext(Engine* e, NodeId id, int round) noexcept
+      : engine_(e), id_(id), round_(round) {}
+  Engine* engine_;
+  NodeId id_;
+  int round_;
+};
+
+// A distributed protocol: per-node init and per-node round logic. The
+// protocol object owns all per-node state (indexed by node id); the engine
+// guarantees Round(ctx) for node v touches only v's slots.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  virtual void Init(NodeContext& ctx) = 0;
+  virtual void Round(NodeContext& ctx) = 0;
+};
+
+class Engine {
+ public:
+  // num_threads <= 1 means sequential. The graph must outlive the engine.
+  explicit Engine(const graph::Graph& g, int num_threads = 1);
+
+  // CONGEST enforcement: once set, staging any message with more than
+  // `limit` entries aborts (KCORE_CHECK). The paper's Section II protocols
+  // use O(1) reals per message; tests arm this to PROVE compliance rather
+  // than merely count it. 0 disables the check (default).
+  void SetPayloadLimit(std::size_t limit) { payload_limit_ = limit; }
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Runs Init (staging round-0 broadcasts) for all nodes.
+  void Start(Protocol& p);
+
+  // Executes one synchronous round; returns its stats.
+  RoundStats Step(Protocol& p);
+
+  // Start + `rounds` Steps.
+  void Run(Protocol& p, int rounds);
+
+  // Steps until a round changes nothing (no broadcasts staged differ from
+  // the previous round and no p2p messages) or max_rounds is hit.
+  // Returns the number of executed rounds. Used by the run-to-convergence
+  // baseline (Montresor et al.).
+  int RunUntilQuiescent(Protocol& p, int max_rounds);
+
+  const graph::Graph& graph() const { return graph_; }
+  const std::vector<RoundStats>& history() const { return history_; }
+  Totals totals() const;
+
+  bool halted(NodeId v) const { return halted_[v] != 0; }
+  std::size_t num_halted() const;
+
+ private:
+  friend class NodeContext;
+
+  struct OutMessage {
+    NodeId to;
+    Payload payload;
+  };
+
+  void ComputeRange(Protocol& p, NodeId begin, NodeId end, int round);
+  void CollectRound(int round);
+
+  const graph::Graph& graph_;
+  int num_threads_;
+  int round_ = 0;
+
+  // Double-buffered broadcasts: prev_ visible to readers, next_ written by
+  // the current compute phase (each node writes only its own slot).
+  std::vector<Payload> prev_bcast_, next_bcast_;
+  std::vector<char> prev_has_, next_has_;
+
+  // Point-to-point: outboxes written by sender's compute, merged into
+  // inboxes between rounds.
+  std::vector<std::vector<OutMessage>> outbox_;
+  std::vector<std::vector<InMessage>> inbox_;
+
+  std::vector<char> halted_;
+  std::vector<RoundStats> history_;
+  std::size_t max_entries_per_message_ = 0;
+  std::size_t payload_limit_ = 0;
+};
+
+}  // namespace kcore::distsim

@@ -1,0 +1,136 @@
+#include "dynamic/maintain.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/update.h"
+#include "util/logging.h"
+
+namespace kcore::dynamic {
+
+DynamicCoreMaintenance::DynamicCoreMaintenance(NodeId n)
+    : adj_(n), core_(n, 0.0) {}
+
+DynamicCoreMaintenance::DynamicCoreMaintenance(const graph::Graph& g)
+    : adj_(g.num_nodes()), core_(g.num_nodes(), 0.0) {
+  KCORE_CHECK_MSG(!g.has_self_loops(), "simple graphs only");
+  for (const graph::Edge& e : g.edges()) {
+    adj_[e.u].push_back(Slot{e.v, e.w});
+    adj_[e.v].push_back(Slot{e.u, e.w});
+    ++m_;
+  }
+  // Initial fixpoint: start from the trivially dominating state (the
+  // weighted degree bounds coreness) and descend globally.
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    double deg = 0.0;
+    for (const Slot& s : adj_[v]) deg += s.w;
+    core_[v] = deg;
+  }
+  std::vector<NodeId> all(num_nodes());
+  std::iota(all.begin(), all.end(), 0u);
+  Descend(std::move(all));
+}
+
+double DynamicCoreMaintenance::Recompute(NodeId v) const {
+  const auto& nbrs = adj_[v];
+  if (nbrs.empty()) return 0.0;
+  std::vector<double> values(nbrs.size());
+  std::vector<double> weights(nbrs.size());
+  std::vector<std::uint32_t> order(nbrs.size());
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    values[i] = core_[nbrs[i].to];
+    weights[i] = nbrs[i].w;
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  return core::UpdateStep(values, weights, order).b;
+}
+
+UpdateStats DynamicCoreMaintenance::Descend(std::vector<NodeId> seeds) {
+  UpdateStats stats;
+  std::vector<char> queued(num_nodes(), 0);
+  std::vector<NodeId> worklist = std::move(seeds);
+  for (NodeId v : worklist) queued[v] = 1;
+  std::size_t head = 0;
+  while (head < worklist.size()) {
+    const NodeId v = worklist[head++];
+    queued[v] = 0;
+    ++stats.recomputations;
+    const double nb = std::min(core_[v], Recompute(v));
+    if (nb == core_[v]) continue;
+    core_[v] = nb;
+    ++stats.changed;
+    for (const Slot& s : adj_[v]) {
+      if (!queued[s.to]) {
+        queued[s.to] = 1;
+        worklist.push_back(s.to);
+      }
+    }
+  }
+  return stats;
+}
+
+UpdateStats DynamicCoreMaintenance::InsertEdge(NodeId u, NodeId v, double w) {
+  KCORE_CHECK_MSG(u != v, "self-loops unsupported");
+  KCORE_CHECK(u < num_nodes() && v < num_nodes() && w >= 0.0);
+  adj_[u].push_back(Slot{v, w});
+  adj_[v].push_back(Slot{u, w});
+  ++m_;
+  // Lift: c_new <= c_old + w pointwise, so the lifted state dominates the
+  // new fixpoint and worklist descent is exact (see header).
+  const std::vector<double> before = core_;
+  for (NodeId x = 0; x < num_nodes(); ++x) {
+    if (!adj_[x].empty()) core_[x] += w;
+  }
+  std::vector<NodeId> all;
+  all.reserve(num_nodes());
+  for (NodeId x = 0; x < num_nodes(); ++x) {
+    if (!adj_[x].empty()) all.push_back(x);
+  }
+  UpdateStats stats = Descend(std::move(all));
+  // Report semantic changes (vs the pre-insert fixpoint), not descent
+  // steps from the lifted state.
+  stats.changed = 0;
+  for (NodeId x = 0; x < num_nodes(); ++x) {
+    if (core_[x] != before[x]) ++stats.changed;
+  }
+  return stats;
+}
+
+bool DynamicCoreMaintenance::HasEdge(NodeId u, NodeId v, double w) const {
+  if (u >= num_nodes()) return false;
+  for (const Slot& s : adj_[u]) {
+    if (s.to == v && s.w == w) return true;
+  }
+  return false;
+}
+
+UpdateStats DynamicCoreMaintenance::DeleteEdge(NodeId u, NodeId v, double w) {
+  KCORE_CHECK_MSG(HasEdge(u, v, w), "edge not present");
+  const auto erase_one = [](std::vector<Slot>& list, NodeId to, double w2) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].to == to && list[i].w == w2) {
+        list[i] = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+    KCORE_CHECK_MSG(false, "slot missing");
+  };
+  erase_one(adj_[u], v, w);
+  erase_one(adj_[v], u, w);
+  --m_;
+  // Coreness only decreases: current values dominate; purely local.
+  return Descend({u, v});
+}
+
+graph::Graph DynamicCoreMaintenance::Snapshot() const {
+  graph::GraphBuilder b(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const Slot& s : adj_[v]) {
+      if (v < s.to) b.AddEdge(v, s.to, s.w);
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace kcore::dynamic

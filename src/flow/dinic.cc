@@ -1,0 +1,130 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kcore::flow {
+
+Dinic::Dinic(int num_nodes)
+    : head_(static_cast<std::size_t>(num_nodes), -1),
+      level_(num_nodes),
+      iter_(num_nodes) {
+  KCORE_CHECK(num_nodes >= 0);
+}
+
+int Dinic::AddArc(int u, int v, double capacity) {
+  KCORE_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  KCORE_CHECK(capacity >= 0.0);
+  const int idx = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{v, head_[static_cast<std::size_t>(u)], capacity});
+  head_[static_cast<std::size_t>(u)] = idx;
+  arcs_.push_back(Arc{u, head_[static_cast<std::size_t>(v)], 0.0});
+  head_[static_cast<std::size_t>(v)] = idx + 1;
+  return idx / 2;
+}
+
+bool Dinic::Bfs(int s, int t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::vector<int> queue;
+  queue.push_back(s);
+  level_[static_cast<std::size_t>(s)] = 0;
+  std::size_t headq = 0;
+  while (headq < queue.size()) {
+    const int v = queue[headq++];
+    for (int a = head_[static_cast<std::size_t>(v)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > eps_ && level_[static_cast<std::size_t>(arc.to)] < 0) {
+        level_[static_cast<std::size_t>(arc.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+double Dinic::Dfs(int v, int t, double limit) {
+  if (v == t) return limit;
+  for (int& a = iter_[static_cast<std::size_t>(v)]; a != -1;
+       a = arcs_[static_cast<std::size_t>(a)].next) {
+    Arc& arc = arcs_[static_cast<std::size_t>(a)];
+    if (arc.cap <= eps_ ||
+        level_[static_cast<std::size_t>(arc.to)] !=
+            level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const double pushed = Dfs(arc.to, t, std::min(limit, arc.cap));
+    if (pushed > 0.0) {
+      arc.cap -= pushed;
+      arcs_[static_cast<std::size_t>(a ^ 1)].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double Dinic::MaxFlow(int s, int t) {
+  KCORE_CHECK(s != t);
+  double flow = 0.0;
+  while (Bfs(s, t)) {
+    iter_ = head_;
+    while (true) {
+      const double pushed = Dfs(s, t, kInfCapacity);
+      if (pushed <= 0.0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::vector<char> Dinic::MinCutSourceSide(int s) const {
+  std::vector<char> side(head_.size(), 0);
+  std::vector<int> queue;
+  queue.push_back(s);
+  side[static_cast<std::size_t>(s)] = 1;
+  std::size_t headq = 0;
+  while (headq < queue.size()) {
+    const int v = queue[headq++];
+    for (int a = head_[static_cast<std::size_t>(v)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > eps_ && !side[static_cast<std::size_t>(arc.to)]) {
+        side[static_cast<std::size_t>(arc.to)] = 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return side;
+}
+
+std::vector<char> Dinic::ResidualReachesSink(int t) const {
+  // Reverse reachability: v reaches t iff there is an arc v -> u with
+  // residual capacity and u reaches t. Walk the reverse residual graph,
+  // which is exactly the forward graph of the reverse arcs.
+  std::vector<char> reaches(head_.size(), 0);
+  std::vector<int> queue;
+  queue.push_back(t);
+  reaches[static_cast<std::size_t>(t)] = 1;
+  std::size_t headq = 0;
+  while (headq < queue.size()) {
+    const int v = queue[headq++];
+    for (int a = head_[static_cast<std::size_t>(v)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      // arcs_[a] goes v -> to; its partner (a^1) goes to -> v. The partner
+      // has residual capacity iff arcs_[a^1].cap > eps, in which case `to`
+      // reaches t through v.
+      const int to = arcs_[static_cast<std::size_t>(a)].to;
+      if (reaches[static_cast<std::size_t>(to)]) continue;
+      if (arcs_[static_cast<std::size_t>(a ^ 1)].cap > eps_) {
+        reaches[static_cast<std::size_t>(to)] = 1;
+        queue.push_back(to);
+      }
+    }
+  }
+  return reaches;
+}
+
+}  // namespace kcore::flow

@@ -1,0 +1,67 @@
+// Dinic's maximum-flow algorithm on real-valued capacities.
+//
+// Used by the exact reference solvers:
+//   * Goldberg-style maximal densest subset (via max-weight closure),
+//   * exact min-max edge orientation for unweighted graphs (feasibility
+//     flow inside a binary search).
+//
+// Capacities are doubles; a relative epsilon guards the augmenting-path
+// tests so the exact solvers can run on real-weighted graphs. For the
+// integral networks used by the orientation solver, flows stay exactly
+// integral because augmentation amounts are sums/differences of integers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace kcore::flow {
+
+inline constexpr double kInfCapacity = std::numeric_limits<double>::infinity();
+
+class Dinic {
+ public:
+  // num_nodes includes source and sink; node ids are [0, num_nodes).
+  explicit Dinic(int num_nodes);
+
+  // Adds a directed arc u -> v with the given capacity; returns the arc
+  // index (the reverse arc is created automatically with capacity 0).
+  int AddArc(int u, int v, double capacity);
+
+  // Computes the max flow from s to t. Can be called once per instance.
+  double MaxFlow(int s, int t);
+
+  // Residual capacity of the arc returned by AddArc.
+  double Residual(int arc) const { return arcs_[2 * arc].cap; }
+  // Flow currently routed through that arc.
+  double Flow(int arc) const { return arcs_[2 * arc + 1].cap; }
+
+  // After MaxFlow: nodes reachable from s in the residual network — the
+  // minimal min-cut source side.
+  std::vector<char> MinCutSourceSide(int s) const;
+
+  // After MaxFlow: nodes that can reach t in the residual network. The
+  // complement is the *maximal* min-cut source side; the densest-subset
+  // solver uses it to extract the maximal densest subset (Fact II.1).
+  std::vector<char> ResidualReachesSink(int t) const;
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Arc {
+    int to;
+    int next;    // next arc index in the same tail's list
+    double cap;  // residual capacity
+  };
+
+  bool Bfs(int s, int t);
+  double Dfs(int v, int t, double limit);
+
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;   // first arc per node (-1 = none)
+  std::vector<int> level_;
+  std::vector<int> iter_;
+  double eps_ = 1e-11;
+};
+
+}  // namespace kcore::flow

@@ -1,0 +1,185 @@
+#include "flow/push_relabel.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace kcore::flow {
+
+PushRelabel::PushRelabel(int num_nodes) : n_(num_nodes) {
+  KCORE_CHECK(num_nodes >= 0);
+  first_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+}
+
+int PushRelabel::AddArc(int u, int v, double capacity) {
+  KCORE_CHECK(!built_);
+  KCORE_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  KCORE_CHECK(capacity >= 0.0);
+  staged_.push_back(Staged{u, v, capacity});
+  return static_cast<int>(staged_.size()) - 1;
+}
+
+double PushRelabel::Flow(int arc) const {
+  KCORE_CHECK(built_);
+  // arc_positions: forward arc of staged i sits at partner-paired slot
+  // recorded during Build via the staged order: we stored forward arcs
+  // first per (u) bucket; recover via orig - cap on the forward copy.
+  // The forward copy is identified by matching staged order: we kept a
+  // side table in partner_ layout; see Build below (forward arcs have
+  // even staged parity in fwd_index_).
+  const int idx = fwd_index_[static_cast<std::size_t>(arc)];
+  return arcs_[static_cast<std::size_t>(idx)].orig -
+         arcs_[static_cast<std::size_t>(idx)].cap;
+}
+
+double PushRelabel::MaxFlow(int s, int t) {
+  KCORE_CHECK(s != t && s >= 0 && s < n_ && t >= 0 && t < n_);
+  KCORE_CHECK(!built_);
+  built_ = true;
+
+  // Build CSR with paired reverse arcs.
+  const std::size_t m = staged_.size();
+  std::vector<int> deg(static_cast<std::size_t>(n_), 0);
+  for (const Staged& a : staged_) {
+    ++deg[static_cast<std::size_t>(a.u)];
+    ++deg[static_cast<std::size_t>(a.v)];
+  }
+  first_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (int v = 0; v < n_; ++v) {
+    first_[static_cast<std::size_t>(v) + 1] =
+        first_[static_cast<std::size_t>(v)] + deg[static_cast<std::size_t>(v)];
+  }
+  arcs_.resize(2 * m);
+  partner_.resize(2 * m);
+  fwd_index_.resize(m);
+  std::vector<int> cursor(first_.begin(), first_.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Staged& a = staged_[i];
+    const int fi = cursor[static_cast<std::size_t>(a.u)]++;
+    const int ri = cursor[static_cast<std::size_t>(a.v)]++;
+    arcs_[static_cast<std::size_t>(fi)] = Arc{a.v, a.cap, a.cap};
+    arcs_[static_cast<std::size_t>(ri)] = Arc{a.u, 0.0, 0.0};
+    partner_[static_cast<std::size_t>(fi)] = ri;
+    partner_[static_cast<std::size_t>(ri)] = fi;
+    fwd_index_[i] = fi;
+  }
+  staged_.clear();
+  staged_.shrink_to_fit();
+
+  excess_.assign(static_cast<std::size_t>(n_), 0.0);
+  height_.assign(static_cast<std::size_t>(n_), 0);
+  cur_ = std::vector<int>(first_.begin(), first_.end() - 1);
+  count_.assign(2 * static_cast<std::size_t>(n_) + 2, 0);
+
+  height_[static_cast<std::size_t>(s)] = n_;
+  count_[0] = n_ - 1;
+  count_[static_cast<std::size_t>(n_)] = 1;
+
+  std::queue<int> active;
+  const auto activate = [&](int v) {
+    if (v != s && v != t && excess_[static_cast<std::size_t>(v)] > eps_) {
+      active.push(v);
+    }
+  };
+
+  // Saturate source arcs.
+  for (int a = first_[static_cast<std::size_t>(s)];
+       a < first_[static_cast<std::size_t>(s) + 1]; ++a) {
+    Arc& arc = arcs_[static_cast<std::size_t>(a)];
+    if (arc.cap <= eps_) continue;
+    const double amount = arc.cap;
+    arc.cap = 0.0;
+    arcs_[static_cast<std::size_t>(partner_[static_cast<std::size_t>(a)])]
+        .cap += amount;
+    const bool was_inactive = excess_[static_cast<std::size_t>(arc.to)] <= eps_;
+    excess_[static_cast<std::size_t>(arc.to)] += amount;
+    if (was_inactive) activate(arc.to);
+  }
+
+  while (!active.empty()) {
+    const int v = active.front();
+    active.pop();
+    // Discharge v completely.
+    while (excess_[static_cast<std::size_t>(v)] > eps_) {
+      if (cur_[static_cast<std::size_t>(v)] >=
+          first_[static_cast<std::size_t>(v) + 1]) {
+        // Relabel (with gap heuristic).
+        const int old_h = height_[static_cast<std::size_t>(v)];
+        int new_h = 2 * n_;
+        for (int a = first_[static_cast<std::size_t>(v)];
+             a < first_[static_cast<std::size_t>(v) + 1]; ++a) {
+          const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+          if (arc.cap > eps_) {
+            new_h = std::min(new_h,
+                             height_[static_cast<std::size_t>(arc.to)] + 1);
+          }
+        }
+        --count_[static_cast<std::size_t>(old_h)];
+        if (count_[static_cast<std::size_t>(old_h)] == 0 && old_h < n_) {
+          // Gap: nodes above old_h (below n) can never reach t again.
+          for (int u = 0; u < n_; ++u) {
+            int& h = height_[static_cast<std::size_t>(u)];
+            if (h > old_h && h < n_ && u != s) {
+              --count_[static_cast<std::size_t>(h)];
+              h = n_ + 1;
+              ++count_[static_cast<std::size_t>(h)];
+            }
+          }
+        }
+        height_[static_cast<std::size_t>(v)] = std::max(
+            height_[static_cast<std::size_t>(v)], new_h);
+        ++count_[static_cast<std::size_t>(
+            height_[static_cast<std::size_t>(v)])];
+        cur_[static_cast<std::size_t>(v)] =
+            first_[static_cast<std::size_t>(v)];
+        if (height_[static_cast<std::size_t>(v)] >= 2 * n_) break;
+        continue;
+      }
+      const int a = cur_[static_cast<std::size_t>(v)];
+      Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > eps_ &&
+          height_[static_cast<std::size_t>(v)] ==
+              height_[static_cast<std::size_t>(arc.to)] + 1) {
+        // Push.
+        const double amount =
+            std::min(excess_[static_cast<std::size_t>(v)], arc.cap);
+        arc.cap -= amount;
+        arcs_[static_cast<std::size_t>(
+                  partner_[static_cast<std::size_t>(a)])]
+            .cap += amount;
+        excess_[static_cast<std::size_t>(v)] -= amount;
+        const bool was_inactive =
+            excess_[static_cast<std::size_t>(arc.to)] <= eps_;
+        excess_[static_cast<std::size_t>(arc.to)] += amount;
+        if (was_inactive) activate(arc.to);
+      } else {
+        ++cur_[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  return excess_[static_cast<std::size_t>(t)];
+}
+
+std::vector<char> PushRelabel::MinCutSourceSide(int s) const {
+  std::vector<char> side(static_cast<std::size_t>(n_), 0);
+  std::vector<int> queue;
+  queue.push_back(s);
+  side[static_cast<std::size_t>(s)] = 1;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const int v = queue[head++];
+    for (int a = first_[static_cast<std::size_t>(v)];
+         a < first_[static_cast<std::size_t>(v) + 1]; ++a) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > eps_ && !side[static_cast<std::size_t>(arc.to)]) {
+        side[static_cast<std::size_t>(arc.to)] = 1;
+        queue.push_back(arc.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace kcore::flow

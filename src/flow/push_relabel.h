@@ -1,0 +1,69 @@
+// FIFO push-relabel maximum flow (Goldberg–Tarjan) with the gap
+// heuristic.
+//
+// A second, independently implemented max-flow solver. The exact
+// densest-subset and orientation references are only as trustworthy as
+// the flow code underneath them, so the test suite cross-validates Dinic
+// against this implementation on thousands of random networks (and both
+// against brute-force min-cuts on tiny ones). It is also the faster
+// choice on the dense closure networks the Dinkelbach iteration builds
+// for large graphs.
+#pragma once
+
+#include <vector>
+
+namespace kcore::flow {
+
+class PushRelabel {
+ public:
+  explicit PushRelabel(int num_nodes);
+
+  // Adds a directed arc u -> v; returns an arc handle (see Flow()).
+  int AddArc(int u, int v, double capacity);
+
+  // Computes the max flow from s to t (call once).
+  double MaxFlow(int s, int t);
+
+  // Flow routed through the arc returned by AddArc.
+  double Flow(int arc) const;
+
+  // After MaxFlow: the minimal min-cut source side (s-reachable in the
+  // residual network).
+  std::vector<char> MinCutSourceSide(int s) const;
+
+  int num_nodes() const { return static_cast<int>(first_.size()) - 1; }
+
+ private:
+  struct Arc {
+    int to;
+    double cap;   // residual capacity
+    double orig;  // original capacity (for Flow())
+  };
+
+  void Push(int v, int arc_index);
+  void Relabel(int v);
+  void Discharge(int v);
+
+  // CSR arcs (built lazily on MaxFlow from the staging vectors).
+  std::vector<Arc> arcs_;
+  std::vector<int> first_;     // valid after Build()
+  std::vector<int> partner_;   // reverse arc index
+
+  // Staging (before Build).
+  struct Staged {
+    int u, v;
+    double cap;
+  };
+  std::vector<Staged> staged_;
+  std::vector<int> fwd_index_;  // staged arc -> forward arc position
+  int n_;
+
+  std::vector<double> excess_;
+  std::vector<int> height_;
+  std::vector<int> cur_;     // current-arc pointers
+  std::vector<int> count_;   // nodes per height (gap heuristic)
+  bool built_ = false;
+  double eps_ = 1e-11;
+};
+
+}  // namespace kcore::flow

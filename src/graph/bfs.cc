@@ -1,0 +1,57 @@
+#include "graph/bfs.h"
+
+#include <algorithm>
+
+namespace kcore::graph {
+
+std::vector<std::uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  if (source >= g.num_nodes()) return dist;
+  std::vector<NodeId> queue;
+  queue.push_back(source);
+  dist[source] = 0;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId v = queue[head++];
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (a.to != v && dist[a.to] == kUnreachable) {
+        dist[a.to] = dist[v] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t Eccentricity(const Graph& g, NodeId source) {
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : BfsDistances(g, source)) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t ExactDiameter(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    diam = std::max(diam, Eccentricity(g, v));
+  }
+  return diam;
+}
+
+std::uint32_t DoubleSweepDiameterLowerBound(const Graph& g, NodeId seed) {
+  if (g.num_nodes() == 0) return 0;
+  seed = std::min<NodeId>(seed, g.num_nodes() - 1);
+  const auto d1 = BfsDistances(g, seed);
+  NodeId far = seed;
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (d1[v] != kUnreachable && d1[v] > best) {
+      best = d1[v];
+      far = v;
+    }
+  }
+  return Eccentricity(g, far);
+}
+
+}  // namespace kcore::graph

@@ -1,0 +1,35 @@
+// Breadth-first search utilities: hop distances, eccentricity and
+// hop-diameter estimation.
+//
+// The paper's lower bounds are stated against the hop-diameter D, so the
+// experiment harness reports D (exact for small graphs, double-sweep lower
+// bound for large ones) next to the round counts.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::graph {
+
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+// Hop distances from source (kUnreachable where disconnected).
+std::vector<std::uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+// Largest finite distance from source (0 for an isolated node).
+std::uint32_t Eccentricity(const Graph& g, NodeId source);
+
+// Exact hop-diameter by all-pairs BFS: O(n * m). Only call on small graphs.
+// Returns the max finite eccentricity (per-component diameter).
+std::uint32_t ExactDiameter(const Graph& g);
+
+// Double-sweep lower bound on the hop-diameter: BFS from `seed`, then BFS
+// again from the farthest node found. Cheap and usually tight on
+// real-world-like graphs.
+std::uint32_t DoubleSweepDiameterLowerBound(const Graph& g, NodeId seed = 0);
+
+}  // namespace kcore::graph

@@ -1,0 +1,38 @@
+#include "graph/components.h"
+
+#include <vector>
+
+namespace kcore::graph {
+
+Components ConnectedComponents(const Graph& g) {
+  Components out;
+  out.comp.assign(g.num_nodes(), kInvalidNode);
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (out.comp[start] != kInvalidNode) continue;
+    const NodeId label = out.count++;
+    out.sizes.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    out.comp[start] = label;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const NodeId v = queue[head++];
+      ++out.sizes[label];
+      for (const AdjEntry& a : g.Neighbors(v)) {
+        if (a.to != v && out.comp[a.to] == kInvalidNode) {
+          out.comp[a.to] = label;
+          queue.push_back(a.to);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return ConnectedComponents(g).count == 1;
+}
+
+}  // namespace kcore::graph

@@ -1,0 +1,24 @@
+// Connected components of an undirected graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::graph {
+
+struct Components {
+  // comp[v] = component index in [0, count).
+  std::vector<NodeId> comp;
+  NodeId count = 0;
+  // Size of each component.
+  std::vector<NodeId> sizes;
+};
+
+// Iterative BFS labelling (no recursion: safe on path graphs of any size).
+Components ConnectedComponents(const Graph& g);
+
+// True if g is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& g);
+
+}  // namespace kcore::graph

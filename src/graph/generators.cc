@@ -1,0 +1,419 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kcore::graph {
+namespace {
+
+// Unordered endpoint pair packed into one 64-bit key.
+std::uint64_t PairKey(NodeId u, NodeId v) {
+  const NodeId a = std::min(u, v);
+  const NodeId b = std::max(u, v);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Graph Path(NodeId n, double w) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1, w);
+  return std::move(b).Build();
+}
+
+Graph Cycle(NodeId n, double w) {
+  KCORE_CHECK_MSG(n >= 3, "cycle needs >= 3 nodes");
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) b.AddEdge(i, (i + 1) % n, w);
+  return std::move(b).Build();
+}
+
+Graph Star(NodeId n, double w) {
+  KCORE_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) b.AddEdge(0, i, w);
+  return std::move(b).Build();
+}
+
+Graph Complete(NodeId n, double w) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) b.AddEdge(i, j, w);
+  }
+  return std::move(b).Build();
+}
+
+Graph CompleteBipartite(NodeId a, NodeId b_count, double w) {
+  GraphBuilder b(a + b_count);
+  for (NodeId i = 0; i < a; ++i) {
+    for (NodeId j = 0; j < b_count; ++j) b.AddEdge(i, a + j, w);
+  }
+  return std::move(b).Build();
+}
+
+Graph Grid(NodeId rows, NodeId cols, double w) {
+  GraphBuilder b(rows * cols);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.AddEdge(id(r, c), id(r, c + 1), w);
+      if (r + 1 < rows) b.AddEdge(id(r, c), id(r + 1, c), w);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph ErdosRenyiGnp(NodeId n, double p, util::Rng& rng) {
+  GraphBuilder b(n);
+  if (n >= 2 && p > 0.0) {
+    if (p >= 1.0) return Complete(n);
+    // Batagelj-Brandes geometric skipping: expected O(n + m).
+    const double logq = std::log(1.0 - p);
+    std::int64_t v = 1;
+    std::int64_t w = -1;
+    while (v < static_cast<std::int64_t>(n)) {
+      const double r = 1.0 - rng.NextDouble();  // (0,1]
+      w += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / logq));
+      while (w >= v && v < static_cast<std::int64_t>(n)) {
+        w -= v;
+        ++v;
+      }
+      if (v < static_cast<std::int64_t>(n)) {
+        b.AddEdge(static_cast<NodeId>(v), static_cast<NodeId>(w), 1.0);
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph ErdosRenyiGnm(NodeId n, std::size_t m, util::Rng& rng) {
+  const std::uint64_t total =
+      n >= 2 ? static_cast<std::uint64_t>(n) * (n - 1) / 2 : 0;
+  KCORE_CHECK_MSG(m <= total, "G(n,m): too many edges requested");
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(m * 2);
+  while (used.size() < m) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (used.insert(PairKey(u, v)).second) b.AddEdge(u, v, 1.0);
+  }
+  return std::move(b).Build();
+}
+
+Graph BarabasiAlbert(NodeId n, NodeId attach, util::Rng& rng) {
+  KCORE_CHECK(attach >= 1);
+  KCORE_CHECK_MSG(n > attach, "BA needs n > attach");
+  GraphBuilder b(n);
+  // Repeated-endpoint list: sampling an element uniformly is sampling a
+  // node proportional to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * attach);
+  // Seed: a clique on the first attach+1 nodes.
+  for (NodeId i = 0; i <= attach; ++i) {
+    for (NodeId j = i + 1; j <= attach; ++j) {
+      b.AddEdge(i, j, 1.0);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  std::unordered_set<NodeId> targets;
+  for (NodeId v = attach + 1; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < attach) {
+      const NodeId t =
+          endpoints[rng.NextBounded(endpoints.size())];
+      targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      b.AddEdge(v, t, 1.0);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph WattsStrogatz(NodeId n, NodeId k, double beta, util::Rng& rng) {
+  KCORE_CHECK_MSG(n > 2 * k, "WS needs n > 2k");
+  std::unordered_set<std::uint64_t> used;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId d = 1; d <= k; ++d) {
+      const NodeId j = (i + d) % n;
+      if (used.insert(PairKey(i, j)).second) edges.emplace_back(i, j);
+    }
+  }
+  // Rewire: with probability beta replace edge (i, j) by (i, r).
+  for (auto& [u, v] : edges) {
+    if (!rng.NextBool(beta)) continue;
+    for (int attempts = 0; attempts < 32; ++attempts) {
+      const NodeId r = static_cast<NodeId>(rng.NextBounded(n));
+      if (r == u || r == v) continue;
+      const std::uint64_t key = PairKey(u, r);
+      if (used.count(key)) continue;
+      used.erase(PairKey(u, v));
+      used.insert(key);
+      v = r;
+      break;
+    }
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.AddEdge(u, v, 1.0);
+  return std::move(b).Build();
+}
+
+Graph PowerLawConfiguration(NodeId n, double alpha, NodeId d_min,
+                            NodeId d_max, util::Rng& rng) {
+  KCORE_CHECK(d_min >= 1 && d_max >= d_min && d_max < n);
+  // Draw degrees from the truncated discrete power law by inverse CDF of
+  // the continuous Pareto, clamped into [d_min, d_max].
+  std::vector<NodeId> degree(n);
+  std::vector<NodeId> stubs;
+  for (NodeId v = 0; v < n; ++v) {
+    const double x = rng.NextPareto(static_cast<double>(d_min), alpha - 1.0);
+    degree[v] = static_cast<NodeId>(
+        std::min<double>(std::floor(x), static_cast<double>(d_max)));
+    for (NodeId i = 0; i < degree[v]; ++i) stubs.push_back(v);
+  }
+  if (stubs.size() % 2 == 1) stubs.push_back(0);
+  rng.Shuffle(stubs.begin(), stubs.end());
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> used;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const NodeId u = stubs[i];
+    const NodeId v = stubs[i + 1];
+    if (u == v) continue;  // drop self-loop
+    if (!used.insert(PairKey(u, v)).second) continue;  // drop duplicate
+    b.AddEdge(u, v, 1.0);
+  }
+  return std::move(b).Build();
+}
+
+Graph Rmat(int scale, double avg_degree, double a, double b, double c,
+           util::Rng& rng) {
+  KCORE_CHECK(scale >= 1 && scale < 31);
+  const NodeId n = static_cast<NodeId>(1) << scale;
+  const auto target =
+      static_cast<std::size_t>(avg_degree * static_cast<double>(n) / 2.0);
+  const double d = 1.0 - a - b - c;
+  KCORE_CHECK_MSG(d >= 0.0, "RMAT probabilities exceed 1");
+  GraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(target * 2);
+  std::size_t added = 0;
+  // Cap attempts so pathological parameters cannot loop forever.
+  const std::size_t max_attempts = target * 64 + 1024;
+  for (std::size_t attempt = 0; attempt < max_attempts && added < target;
+       ++attempt) {
+    NodeId u = 0;
+    NodeId v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (!used.insert(PairKey(u, v)).second) continue;
+    builder.AddEdge(u, v, 1.0);
+    ++added;
+  }
+  return std::move(builder).Build();
+}
+
+Graph PlantedPartition(NodeId n, NodeId communities, double p_in,
+                       double p_out, util::Rng& rng) {
+  KCORE_CHECK(communities >= 1);
+  GraphBuilder b(n);
+  const auto community = [&](NodeId v) { return v % communities; };
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double p = community(i) == community(j) ? p_in : p_out;
+      if (rng.NextBool(p)) b.AddEdge(i, j, 1.0);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph RandomGeometric(NodeId n, double radius, util::Rng& rng) {
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (NodeId v = 0; v < n; ++v) {
+    x[v] = rng.NextDouble();
+    y[v] = rng.NextDouble();
+  }
+  const double r2 = radius * radius;
+  GraphBuilder b(n);
+  // Grid bucketing keeps this O(n) for constant expected degree.
+  const int cells = std::max(1, static_cast<int>(1.0 / std::max(radius, 1e-9)));
+  std::vector<std::vector<NodeId>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  const auto cell_of = [&](NodeId v) {
+    const int cx = std::min(cells - 1, static_cast<int>(x[v] * cells));
+    const int cy = std::min(cells - 1, static_cast<int>(y[v] * cells));
+    return static_cast<std::size_t>(cy) * cells + cx;
+  };
+  for (NodeId v = 0; v < n; ++v) grid[cell_of(v)].push_back(v);
+  for (NodeId v = 0; v < n; ++v) {
+    const int cx = std::min(cells - 1, static_cast<int>(x[v] * cells));
+    const int cy = std::min(cells - 1, static_cast<int>(y[v] * cells));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = cx + dx;
+        const int ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (NodeId u : grid[static_cast<std::size_t>(ny) * cells + nx]) {
+          if (u <= v) continue;
+          const double ddx = x[u] - x[v];
+          const double ddy = y[u] - y[v];
+          if (ddx * ddx + ddy * ddy <= r2) b.AddEdge(v, u, 1.0);
+        }
+      }
+    }
+  }
+  return std::move(b).Build();
+}
+
+namespace {
+
+template <typename WeightFn>
+Graph Reweight(const Graph& g, WeightFn&& fn) {
+  GraphBuilder b(g.num_nodes());
+  for (const Edge& e : g.edges()) b.AddEdge(e.u, e.v, fn());
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+Graph WithUniformWeights(const Graph& g, double lo, double hi,
+                         util::Rng& rng) {
+  return Reweight(g, [&] { return rng.NextDouble(lo, hi); });
+}
+
+Graph WithParetoWeights(const Graph& g, double x_min, double alpha,
+                        util::Rng& rng) {
+  return Reweight(g, [&] { return rng.NextPareto(x_min, alpha); });
+}
+
+Graph WithIntegerWeights(const Graph& g, int max_w, util::Rng& rng) {
+  KCORE_CHECK(max_w >= 1);
+  return Reweight(g, [&] {
+    return static_cast<double>(1 + rng.NextBounded(
+                                       static_cast<std::uint64_t>(max_w)));
+  });
+}
+
+Graph WithDyadicWeights(const Graph& g, double lo, double hi, util::Rng& rng,
+                        int bits) {
+  KCORE_CHECK(bits >= 0 && bits <= 20 && lo <= hi && lo >= 0.0);
+  const double quantum = std::ldexp(1.0, -bits);
+  const auto lo_q = static_cast<std::uint64_t>(std::ceil(lo / quantum));
+  const auto hi_q = static_cast<std::uint64_t>(std::floor(hi / quantum));
+  KCORE_CHECK_MSG(hi_q >= lo_q, "no dyadic multiples in [lo, hi]");
+  return Reweight(g, [&] {
+    return static_cast<double>(lo_q + rng.NextBounded(hi_q - lo_q + 1)) *
+           quantum;
+  });
+}
+
+Graph QuantizeWeightsDyadic(const Graph& g, int bits) {
+  KCORE_CHECK(bits >= 0 && bits <= 20);
+  const double quantum = std::ldexp(1.0, -bits);
+  GraphBuilder b(g.num_nodes());
+  for (const Edge& e : g.edges()) {
+    const double q = std::max(1.0, std::round(e.w / quantum)) * quantum;
+    b.AddEdge(e.u, e.v, q);
+  }
+  return std::move(b).Build();
+}
+
+Graph Fig1a(NodeId n) {
+  KCORE_CHECK(n >= 3);
+  return Cycle(n);
+}
+
+Graph Fig1b(NodeId n) { return Path(n); }
+
+Graph Fig1c(NodeId n) {
+  KCORE_CHECK_MSG(n >= 4, "Fig1c needs >= 4 nodes");
+  // Path 0 - 1 - ... - (n-2), plus node n-1 forming a triangle with the
+  // last two path nodes {n-3, n-2}. The distinguished node sits at the
+  // other end of the path: its view is a path for ~n hops.
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 2 < n; ++i) b.AddEdge(i, i + 1, 1.0);
+  b.AddEdge(n - 2, n - 1, 1.0);
+  b.AddEdge(n - 3, n - 1, 1.0);
+  return std::move(b).Build();
+}
+
+NodeId Fig1DistinguishedNode(NodeId n) {
+  (void)n;
+  return 0;
+}
+
+std::size_t GammaTreeSize(NodeId gamma, NodeId depth) {
+  KCORE_CHECK(gamma >= 2);
+  std::size_t total = 0;
+  std::size_t level = 1;
+  for (NodeId d = 0; d <= depth; ++d) {
+    total += level;
+    level *= gamma;
+  }
+  return total;
+}
+
+Graph GammaTree(NodeId gamma, NodeId depth) {
+  const std::size_t n = GammaTreeSize(gamma, depth);
+  KCORE_CHECK_MSG(n < static_cast<std::size_t>(kInvalidNode),
+                  "gamma tree too large");
+  GraphBuilder b(static_cast<NodeId>(n));
+  // Node 0 is the root; children of node v are gamma*v + 1 ... gamma*v+gamma
+  // (heap layout), valid because the tree is complete.
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId c = 1; c <= gamma; ++c) {
+      const std::size_t child =
+          static_cast<std::size_t>(gamma) * v + c;
+      if (child < n) b.AddEdge(v, static_cast<NodeId>(child), 1.0);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Graph GammaTreeWithLeafClique(NodeId gamma, NodeId depth) {
+  const std::size_t n = GammaTreeSize(gamma, depth);
+  const std::size_t leaves_start = GammaTreeSize(gamma, depth - 1);
+  GraphBuilder b(static_cast<NodeId>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId c = 1; c <= gamma; ++c) {
+      const std::size_t child = static_cast<std::size_t>(gamma) * v + c;
+      if (child < n) b.AddEdge(v, static_cast<NodeId>(child), 1.0);
+    }
+  }
+  // Clique on the leaves (the last level). Lemma III.13 requires at least
+  // 2*gamma + 1 leaves so the clique alone forces coreness >= gamma.
+  KCORE_CHECK_MSG(n - leaves_start >= 2u * gamma + 1,
+                  "need >= 2*gamma+1 leaves; increase depth");
+  for (std::size_t i = leaves_start; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j), 1.0);
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace kcore::graph

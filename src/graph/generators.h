@@ -1,0 +1,148 @@
+// Graph generators.
+//
+// Two families:
+//   1. Synthetic models standing in for the real-world datasets of the
+//      paper's full-version experiments (Barabási–Albert, Erdős–Rényi,
+//      RMAT/Kronecker, power-law configuration, planted communities,
+//      Watts–Strogatz, random geometric). The empirical claim under test —
+//      fast convergence of the elimination procedure on heavy-tailed
+//      graphs — depends on degree structure, which these models provide.
+//   2. The paper's lower-bound gadgets: Figure I.1 graphs (a)(b)(c) and
+//      the Lemma III.13 γ-ary tree with/without a leaf clique.
+//
+// All generators are deterministic given the Rng, and never produce
+// self-loops or parallel edges unless explicitly stated.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace kcore::graph {
+
+// --- Deterministic base shapes -------------------------------------------
+
+// Path v0 - v1 - ... - v{n-1}.
+Graph Path(NodeId n, double w = 1.0);
+
+// Cycle on n >= 3 nodes.
+Graph Cycle(NodeId n, double w = 1.0);
+
+// Star: center 0 connected to 1..n-1.
+Graph Star(NodeId n, double w = 1.0);
+
+// Complete graph K_n.
+Graph Complete(NodeId n, double w = 1.0);
+
+// Complete bipartite K_{a,b}; left part is [0,a), right part [a,a+b).
+Graph CompleteBipartite(NodeId a, NodeId b, double w = 1.0);
+
+// rows x cols grid, 4-neighborhood.
+Graph Grid(NodeId rows, NodeId cols, double w = 1.0);
+
+// --- Random models --------------------------------------------------------
+
+// Erdős–Rényi G(n, p): every pair independently with probability p.
+// Uses geometric skipping, O(n + m) expected time.
+Graph ErdosRenyiGnp(NodeId n, double p, util::Rng& rng);
+
+// Erdős–Rényi G(n, m): exactly m distinct edges drawn uniformly.
+Graph ErdosRenyiGnm(NodeId n, std::size_t m, util::Rng& rng);
+
+// Barabási–Albert preferential attachment: each new node attaches to
+// `attach` distinct existing nodes with probability proportional to degree.
+// Produces a connected heavy-tailed graph (our stand-in for social
+// networks / collaboration graphs).
+Graph BarabasiAlbert(NodeId n, NodeId attach, util::Rng& rng);
+
+// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+// side, each edge rewired with probability beta.
+Graph WattsStrogatz(NodeId n, NodeId k, double beta, util::Rng& rng);
+
+// Configuration-model graph with power-law degree distribution
+// P(deg = d) ~ d^-alpha for d in [d_min, d_max]; simple (collisions and
+// self-loops dropped), our stand-in for web-crawl-like graphs.
+Graph PowerLawConfiguration(NodeId n, double alpha, NodeId d_min,
+                            NodeId d_max, util::Rng& rng);
+
+// RMAT / Kronecker-style generator (scale = log2 n, avg_degree edges per
+// node, standard (a,b,c,d) partition probabilities). Duplicates and
+// self-loops are dropped.
+Graph Rmat(int scale, double avg_degree, double a, double b, double c,
+           util::Rng& rng);
+
+// Planted-partition ("community") graph: `communities` equal-size blocks,
+// intra-block edge probability p_in, inter-block probability p_out.
+// Stand-in for ground-truth-community social graphs.
+Graph PlantedPartition(NodeId n, NodeId communities, double p_in,
+                       double p_out, util::Rng& rng);
+
+// Random geometric graph in the unit square: nodes connected iff within
+// Euclidean distance `radius`.
+Graph RandomGeometric(NodeId n, double radius, util::Rng& rng);
+
+// --- Weight assignment ----------------------------------------------------
+
+// Returns a copy of g with every edge weight drawn uniformly in [lo, hi).
+Graph WithUniformWeights(const Graph& g, double lo, double hi,
+                         util::Rng& rng);
+
+// Returns a copy with Pareto(x_min, alpha) weights (heavy-tailed loads,
+// matching the telecom-design motivation of the orientation problem).
+Graph WithParetoWeights(const Graph& g, double x_min, double alpha,
+                        util::Rng& rng);
+
+// Returns a copy with integer weights drawn uniformly from [1, max_w].
+Graph WithIntegerWeights(const Graph& g, int max_w, util::Rng& rng);
+
+// Returns a copy with uniformly random DYADIC weights (multiples of
+// 2^-bits) in [lo, hi]. Sums of dyadic doubles of bounded magnitude are
+// exact regardless of summation order, which matters for the orientation
+// invariants (Definition III.7): the paper's Lemma III.11 argument relies
+// on exact value equalities across nodes — guaranteed for integer/dyadic
+// weights, but not for arbitrary reals under floating point (the paper
+// itself notes that "in most useful applications, each edge weight is an
+// integer").
+Graph WithDyadicWeights(const Graph& g, double lo, double hi, util::Rng& rng,
+                        int bits = 6);
+
+// Quantizes existing weights down to multiples of 2^-bits (minimum one
+// quantum, so positive weights stay positive).
+Graph QuantizeWeightsDyadic(const Graph& g, int bits = 6);
+
+// --- Paper lower-bound gadgets --------------------------------------------
+
+// Figure I.1(a): a cycle C_n. Every node (in particular the distinguished
+// node 0) has coreness 2; any orientation of a cycle achieves max
+// in-degree 1 but node 0's *local* view is identical to a path.
+Graph Fig1a(NodeId n);
+
+// Figure I.1(b): a path P_n. Every node has coreness 1 and the optimal
+// orientation has max in-degree 1. Locally indistinguishable from (a)
+// around the middle node for ~n/2 rounds.
+Graph Fig1b(NodeId n);
+
+// Figure I.1(c): a path with a triangle planted at one end. Nodes in the
+// triangle have coreness 2; the distinguished node at the far end still
+// has coreness 1, yet cannot distinguish (c) from (a) in o(n) rounds.
+Graph Fig1c(NodeId n);
+
+// The distinguished node v of the Figure I.1 family (the "middle" node in
+// (a)/(b), the far endpoint in (c)); chosen so its T-hop view is identical
+// across the family for T < n/2 - 2.
+NodeId Fig1DistinguishedNode(NodeId n);
+
+// Lemma III.13: complete γ-ary tree of the given depth (root = node 0).
+// Coreness of every node is 1.
+Graph GammaTree(NodeId gamma, NodeId depth);
+
+// Lemma III.13: the same tree with a clique planted on its leaves. Every
+// node then has degree >= γ, hence coreness(root) >= γ, while the root's
+// T-hop view for T < depth equals the plain tree's.
+Graph GammaTreeWithLeafClique(NodeId gamma, NodeId depth);
+
+// Number of nodes of the complete γ-ary tree with the given depth.
+std::size_t GammaTreeSize(NodeId gamma, NodeId depth);
+
+}  // namespace kcore::graph

@@ -1,0 +1,169 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace kcore::graph {
+
+GraphBuilder& GraphBuilder::AddEdge(NodeId u, NodeId v, double w) {
+  KCORE_CHECK_MSG(u < n_ && v < n_,
+                  "edge (" << u << "," << v << ") out of range, n=" << n_);
+  KCORE_CHECK_MSG(w >= 0.0, "negative edge weight " << w);
+  edges_.push_back(Edge{u, v, w});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::MergeParallel() {
+  // Key on the unordered endpoint pair packed into 64 bits.
+  std::unordered_map<std::uint64_t, double> acc;
+  acc.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    const NodeId a = std::min(e.u, e.v);
+    const NodeId b = std::max(e.u, e.v);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+    acc[key] += e.w;
+  }
+  std::vector<Edge> merged;
+  merged.reserve(acc.size());
+  for (const auto& [key, w] : acc) {
+    merged.push_back(Edge{static_cast<NodeId>(key >> 32),
+                          static_cast<NodeId>(key & 0xffffffffu), w});
+  }
+  // Deterministic order regardless of hash iteration.
+  std::sort(merged.begin(), merged.end(), [](const Edge& x, const Edge& y) {
+    return x.u != y.u ? x.u < y.u : x.v < y.v;
+  });
+  edges_ = std::move(merged);
+  return *this;
+}
+
+Graph GraphBuilder::Build() && {
+  Graph g;
+  g.n_ = n_;
+  g.edges_ = std::move(edges_);
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  g.wdeg_.assign(n_, 0.0);
+  g.self_w_.assign(n_, 0.0);
+
+  // Counting pass: one adjacency slot per endpoint, one for a self-loop.
+  for (const Edge& e : g.edges_) {
+    if (e.u == e.v) {
+      g.offsets_[e.u + 1] += 1;
+      g.self_w_[e.u] += e.w;
+      g.has_self_loops_ = true;
+    } else {
+      g.offsets_[e.u + 1] += 1;
+      g.offsets_[e.v + 1] += 1;
+    }
+    g.total_weight_ += e.w;
+  }
+  for (NodeId v = 0; v < n_; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  g.adj_.resize(g.offsets_[n_]);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId i = 0; i < g.edges_.size(); ++i) {
+    const Edge& e = g.edges_[i];
+    if (e.u == e.v) {
+      g.adj_[cursor[e.u]++] = AdjEntry{e.v, e.w, i};
+    } else {
+      g.adj_[cursor[e.u]++] = AdjEntry{e.v, e.w, i};
+      g.adj_[cursor[e.v]++] = AdjEntry{e.u, e.w, i};
+    }
+    g.wdeg_[e.u] += e.w;
+    if (e.u != e.v) g.wdeg_[e.v] += e.w;
+  }
+
+  // Sort each adjacency list by neighbor id: algorithms that rely on a
+  // deterministic neighbor order (tie-breaking in Update) get it for free.
+  for (NodeId v = 0; v < n_; ++v) {
+    std::sort(g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]),
+              [](const AdjEntry& a, const AdjEntry& b) {
+                return a.to != b.to ? a.to < b.to : a.edge < b.edge;
+              });
+  }
+  return g;
+}
+
+std::size_t Graph::MaxDegree() const {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < n_; ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+double Graph::MaxWeightedDegree() const {
+  double best = 0.0;
+  for (NodeId v = 0; v < n_; ++v) best = std::max(best, wdeg_[v]);
+  return best;
+}
+
+double Graph::Density() const {
+  if (n_ == 0) return 0.0;
+  return total_weight_ / static_cast<double>(n_);
+}
+
+double Graph::InducedEdgeWeight(std::span<const char> in_set) const {
+  KCORE_CHECK(in_set.size() == n_);
+  double w = 0.0;
+  for (const Edge& e : edges_) {
+    if (in_set[e.u] && in_set[e.v]) w += e.w;
+  }
+  return w;
+}
+
+double Graph::InducedDensity(std::span<const char> in_set) const {
+  KCORE_CHECK(in_set.size() == n_);
+  std::size_t size = 0;
+  for (NodeId v = 0; v < n_; ++v) size += in_set[v] ? 1 : 0;
+  if (size == 0) return 0.0;
+  return InducedEdgeWeight(in_set) / static_cast<double>(size);
+}
+
+bool Graph::IsSimple() const {
+  if (has_self_loops_) return false;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    const NodeId a = std::min(e.u, e.v);
+    const NodeId b = std::max(e.u, e.v);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+    if (!seen.insert(key).second) return false;
+  }
+  return true;
+}
+
+std::string Graph::DebugString(std::size_t max_edges) const {
+  std::ostringstream os;
+  os << "Graph(n=" << n_ << ", m=" << edges_.size()
+     << ", w=" << total_weight_ << ")";
+  for (std::size_t i = 0; i < edges_.size() && i < max_edges; ++i) {
+    os << "\n  " << edges_[i].u << " -- " << edges_[i].v << " ("
+       << edges_[i].w << ")";
+  }
+  if (edges_.size() > max_edges) os << "\n  ...";
+  return os.str();
+}
+
+Graph InducedSubgraph(const Graph& g, std::span<const char> in_set,
+                      std::vector<NodeId>* old_to_new) {
+  KCORE_CHECK(in_set.size() == g.num_nodes());
+  std::vector<NodeId> map(g.num_nodes(), kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_set[v]) map[v] = next++;
+  }
+  GraphBuilder b(next);
+  for (const Edge& e : g.edges()) {
+    if (in_set[e.u] && in_set[e.v]) b.AddEdge(map[e.u], map[e.v], e.w);
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return std::move(b).Build();
+}
+
+}  // namespace kcore::graph

@@ -1,0 +1,35 @@
+// Edge-list file I/O (SNAP-compatible).
+//
+// Format: one edge per line, "u v [w]", '#' or '%' starts a comment line.
+// Node ids in a file may be sparse; the reader remaps them densely and can
+// return the mapping. The writer emits "u v w" lines.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::graph {
+
+struct LoadResult {
+  Graph graph;
+  // dense id -> original id from the file.
+  std::vector<std::uint64_t> original_ids;
+};
+
+// Reads an edge list; returns std::nullopt (and logs) on I/O or parse
+// errors. Missing weights default to 1. Self-loops are kept; duplicate
+// lines produce parallel edges unless merge_parallel is set.
+std::optional<LoadResult> LoadEdgeList(const std::string& path,
+                                       bool merge_parallel = true);
+
+// Parses an edge list from a string (same format). Used by tests.
+std::optional<LoadResult> ParseEdgeList(const std::string& text,
+                                        bool merge_parallel = true);
+
+// Writes "u v w" lines; returns false on I/O failure.
+bool SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace kcore::graph

@@ -1,0 +1,36 @@
+#include "graph/quotient.h"
+
+#include "util/logging.h"
+
+namespace kcore::graph {
+
+QuotientResult QuotientGraph(const Graph& g, std::span<const char> remove) {
+  KCORE_CHECK(remove.size() == g.num_nodes());
+  QuotientResult out;
+  out.old_to_new.assign(g.num_nodes(), kInvalidNode);
+  NodeId next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!remove[v]) {
+      out.old_to_new[v] = next++;
+      out.new_to_old.push_back(v);
+    }
+  }
+  GraphBuilder b(next);
+  for (const Edge& e : g.edges()) {
+    const bool ku = !remove[e.u];
+    const bool kv = !remove[e.v];
+    if (ku && kv) {
+      b.AddEdge(out.old_to_new[e.u], out.old_to_new[e.v], e.w);
+    } else if (ku) {
+      b.AddEdge(out.old_to_new[e.u], out.old_to_new[e.u], e.w);
+    } else if (kv) {
+      b.AddEdge(out.old_to_new[e.v], out.old_to_new[e.v], e.w);
+    }
+    // Both endpoints removed: the edge vanishes (e ∩ V̂ = ∅).
+  }
+  b.MergeParallel();
+  out.graph = std::move(b).Build();
+  return out;
+}
+
+}  // namespace kcore::graph

@@ -1,0 +1,28 @@
+// Quotient graph (Definition II.2 of the paper).
+//
+// Given G = (V, E, w) and B ⊆ V, the quotient G\B keeps V̂ = V \ B and maps
+// every edge e ∈ E with e ∩ V̂ ≠ ∅ to e ∩ V̂: an edge with both endpoints
+// surviving stays an edge, an edge with exactly one surviving endpoint v
+// becomes a self-loop {v}, and parallel images are merged with summed
+// weight (Ê is a set; ŵ(e') = Σ_{e: e∩V̂ = e'} w(e)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::graph {
+
+struct QuotientResult {
+  Graph graph;
+  // old node id -> new node id (kInvalidNode for removed nodes).
+  std::vector<NodeId> old_to_new;
+  // new node id -> old node id.
+  std::vector<NodeId> new_to_old;
+};
+
+// Removes the nodes with remove[v] != 0 and returns the quotient graph.
+QuotientResult QuotientGraph(const Graph& g, std::span<const char> remove);
+
+}  // namespace kcore::graph

@@ -1,0 +1,52 @@
+// Hypergraph elimination machinery (Hu-Wu-Chan style, generalizing
+// Sections III-IV of the paper to rank-r hypergraphs).
+//
+// Degree of v in survivor set A: sum of w(e) over incident e with ALL
+// members in A. The elimination procedure, surviving numbers and the
+// compact per-node update carry over with one change: the "value" a
+// hyperedge contributes to v's update is min over its OTHER members'
+// surviving numbers (an edge survives threshold b iff every member does).
+//
+// Theory transplanted (and tested):
+//   * beta^T(v) >= c_H(v)                           (Lemma III.2 analog)
+//   * max_v beta^T(v) <= r * n^{1/T} * rho*         (Lemma III.3 analog:
+//     sum_{v in A} deg_A(v) <= r * w(E(A)) replaces the factor 2)
+//   * greedy peeling is an r(1+eps)-approx densest  (Charikar analog)
+#pragma once
+
+#include <vector>
+
+#include "hyper/hypergraph.h"
+
+namespace kcore::hyper {
+
+// Exact hypergraph coreness: peel the min-degree node; removing a node
+// destroys all its incident edges. c_H(v) = running max of the minimum
+// degree at removal.
+std::vector<double> HyperCoreness(const Hypergraph& h);
+
+// Surviving numbers after `rounds` synchronous iterations of the compact
+// elimination (values = min over co-members, Algorithm 3 update).
+std::vector<double> HyperSurvivingNumbers(const Hypergraph& h, int rounds);
+
+struct HyperDensestResult {
+  std::vector<char> in_set;
+  double density = 0.0;
+  int iterations = 0;
+};
+
+// Exact maximal densest subset via max-weight closure + Dinkelbach
+// (hyperedge node -> every member).
+HyperDensestResult HyperDensestExact(const Hypergraph& h);
+
+// Greedy peeling densest (rank-r analog of Charikar; factor r).
+HyperDensestResult HyperDensestGreedy(const Hypergraph& h);
+
+// Brute-force densest for tests (n <= 20).
+HyperDensestResult HyperDensestBrute(const Hypergraph& h);
+
+// Brute-force coreness for tests (n <= 16): max over subsets containing v
+// of the min induced degree.
+std::vector<double> HyperCorenessBrute(const Hypergraph& h);
+
+}  // namespace kcore::hyper

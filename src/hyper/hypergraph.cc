@@ -1,0 +1,98 @@
+#include "hyper/hypergraph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace kcore::hyper {
+
+HypergraphBuilder& HypergraphBuilder::AddEdge(std::vector<NodeId> nodes,
+                                              double w) {
+  KCORE_CHECK_MSG(!nodes.empty(), "empty hyperedge");
+  KCORE_CHECK_MSG(w >= 0.0, "negative hyperedge weight");
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  for (NodeId v : nodes) {
+    KCORE_CHECK_MSG(v < n_, "hyperedge node out of range");
+  }
+  edges_.push_back(HEdge{std::move(nodes), w});
+  return *this;
+}
+
+Hypergraph HypergraphBuilder::Build() && {
+  Hypergraph h;
+  h.n_ = n_;
+  h.edges_ = std::move(edges_);
+  h.off_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  h.deg_.assign(n_, 0.0);
+  for (const HEdge& e : h.edges_) {
+    h.rank_ = std::max(h.rank_, e.nodes.size());
+    h.total_weight_ += e.w;
+    for (NodeId v : e.nodes) {
+      ++h.off_[v + 1];
+      h.deg_[v] += e.w;
+    }
+  }
+  for (NodeId v = 0; v < n_; ++v) h.off_[v + 1] += h.off_[v];
+  h.inc_.resize(h.off_[n_]);
+  std::vector<std::size_t> cursor(h.off_.begin(), h.off_.end() - 1);
+  for (EdgeId e = 0; e < h.edges_.size(); ++e) {
+    for (NodeId v : h.edges_[e].nodes) h.inc_[cursor[v]++] = e;
+  }
+  return h;
+}
+
+double Hypergraph::InducedEdgeWeight(std::span<const char> in_set) const {
+  KCORE_CHECK(in_set.size() == n_);
+  double w = 0.0;
+  for (const HEdge& e : edges_) {
+    bool inside = true;
+    for (NodeId v : e.nodes) {
+      if (!in_set[v]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) w += e.w;
+  }
+  return w;
+}
+
+double Hypergraph::InducedDensity(std::span<const char> in_set) const {
+  std::size_t size = 0;
+  for (char c : in_set) size += c ? 1 : 0;
+  if (size == 0) return 0.0;
+  return InducedEdgeWeight(in_set) / static_cast<double>(size);
+}
+
+Hypergraph FromGraph(const graph::Graph& g) {
+  HypergraphBuilder b(g.num_nodes());
+  for (const graph::Edge& e : g.edges()) {
+    if (e.u == e.v) {
+      b.AddEdge({e.u}, e.w);
+    } else {
+      b.AddEdge({e.u, e.v}, e.w);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Hypergraph RandomUniform(NodeId n, std::size_t m, std::size_t r,
+                         util::Rng& rng) {
+  KCORE_CHECK(r >= 1 && r <= n);
+  HypergraphBuilder b(n);
+  std::vector<NodeId> members;
+  for (std::size_t e = 0; e < m; ++e) {
+    members.clear();
+    while (members.size() < r) {
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+      if (std::find(members.begin(), members.end(), v) == members.end()) {
+        members.push_back(v);
+      }
+    }
+    b.AddEdge(members, 1.0);
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace kcore::hyper

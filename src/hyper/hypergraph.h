@@ -1,0 +1,87 @@
+// Weighted hypergraph substrate.
+//
+// The paper's Lemma III.3 proof is adapted from Hu, Wu, Chan (CIKM 2017),
+// which works on hypergraphs; this module materializes that
+// generalization: the elimination procedure, surviving numbers, coreness
+// and densest-subset machinery where an edge e is a node SET and counts
+// toward w(E(S)) iff e ⊆ S (so removing any member destroys the edge for
+// everyone). For rank-2 hypergraphs everything degenerates to the graph
+// case (tested).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace kcore::hyper {
+
+using NodeId = graph::NodeId;
+using EdgeId = graph::EdgeId;
+
+struct HEdge {
+  std::vector<NodeId> nodes;  // distinct, sorted
+  double w = 1.0;
+};
+
+class HypergraphBuilder;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  NodeId num_nodes() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  const HEdge& edge(EdgeId e) const { return edges_[e]; }
+  std::span<const HEdge> edges() const { return edges_; }
+  double total_weight() const { return total_weight_; }
+
+  // Incident edge ids of v.
+  std::span<const EdgeId> IncidentEdges(NodeId v) const {
+    return {inc_.data() + off_[v], inc_.data() + off_[v + 1]};
+  }
+
+  // Weighted degree: sum of w(e) over e containing v.
+  double WeightedDegree(NodeId v) const { return deg_[v]; }
+
+  // Maximum edge cardinality (the rank r).
+  std::size_t Rank() const { return rank_; }
+
+  // Density of S: sum of w(e) over e fully inside S, divided by |S|.
+  double InducedDensity(std::span<const char> in_set) const;
+  double InducedEdgeWeight(std::span<const char> in_set) const;
+
+ private:
+  friend class HypergraphBuilder;
+  NodeId n_ = 0;
+  std::vector<HEdge> edges_;
+  std::vector<std::size_t> off_;
+  std::vector<EdgeId> inc_;
+  std::vector<double> deg_;
+  double total_weight_ = 0.0;
+  std::size_t rank_ = 0;
+};
+
+class HypergraphBuilder {
+ public:
+  explicit HypergraphBuilder(NodeId n) : n_(n) {}
+  // Duplicate nodes within an edge are collapsed; empty edges rejected.
+  HypergraphBuilder& AddEdge(std::vector<NodeId> nodes, double w = 1.0);
+  Hypergraph Build() &&;
+
+ private:
+  NodeId n_;
+  std::vector<HEdge> edges_;
+};
+
+// Every graph is a rank-<=2 hypergraph.
+Hypergraph FromGraph(const graph::Graph& g);
+
+// Random r-uniform hypergraph with m edges (distinct member sets not
+// enforced; duplicates are legitimate parallel hyperedges).
+Hypergraph RandomUniform(NodeId n, std::size_t m, std::size_t r,
+                         util::Rng& rng);
+
+}  // namespace kcore::hyper

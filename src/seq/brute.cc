@@ -1,0 +1,150 @@
+#include "seq/brute.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/quotient.h"
+#include "util/logging.h"
+
+namespace kcore::seq {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<char> EliminationFixpoint(const Graph& g, double b,
+                                      int max_rounds) {
+  const NodeId n = g.num_nodes();
+  std::vector<char> alive(n, 1);
+  std::vector<double> deg(n);
+  for (NodeId v = 0; v < n; ++v) deg[v] = g.WeightedDegree(v);
+  int round = 0;
+  while (max_rounds < 0 || round < max_rounds) {
+    ++round;
+    // Synchronous semantics: mark against the degrees at round start.
+    std::vector<NodeId> killed;
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] && deg[v] < b) killed.push_back(v);
+    }
+    if (killed.empty()) break;
+    for (NodeId v : killed) alive[v] = 0;
+    for (NodeId v : killed) {
+      for (const auto& a : g.Neighbors(v)) {
+        if (a.to != v && alive[a.to]) deg[a.to] -= a.w;
+      }
+    }
+  }
+  return alive;
+}
+
+BruteDensestResult BruteDensestSubset(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  KCORE_CHECK_MSG(n >= 1 && n <= 24, "brute densest needs 1 <= n <= 24");
+  const std::uint32_t limit = 1u << n;
+  // Precompute endpoint masks.
+  BruteDensestResult out;
+  double best = -1.0;
+  std::uint32_t best_mask = 0;
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    double w = 0.0;
+    for (const Edge& e : g.edges()) {
+      if ((mask >> e.u & 1u) && (mask >> e.v & 1u)) w += e.w;
+    }
+    const double density = w / static_cast<double>(__builtin_popcount(mask));
+    // Strictly better density wins; at equal density prefer the superset /
+    // larger set so we return the *maximal* densest subset (unique by
+    // Fact II.1).
+    if (density > best + 1e-12 ||
+        (density > best - 1e-12 &&
+         __builtin_popcount(mask) > __builtin_popcount(best_mask))) {
+      best = density;
+      best_mask = mask;
+    }
+  }
+  out.in_set.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) out.in_set[v] = (best_mask >> v) & 1u;
+  out.density = best;
+  return out;
+}
+
+std::vector<double> BruteCoreness(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  KCORE_CHECK_MSG(n >= 1 && n <= 20, "brute coreness needs n <= 20");
+  std::vector<double> core(n, 0.0);
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    // Minimum induced weighted degree of the subset.
+    double min_deg = std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!(mask >> v & 1u)) continue;
+      double d = 0.0;
+      for (const auto& a : g.Neighbors(v)) {
+        if (a.to == v || (mask >> a.to & 1u)) d += a.w;
+      }
+      min_deg = std::min(min_deg, d);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if ((mask >> v & 1u) && min_deg > core[v]) core[v] = min_deg;
+    }
+  }
+  return core;
+}
+
+std::vector<double> BruteMaximalDensities(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> r(n, 0.0);
+  Graph cur = g;
+  std::vector<NodeId> to_orig(n);
+  for (NodeId v = 0; v < n; ++v) to_orig[v] = v;
+  while (cur.num_nodes() > 0) {
+    const BruteDensestResult layer = BruteDensestSubset(cur);
+    std::size_t size = 0;
+    for (NodeId v = 0; v < cur.num_nodes(); ++v) {
+      if (layer.in_set[v]) {
+        r[to_orig[v]] = layer.density;
+        ++size;
+      }
+    }
+    KCORE_CHECK(size > 0);
+    if (size == cur.num_nodes()) break;
+    graph::QuotientResult q = graph::QuotientGraph(cur, layer.in_set);
+    std::vector<NodeId> next(q.graph.num_nodes());
+    for (NodeId v = 0; v < q.graph.num_nodes(); ++v) {
+      next[v] = to_orig[q.new_to_old[v]];
+    }
+    cur = std::move(q.graph);
+    to_orig = std::move(next);
+  }
+  return r;
+}
+
+double BruteMinMaxOrientation(const Graph& g) {
+  // Self-loops are forced; enumerate the rest.
+  std::vector<graph::EdgeId> free_edges;
+  std::vector<double> base_load(g.num_nodes(), 0.0);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (edge.u == edge.v) {
+      base_load[edge.u] += edge.w;
+    } else {
+      free_edges.push_back(e);
+    }
+  }
+  KCORE_CHECK_MSG(free_edges.size() <= 22, "brute orientation needs m <= 22");
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint32_t limit = 1u << free_edges.size();
+  std::vector<double> load(g.num_nodes());
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    load = base_load;
+    for (std::size_t i = 0; i < free_edges.size(); ++i) {
+      const Edge& edge = g.edge(free_edges[i]);
+      load[(mask >> i & 1u) ? edge.u : edge.v] += edge.w;
+    }
+    double mx = 0.0;
+    for (double l : load) mx = std::max(mx, l);
+    best = std::min(best, mx);
+  }
+  return best;
+}
+
+}  // namespace kcore::seq

@@ -1,0 +1,40 @@
+// Brute-force oracles for tiny graphs.
+//
+// These are deliberately naive (exponential) reference implementations
+// used by the test suite to validate the polynomial solvers and the
+// distributed protocols on exhaustive / randomized small instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::seq {
+
+// Runs the single-threshold elimination procedure (Algorithm 1) centrally
+// until fixpoint (or `max_rounds`). Returns the surviving-node indicator.
+// A node survives iff its weighted degree among survivors stays >= b.
+std::vector<char> EliminationFixpoint(const graph::Graph& g, double b,
+                                      int max_rounds = -1);
+
+// Exact densest subset by subset enumeration (requires n <= 24).
+struct BruteDensestResult {
+  std::vector<char> in_set;  // the maximal densest subset
+  double density = 0.0;
+};
+BruteDensestResult BruteDensestSubset(const graph::Graph& g);
+
+// Exact weighted coreness by definition: c(v) = max over subsets S
+// containing v of the minimum induced weighted degree (requires n <= 20).
+std::vector<double> BruteCoreness(const graph::Graph& g);
+
+// Exact maximal densities by running the diminishingly-dense
+// decomposition with the brute densest oracle (requires n <= 24).
+std::vector<double> BruteMaximalDensities(const graph::Graph& g);
+
+// Exact min-max orientation by enumerating all 2^m orientations
+// (requires num_edges <= 22). Returns the optimal max weighted in-degree.
+double BruteMinMaxOrientation(const graph::Graph& g);
+
+}  // namespace kcore::seq

@@ -1,0 +1,63 @@
+#include "seq/charikar.h"
+
+#include "seq/kcore.h"
+#include "util/logging.h"
+
+namespace kcore::seq {
+
+using graph::Graph;
+using graph::NodeId;
+
+CharikarResult CharikarDensest(const Graph& g) {
+  CharikarResult out;
+  const NodeId n = g.num_nodes();
+  out.in_set.assign(n, 0);
+  if (n == 0) return out;
+
+  // Reuse the weighted peeling order: peeling a min-degree node removes
+  // edge weight equal to its current weighted degree (self-loop included
+  // exactly once), so we can replay densities backward from the order.
+  const WeightedCorenessResult peel = WeightedCorenessWithOrder(g);
+
+  // Replay: density of the suffix starting at position i.
+  double w_remaining = g.total_weight();
+  double best_density = -1.0;
+  std::size_t best_start = 0;
+  std::vector<double> deg(n);
+  for (NodeId v = 0; v < n; ++v) deg[v] = g.WeightedDegree(v);
+
+  std::vector<double> removed_weight(n, 0.0);
+  {
+    // Recompute the weight removed at each peel step by replaying.
+    std::vector<char> gone(n, 0);
+    std::vector<double> cur(deg);
+    for (std::size_t i = 0; i < peel.peel_order.size(); ++i) {
+      const NodeId v = peel.peel_order[i];
+      removed_weight[i] = cur[v];
+      gone[v] = 1;
+      for (const auto& a : g.Neighbors(v)) {
+        if (a.to != v && !gone[a.to]) cur[a.to] -= a.w;
+      }
+    }
+  }
+
+  const std::size_t total = peel.peel_order.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    const double density =
+        w_remaining / static_cast<double>(total - i);
+    if (density > best_density) {
+      best_density = density;
+      best_start = i;
+    }
+    w_remaining -= removed_weight[i];
+  }
+
+  for (std::size_t i = best_start; i < total; ++i) {
+    out.in_set[peel.peel_order[i]] = 1;
+  }
+  out.density = best_density;
+  out.size = total - best_start;
+  return out;
+}
+
+}  // namespace kcore::seq

@@ -1,0 +1,23 @@
+// Charikar's greedy 2-approximation for the densest subset.
+//
+// Repeatedly peel the minimum-weighted-degree node; return the prefix
+// (suffix of the peeling) with the highest density. Guarantees
+// rho(S) >= rho*/2 on weighted graphs with self-loops. Serves as the
+// centralized comparison point for the distributed weak-densest algorithm.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::seq {
+
+struct CharikarResult {
+  std::vector<char> in_set;  // indicator of the returned subset
+  double density = 0.0;
+  std::size_t size = 0;
+};
+
+CharikarResult CharikarDensest(const graph::Graph& g);
+
+}  // namespace kcore::seq

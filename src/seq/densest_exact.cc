@@ -1,0 +1,13 @@
+#include "seq/densest_exact.h"
+
+namespace kcore::seq {
+
+double MaxDensity(const graph::Graph& g) {
+  return flow::MaximalDensestSubset(g).density;
+}
+
+flow::DensestResult MaximalDensestSubset(const graph::Graph& g) {
+  return flow::MaximalDensestSubset(g);
+}
+
+}  // namespace kcore::seq

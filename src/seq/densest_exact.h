@@ -1,0 +1,19 @@
+// Exact densest subset (thin facade over the flow solver) plus helpers
+// used by experiments: rho*, the maximal densest subset, and verification
+// that a candidate subset is within a factor of rho*.
+#pragma once
+
+#include <vector>
+
+#include "flow/densest_flow.h"
+#include "graph/graph.h"
+
+namespace kcore::seq {
+
+// The exact maximum subset density rho* of g (0 for edgeless graphs).
+double MaxDensity(const graph::Graph& g);
+
+// The unique maximal densest subset (Fact II.1) and rho*.
+flow::DensestResult MaximalDensestSubset(const graph::Graph& g);
+
+}  // namespace kcore::seq

@@ -1,0 +1,124 @@
+#include "seq/kcore.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace kcore::seq {
+
+using graph::AdjEntry;
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<std::uint32_t> UnweightedCoreness(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::uint32_t>(g.Degree(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // Bucket sort nodes by degree (Batagelj-Zaversnik).
+  std::vector<std::uint32_t> bin(max_deg + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bin[deg[v]];
+  std::uint32_t start = 0;
+  for (std::uint32_t d = 0; d <= max_deg; ++d) {
+    const std::uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> vert(n);
+  std::vector<std::uint32_t> pos(n);
+  {
+    std::vector<std::uint32_t> cursor(bin.begin(), bin.end());
+    for (NodeId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]];
+      vert[pos[v]] = v;
+      ++cursor[deg[v]];
+    }
+  }
+
+  std::vector<std::uint32_t> core(deg);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId v = vert[i];
+    core[v] = deg[v];
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      const NodeId u = a.to;
+      if (u == v) continue;  // self-loop: vanishes with v itself
+      if (deg[u] > deg[v]) {
+        // Swap u toward the front of its bucket, then shrink its degree.
+        const std::uint32_t du = deg[u];
+        const std::uint32_t pu = pos[u];
+        const std::uint32_t pw = bin[du];
+        const NodeId w = vert[pw];
+        if (u != w) {
+          pos[u] = pw;
+          pos[w] = pu;
+          vert[pu] = w;
+          vert[pw] = u;
+        }
+        ++bin[du];
+        --deg[u];
+      }
+    }
+  }
+  // Coreness is the running max of the min degree at peel time; the BZ
+  // invariant guarantees deg[v] at peel time is already that max, but a
+  // final monotone pass makes the result robust to duplicate degrees.
+  std::uint32_t running = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId v = vert[i];
+    running = std::max(running, core[v]);
+    core[v] = running;
+  }
+  return core;
+}
+
+WeightedCorenessResult WeightedCorenessWithOrder(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  WeightedCorenessResult out;
+  out.coreness.assign(n, 0.0);
+  out.peel_order.reserve(n);
+
+  std::vector<double> deg(n);
+  for (NodeId v = 0; v < n; ++v) deg[v] = g.WeightedDegree(v);
+
+  // Lazy-deletion min-heap of (degree, node).
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (NodeId v = 0; v < n; ++v) heap.emplace(deg[v], v);
+
+  std::vector<char> removed(n, 0);
+  double running_max = 0.0;
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (removed[v] || d != deg[v]) continue;  // stale entry
+    removed[v] = 1;
+    running_max = std::max(running_max, d);
+    out.coreness[v] = running_max;
+    out.peel_order.push_back(v);
+    for (const AdjEntry& a : g.Neighbors(v)) {
+      if (a.to == v || removed[a.to]) continue;
+      deg[a.to] -= a.w;
+      // Clamp tiny negative residue from floating point cancellation.
+      if (deg[a.to] < 0.0 && deg[a.to] > -1e-9) deg[a.to] = 0.0;
+      heap.emplace(deg[a.to], a.to);
+    }
+  }
+  return out;
+}
+
+std::vector<double> WeightedCoreness(const Graph& g) {
+  return WeightedCorenessWithOrder(g).coreness;
+}
+
+std::uint32_t Degeneracy(const Graph& g) {
+  std::uint32_t best = 0;
+  for (std::uint32_t c : UnweightedCoreness(g)) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace kcore::seq

@@ -1,0 +1,42 @@
+// Exact (centralized) core decomposition.
+//
+// Two reference implementations:
+//   * UnweightedCoreness — Batagelj–Zaversnik bucket peeling, O(n + m),
+//     for unit-weight graphs (every adjacency entry counts 1).
+//   * WeightedCoreness  — heap-based min-peeling, O(m log n), for arbitrary
+//     non-negative weights.
+//
+// Both return c(v) = the largest k such that v belongs to a subgraph of
+// minimum (weighted) degree >= k, computed via the standard degeneracy
+// argument: peel a minimum-degree node, and c(v) is the running maximum of
+// the minimum degree observed at the moment v is peeled. Self-loops
+// contribute their weight to their node's degree (once) and never
+// disappear until the node itself is peeled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::seq {
+
+// Exact coreness for unit-weight graphs (weights are ignored; each
+// adjacency entry, including a self-loop, counts 1 toward the degree).
+std::vector<std::uint32_t> UnweightedCoreness(const graph::Graph& g);
+
+// Exact weighted coreness c(v).
+std::vector<double> WeightedCoreness(const graph::Graph& g);
+
+// Degeneracy (max coreness) of the unit-weight graph.
+std::uint32_t Degeneracy(const graph::Graph& g);
+
+// Peeling order of WeightedCoreness (nodes in the order removed);
+// useful for deterministic downstream processing.
+struct WeightedCorenessResult {
+  std::vector<double> coreness;
+  std::vector<graph::NodeId> peel_order;
+};
+WeightedCorenessResult WeightedCorenessWithOrder(const graph::Graph& g);
+
+}  // namespace kcore::seq

@@ -1,0 +1,64 @@
+#include "seq/local_density.h"
+
+#include "flow/densest_flow.h"
+#include "graph/quotient.h"
+#include "util/logging.h"
+
+namespace kcore::seq {
+
+using graph::Graph;
+using graph::NodeId;
+
+LocalDensityResult DiminishinglyDenseDecomposition(const Graph& g) {
+  LocalDensityResult out;
+  const NodeId n = g.num_nodes();
+  out.max_density.assign(n, 0.0);
+  out.layer.assign(n, 0);
+
+  // current graph + mapping back to original ids.
+  Graph cur = g;  // copy; shrinks every layer
+  std::vector<NodeId> cur_to_orig(n);
+  for (NodeId v = 0; v < n; ++v) cur_to_orig[v] = v;
+
+  double prev_density = -1.0;
+  while (cur.num_nodes() > 0) {
+    const flow::DensestResult layer = flow::MaximalDensestSubset(cur);
+    KCORE_CHECK_MSG(layer.size > 0, "empty layer in decomposition");
+    // Fact II.4: strictly decreasing densities. A tiny tolerance absorbs
+    // floating point noise from the flow solver.
+    if (prev_density >= 0.0) {
+      KCORE_CHECK_MSG(layer.density <= prev_density + 1e-6,
+                      "layer density increased: " << layer.density << " after "
+                                                  << prev_density);
+    }
+    const auto layer_idx = static_cast<std::uint32_t>(out.layer_density.size());
+    out.layer_density.push_back(layer.density);
+    out.layer_size.push_back(static_cast<std::uint32_t>(layer.size));
+    for (NodeId v = 0; v < cur.num_nodes(); ++v) {
+      if (layer.in_set[v]) {
+        out.max_density[cur_to_orig[v]] = layer.density;
+        out.layer[cur_to_orig[v]] = layer_idx;
+      }
+    }
+    prev_density = layer.density;
+
+    if (layer.size == cur.num_nodes()) break;  // everything assigned
+
+    // Quotient out the layer (Definition II.2): cross edges become
+    // self-loops at the surviving endpoint.
+    graph::QuotientResult q = graph::QuotientGraph(cur, layer.in_set);
+    std::vector<NodeId> next_map(q.graph.num_nodes());
+    for (NodeId v = 0; v < q.graph.num_nodes(); ++v) {
+      next_map[v] = cur_to_orig[q.new_to_old[v]];
+    }
+    cur = std::move(q.graph);
+    cur_to_orig = std::move(next_map);
+  }
+  return out;
+}
+
+std::vector<double> MaximalDensities(const Graph& g) {
+  return DiminishinglyDenseDecomposition(g).max_density;
+}
+
+}  // namespace kcore::seq

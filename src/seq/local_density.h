@@ -1,0 +1,35 @@
+// Diminishingly-dense decomposition and exact maximal densities r(v)
+// (Definitions II.2 / II.3 of the paper, following Danisch et al.).
+//
+// Layer i is the maximal densest subset S_i of the quotient graph
+// G_i = G \ B_{i-1}; every node of S_i gets r(v) = rho_{G_i}(S_i). The
+// layer densities are strictly decreasing (Fact II.4) — verified by a
+// KCORE_CHECK and by tests. The decomposition requires exact maximal
+// densest subsets, which come from the flow solver; each round peels at
+// least one node, so it terminates after <= n layers.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::seq {
+
+struct LocalDensityResult {
+  // r(v) for every node.
+  std::vector<double> max_density;
+  // layer[v] = index of the layer containing v (0-based).
+  std::vector<std::uint32_t> layer;
+  // Density of each layer, strictly decreasing.
+  std::vector<double> layer_density;
+  // Size of each layer.
+  std::vector<std::uint32_t> layer_size;
+};
+
+// Exact diminishingly-dense decomposition of g.
+LocalDensityResult DiminishinglyDenseDecomposition(const graph::Graph& g);
+
+// Convenience: just r(v).
+std::vector<double> MaximalDensities(const graph::Graph& g);
+
+}  // namespace kcore::seq

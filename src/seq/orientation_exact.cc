@@ -1,0 +1,176 @@
+#include "seq/orientation_exact.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "flow/densest_flow.h"
+#include "flow/dinic.h"
+#include "seq/densest_exact.h"
+#include "util/logging.h"
+
+namespace kcore::seq {
+
+using graph::Edge;
+using graph::Graph;
+using graph::NodeId;
+
+Orientation MakeOrientation(const Graph& g, std::vector<NodeId> owner) {
+  KCORE_CHECK(owner.size() == g.num_edges());
+  Orientation o;
+  o.owner = std::move(owner);
+  o.loads.assign(g.num_nodes(), 0.0);
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(static_cast<graph::EdgeId>(e));
+    const NodeId to = o.owner[e];
+    KCORE_CHECK_MSG(to == edge.u || to == edge.v,
+                    "owner of edge " << e << " is not an endpoint");
+    o.loads[to] += edge.w;
+  }
+  o.max_load = 0.0;
+  for (double l : o.loads) o.max_load = std::max(o.max_load, l);
+  return o;
+}
+
+namespace {
+
+// Feasibility: can every (non-loop) edge be assigned so each node v takes
+// at most k - forced[v] of them? forced[v] = number of self-loops at v.
+bool FeasibleUnweighted(const Graph& g, std::uint32_t k,
+                        std::vector<NodeId>* owner_out) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> forced(n, 0);
+  std::size_t m_simple = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.u == e.v) {
+      ++forced[e.u];
+    } else {
+      ++m_simple;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (forced[v] > k) return false;
+  }
+
+  // Network: 0 = source, 1 = sink, 2.. = edge nodes, then vertex nodes.
+  const int kSource = 0;
+  const int kSink = 1;
+  const auto vnode = [&](NodeId v) {
+    return 2 + static_cast<int>(m_simple) + static_cast<int>(v);
+  };
+  flow::Dinic dinic(2 + static_cast<int>(m_simple) + static_cast<int>(n));
+
+  std::vector<int> edge_arcs;  // arc id of edge->u arc, for extraction
+  edge_arcs.reserve(2 * m_simple);
+  std::vector<graph::EdgeId> simple_ids;
+  simple_ids.reserve(m_simple);
+  int enode = 2;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (edge.u == edge.v) continue;
+    dinic.AddArc(kSource, enode, 1.0);
+    edge_arcs.push_back(dinic.AddArc(enode, vnode(edge.u), 1.0));
+    edge_arcs.push_back(dinic.AddArc(enode, vnode(edge.v), 1.0));
+    simple_ids.push_back(e);
+    ++enode;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const double cap = static_cast<double>(k) - forced[v];
+    if (cap > 0) dinic.AddArc(vnode(v), kSink, cap);
+  }
+  const double flow = dinic.MaxFlow(kSource, kSink);
+  if (flow + 0.5 < static_cast<double>(m_simple)) return false;
+
+  if (owner_out != nullptr) {
+    owner_out->assign(g.num_edges(), graph::kInvalidNode);
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& edge = g.edge(e);
+      if (edge.u == edge.v) (*owner_out)[e] = edge.u;
+    }
+    for (std::size_t i = 0; i < simple_ids.size(); ++i) {
+      const Edge& edge = g.edge(simple_ids[i]);
+      const double fu = dinic.Flow(edge_arcs[2 * i]);
+      (*owner_out)[simple_ids[i]] = fu > 0.5 ? edge.u : edge.v;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ExactOrientationResult ExactMinMaxOrientationUnweighted(const Graph& g) {
+  ExactOrientationResult out;
+  if (g.num_edges() == 0) {
+    out.orientation = MakeOrientation(g, {});
+    out.opt = 0;
+    return out;
+  }
+  std::uint32_t lo = 0;
+  auto hi = static_cast<std::uint32_t>(g.MaxDegree());
+  // hi is always feasible: orient every edge toward either endpoint.
+  std::vector<NodeId> best_owner;
+  KCORE_CHECK(FeasibleUnweighted(g, hi, &best_owner));
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    std::vector<NodeId> owner;
+    if (FeasibleUnweighted(g, mid, &owner)) {
+      hi = mid;
+      best_owner = std::move(owner);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  out.opt = hi;
+  out.orientation = MakeOrientation(g, std::move(best_owner));
+  return out;
+}
+
+Orientation GreedyOrientation(const Graph& g) {
+  std::vector<graph::EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](graph::EdgeId a, graph::EdgeId b) {
+                     return g.edge(a).w > g.edge(b).w;
+                   });
+  std::vector<NodeId> owner(g.num_edges());
+  std::vector<double> loads(g.num_nodes(), 0.0);
+  for (graph::EdgeId e : order) {
+    const Edge& edge = g.edge(e);
+    NodeId pick = edge.u;
+    if (edge.u != edge.v) {
+      if (loads[edge.v] < loads[edge.u] ||
+          (loads[edge.v] == loads[edge.u] && edge.v < edge.u)) {
+        pick = edge.v;
+      }
+    }
+    owner[e] = pick;
+    loads[pick] += edge.w;
+  }
+  return MakeOrientation(g, std::move(owner));
+}
+
+void LocalSearchImprove(const Graph& g, Orientation& o, int max_passes) {
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& edge = g.edge(e);
+      if (edge.u == edge.v) continue;
+      const NodeId cur = o.owner[e];
+      const NodeId alt = (cur == edge.u) ? edge.v : edge.u;
+      // Move improves the local bottleneck iff the alternative endpoint
+      // ends up strictly below the current owner's load.
+      if (o.loads[alt] + edge.w < o.loads[cur]) {
+        o.loads[cur] -= edge.w;
+        o.loads[alt] += edge.w;
+        o.owner[e] = alt;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  o.max_load = 0.0;
+  for (double l : o.loads) o.max_load = std::max(o.max_load, l);
+}
+
+double OrientationLpLowerBound(const Graph& g) { return MaxDensity(g); }
+
+}  // namespace kcore::seq

@@ -1,0 +1,57 @@
+// Centralized references for the min-max edge orientation problem.
+//
+//   * ExactMinMaxOrientationUnweighted — optimal solution for unit-weight
+//     graphs (the polynomial case, Venkateswaran / Asahiro et al.): binary
+//     search on the in-degree bound k with a bipartite flow feasibility
+//     test (edge -> endpoint -> sink with capacity k).
+//   * GreedyOrientation + LocalSearchImprove — upper-bound heuristic for
+//     weighted graphs (the weighted problem is NP-hard).
+//   * OrientationLpLowerBound — rho*, the densest-subset LP value, which
+//     lower-bounds the orientation optimum by weak duality (Section II).
+//
+// A self-loop has only one endpoint, so it is always "assigned" to its own
+// node and contributes a fixed load there.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::seq {
+
+// An edge assignment: owner[e] is the endpoint edge e is oriented toward.
+struct Orientation {
+  std::vector<graph::NodeId> owner;  // size = num_edges
+  std::vector<double> loads;         // weighted in-degree per node
+  double max_load = 0.0;
+};
+
+// Recomputes loads/max_load of an owner assignment (owner[e] must be an
+// endpoint of edge e).
+Orientation MakeOrientation(const graph::Graph& g,
+                            std::vector<graph::NodeId> owner);
+
+struct ExactOrientationResult {
+  Orientation orientation;
+  std::uint32_t opt = 0;  // minimum achievable max in-degree
+};
+
+// Optimal min-max orientation for unit-weight graphs. Edge weights are
+// ignored (each edge counts 1). O(log(max_deg)) max-flow runs.
+ExactOrientationResult ExactMinMaxOrientationUnweighted(const graph::Graph& g);
+
+// Greedy upper bound for weighted graphs: edges in descending weight, each
+// assigned to the endpoint with the smaller current load.
+Orientation GreedyOrientation(const graph::Graph& g);
+
+// Hill-climbing: move single edges to the lighter endpoint while the
+// bottleneck improves; at most max_passes sweeps.
+void LocalSearchImprove(const graph::Graph& g, Orientation& o,
+                        int max_passes = 8);
+
+// rho* — the LP lower bound on the orientation optimum (weak duality).
+double OrientationLpLowerBound(const graph::Graph& g);
+
+}  // namespace kcore::seq

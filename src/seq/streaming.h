@@ -1,0 +1,30 @@
+// Bahmani, Kumar, Vassilvitskii (VLDB 2012): densest subgraph in
+// streaming / MapReduce — the algorithm whose analysis inspired the
+// paper's Lemma III.3 (threshold 2(1+eps) times the current density,
+// O(log_{1+eps} n) passes, 2(1+eps)-approximation).
+//
+// Implemented as a semi-streaming pass model: the edge list is scanned
+// once per pass (degrees of the current survivor set), then every
+// survivor below 2(1+eps) * rho(survivors) is dropped. The best survivor
+// set over all passes is returned. Memory: O(n); passes: O(log_{1+eps} n).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcore::seq {
+
+struct StreamingDensestResult {
+  std::vector<char> in_set;
+  double density = 0.0;
+  int passes = 0;          // edge-list scans used
+  std::size_t peak_memory_items = 0;  // survivor-array entries (O(n))
+};
+
+// eps > 0. Works on weighted graphs with self-loops (a self-loop counts
+// toward its node's degree and toward w(E(S)) when the node survives).
+StreamingDensestResult StreamingDensest(const graph::Graph& g, double eps);
+
+}  // namespace kcore::seq

@@ -1,0 +1,34 @@
+// Minimal command-line flag parser for example binaries and benches.
+//
+// Supports --name=value and --name value forms plus boolean switches.
+// Unknown flags are reported; positional arguments are collected.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kcore::util {
+
+class Flags {
+ public:
+  // Parses argv. Returns false (and prints a diagnostic) on malformed input.
+  bool Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+  std::int64_t GetInt(const std::string& name, std::int64_t def = 0) const;
+  double GetDouble(const std::string& name, double def = 0.0) const;
+  bool GetBool(const std::string& name, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kcore::util

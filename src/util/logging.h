@@ -1,0 +1,69 @@
+// Lightweight leveled logging and check macros.
+//
+// The library proper never aborts on user input errors (it reports through
+// return values / exceptions); KCORE_CHECK is reserved for internal
+// invariants whose violation indicates a bug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace kcore::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr (thread-safe).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace internal {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+}  // namespace internal
+}  // namespace kcore::util
+
+#define KCORE_LOG(level)                                              \
+  ::kcore::util::internal::LogStream(::kcore::util::LogLevel::level, \
+                                     __FILE__, __LINE__)
+
+// Internal invariant check; aborts with a diagnostic when violated.
+#define KCORE_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::kcore::util::internal::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                                      \
+  } while (false)
+
+#define KCORE_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream kcore_check_os_;                               \
+      kcore_check_os_ << msg;                                           \
+      ::kcore::util::internal::CheckFailed(__FILE__, __LINE__, #expr,   \
+                                           kcore_check_os_.str());      \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kcore::util {
+namespace {
+
+inline std::uint64_t SplitMix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = SplitMix64(sm);
+  has_gauss_ = false;
+  gauss_spare_ = 0.0;
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t off = (span == 0) ? Next() : NextBounded(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + off);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double rate) {
+  assert(rate > 0);
+  // Avoid log(0) by sampling from (0, 1].
+  const double u = 1.0 - NextDouble();
+  return -std::log(u) / rate;
+}
+
+double Rng::NextPareto(double x_min, double alpha) {
+  assert(x_min > 0 && alpha > 0);
+  const double u = 1.0 - NextDouble();  // (0, 1]
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return mean + stddev * gauss_spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double z0 = mag * std::cos(2.0 * M_PI * u2);
+  const double z1 = mag * std::sin(2.0 * M_PI * u2);
+  gauss_spare_ = z1;
+  has_gauss_ = true;
+  return mean + stddev * z0;
+}
+
+}  // namespace kcore::util

@@ -1,0 +1,93 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace kcore::util {
+
+void Accumulator::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+Summary Summarize(std::span<const double> xs) {
+  Summary out;
+  if (xs.empty()) return out;
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  Accumulator acc;
+  for (double x : s) acc.Add(x);
+  out.count = acc.count();
+  out.mean = acc.mean();
+  out.stddev = acc.stddev();
+  out.min = s.front();
+  out.max = s.back();
+  const auto pct = [&s](double q) {
+    const double rank = q * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, s.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+  };
+  out.p50 = pct(0.50);
+  out.p90 = pct(0.90);
+  out.p99 = pct(0.99);
+  return out;
+}
+
+std::string Summary::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4f sd=%.4f min=%.4f p50=%.4f p90=%.4f "
+                "p99=%.4f max=%.4f",
+                count, mean, stddev, min, p50, p90, p99, max);
+  return buf;
+}
+
+}  // namespace kcore::util

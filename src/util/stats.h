@@ -1,0 +1,55 @@
+// Summary statistics over samples; used to report per-node approximation
+// ratios (max / mean / percentiles) in the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace kcore::util {
+
+// One-pass accumulator for mean / min / max / variance.
+class Accumulator {
+ public:
+  void Add(double x);
+  void Merge(const Accumulator& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Full-sample summary with exact percentiles. Copies and sorts the data.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  std::string ToString() const;
+};
+
+Summary Summarize(std::span<const double> xs);
+
+// Exact percentile (linear interpolation between closest ranks);
+// q in [0, 1]. Input need not be sorted.
+double Percentile(std::span<const double> xs, double q);
+
+}  // namespace kcore::util

@@ -1,0 +1,60 @@
+// Plain-text / CSV / markdown table emitter.
+//
+// Every benchmark binary prints its results through this class so the
+// regenerated "paper tables" have a consistent, diff-friendly format.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace kcore::util {
+
+// Column-aligned table that can render itself as aligned text, CSV, or
+// GitHub-flavoured markdown.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row. The row is padded / truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience for mixed-type rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table* t) : table_(t) {}
+    RowBuilder& Str(std::string v);
+    RowBuilder& Int(long long v);
+    RowBuilder& UInt(unsigned long long v);
+    RowBuilder& Dbl(double v, int precision = 4);
+    // Commits the row to the table.
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table* table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(this); }
+
+  std::string ToText() const;
+  std::string ToCsv() const;
+  std::string ToMarkdown() const;
+
+  // Prints ToText() to the given stream (stdout by default).
+  void Print(std::FILE* out = stdout) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision, trimming trailing zeros.
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace kcore::util

@@ -1,0 +1,15 @@
+#include "util/timer.h"
+
+namespace kcore::util {
+
+double Timer::Seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+std::int64_t Timer::Micros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start_)
+      .count();
+}
+
+}  // namespace kcore::util

@@ -1,0 +1,26 @@
+// Wall-clock timing helpers used by the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace kcore::util {
+
+// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or last Reset().
+  double Seconds() const;
+  double Millis() const { return Seconds() * 1e3; }
+  std::int64_t Micros() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kcore::util

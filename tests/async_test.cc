@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/async.h"
+#include "core/montresor.h"
+#include "graph/generators.h"
+#include "seq/kcore.h"
+#include "util/rng.h"
+
+namespace kcore::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+// Asynchrony never changes the answer: chaotic iteration of the monotone
+// update from the top converges to the greatest fixpoint = coreness.
+// Helper keeping the call sites tidy.
+AsyncResult DistsimAsyncRun(const Graph& g, util::Rng& rng) {
+  return RunAsyncCoreness(g, rng, 8.0);
+}
+
+class AsyncConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsyncConvergence, MatchesExactCorenessUnderRandomDelays) {
+  util::Rng graph_rng(2600 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(10 + graph_rng.NextBounded(60));
+  Graph g = graph::ErdosRenyiGnp(n, 0.15, graph_rng);
+  if (GetParam() % 2 == 0) {
+    g = graph::WithUniformWeights(g, 0.5, 2.0, graph_rng);
+  }
+  const auto exact = seq::WeightedCoreness(g);
+  // Several adversarial delay seeds per graph.
+  for (std::uint64_t delay_seed = 0; delay_seed < 3; ++delay_seed) {
+    util::Rng rng(9000 + delay_seed);
+    const auto r = DistsimAsyncRun(g, rng);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_NEAR(r.b[v], exact[v], 1e-9)
+          << "v=" << v << " delay_seed=" << delay_seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncConvergence, ::testing::Range(0, 15));
+
+TEST(Async, ExtremeDelaysStillConverge) {
+  util::Rng grng(7);
+  const Graph g = graph::BarabasiAlbert(100, 3, grng);
+  const auto exact = seq::WeightedCoreness(g);
+  for (double max_delay : {1.0, 64.0, 1024.0}) {
+    util::Rng rng(11);
+    const auto r = RunAsyncCoreness(g, rng, max_delay);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_NEAR(r.b[v], exact[v], 1e-9) << "delay=" << max_delay;
+    }
+  }
+}
+
+TEST(Async, MessageCountsAreReasonable) {
+  util::Rng grng(8);
+  const Graph g = graph::BarabasiAlbert(200, 3, grng);
+  util::Rng rng(13);
+  const auto r = RunAsyncCoreness(g, rng);
+  EXPECT_GT(r.stats.messages_delivered, 2 * g.num_edges());
+  EXPECT_GT(r.stats.virtual_makespan, 0.0);
+  EXPECT_GT(r.stats.peak_in_flight, 0u);
+  // Compare against the synchronous run-to-convergence message total: the
+  // async run only sends on change, so it is typically cheaper.
+  const auto sync = RunToConvergence(g);
+  EXPECT_LT(r.stats.messages_delivered, sync.totals.messages);
+}
+
+TEST(Async, BudgetCapStopsEarlyButSoundly) {
+  // Failure injection: a message budget truncates convergence; values
+  // must remain upper bounds on the coreness (the iteration descends
+  // from above and never undershoots).
+  util::Rng grng(9);
+  const Graph g = graph::BarabasiAlbert(150, 3, grng);
+  const auto exact = seq::WeightedCoreness(g);
+  util::Rng rng(17);
+  const auto r = RunAsyncCoreness(g, rng, 8.0, /*message_budget=*/500);
+  EXPECT_LE(r.stats.messages_delivered, 500u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(r.b[v], exact[v] - 1e-9) << "v=" << v;
+  }
+}
+
+TEST(Async, IsolatedAndEmptyGraphs) {
+  graph::GraphBuilder b(3);
+  const Graph g = std::move(b).Build();
+  util::Rng rng(1);
+  const auto r = RunAsyncCoreness(g, rng);
+  for (double v : r.b) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace kcore::core

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/densest.h"
+#include "graph/generators.h"
+#include "seq/densest_exact.h"
+#include "util/rng.h"
+
+namespace kcore::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+// Theorem I.3 / Definition IV.1: some returned subset has density
+// >= rho* / gamma.
+class WeakDensestGuarantee : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeakDensestGuarantee, BestSubsetWithinGamma) {
+  util::Rng rng(1400 + static_cast<std::uint64_t>(GetParam()));
+  const double gamma = 2.5 + (GetParam() % 3);
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(60));
+  Graph g = graph::ErdosRenyiGnp(n, 0.15, rng);
+  if (GetParam() % 2 == 0) g = graph::WithUniformWeights(g, 0.3, 2.0, rng);
+  const WeakDensestResult r = RunWeakDensest(g, gamma);
+  const double rho = seq::MaxDensity(g);
+  EXPECT_GE(r.best_density * gamma + 1e-7, rho)
+      << "gamma=" << gamma << " rho*=" << rho
+      << " best=" << r.best_density;
+  // And of course nothing can exceed rho*.
+  EXPECT_LE(r.best_density, rho + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeakDensestGuarantee, ::testing::Range(0, 25));
+
+TEST(WeakDensest, SubsetsAreDisjointAndConsistent) {
+  util::Rng rng(5);
+  const Graph g = graph::BarabasiAlbert(120, 3, rng);
+  const WeakDensestResult r = RunWeakDensest(g, 3.0);
+  std::set<NodeId> seen;
+  for (const DensestSubsetOut& s : r.subsets) {
+    EXPECT_FALSE(s.members.empty());
+    for (NodeId v : s.members) {
+      EXPECT_TRUE(seen.insert(v).second) << "node in two subsets";
+      // Every member knows its leader (Definition IV.1).
+      EXPECT_EQ(r.leader_of[v], s.leader);
+      EXPECT_TRUE(r.selected[v]);
+    }
+  }
+  // selected <-> member of some subset.
+  std::size_t selected_count = 0;
+  for (char s : r.selected) selected_count += s ? 1 : 0;
+  EXPECT_EQ(selected_count, seen.size());
+}
+
+TEST(WeakDensest, CliqueReturnsWholeClique) {
+  const Graph g = graph::Complete(12);
+  const WeakDensestResult r = RunWeakDensest(g, 3.0);
+  ASSERT_EQ(r.subsets.size(), 1u);
+  EXPECT_EQ(r.subsets[0].members.size(), 12u);
+  EXPECT_NEAR(r.best_density, 11.0 / 2.0, 1e-9);
+}
+
+TEST(WeakDensest, SingleNodeGraph) {
+  graph::GraphBuilder b(1);
+  const Graph g = std::move(b).Build();
+  const WeakDensestResult r = RunWeakDensest(g, 3.0);
+  EXPECT_DOUBLE_EQ(r.best_density, 0.0);
+  // The single node forms its own (empty-density) subset.
+  ASSERT_EQ(r.subsets.size(), 1u);
+  EXPECT_EQ(r.subsets[0].members.size(), 1u);
+}
+
+TEST(WeakDensest, EdgelessGraph) {
+  graph::GraphBuilder b(6);
+  const Graph g = std::move(b).Build();
+  const WeakDensestResult r = RunWeakDensest(g, 3.0);
+  EXPECT_DOUBLE_EQ(r.best_density, 0.0);  // rho* = 0; trivially attained
+}
+
+TEST(WeakDensest, DisconnectedComponentsBothFound) {
+  // K8 far from K5: the K8 tree must return (near-)K8; K5's tree is a
+  // separate leader and may return its own subset.
+  graph::GraphBuilder b(13);
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) b.AddEdge(i, j);
+  }
+  for (NodeId i = 8; i < 13; ++i) {
+    for (NodeId j = i + 1; j < 13; ++j) b.AddEdge(i, j);
+  }
+  const Graph g = std::move(b).Build();
+  const WeakDensestResult r = RunWeakDensest(g, 3.0);
+  EXPECT_NEAR(r.best_density, 3.5, 1e-9);  // K8 density
+  // Disjointness across components is automatic; both leaders present.
+  std::set<NodeId> leaders;
+  for (const auto& s : r.subsets) leaders.insert(s.leader);
+  EXPECT_GE(leaders.size(), 1u);
+}
+
+TEST(WeakDensest, TwoCliquesJoinedByPath) {
+  // The paper's motivation: a dense region many hops away must not be
+  // needed to certify the local one. K10 - long path - K6.
+  graph::GraphBuilder b(36);
+  for (NodeId i = 0; i < 10; ++i) {
+    for (NodeId j = i + 1; j < 10; ++j) b.AddEdge(i, j);
+  }
+  for (NodeId i = 30; i < 36; ++i) {
+    for (NodeId j = i + 1; j < 36; ++j) b.AddEdge(i, j);
+  }
+  for (NodeId i = 9; i < 30; ++i) b.AddEdge(i, i + 1);
+  const Graph g = std::move(b).Build();
+  const WeakDensestResult r = RunWeakDensest(g, 3.0);
+  EXPECT_NEAR(r.best_density, 4.5, 1e-7);  // K10
+}
+
+TEST(WeakDensest, RoundsScaleLogarithmically) {
+  util::Rng rng(6);
+  const Graph g = graph::BarabasiAlbert(200, 3, rng);
+  const WeakDensestResult r = RunWeakDensest(g, 4.0);
+  const int T = RoundsForGamma(200, 4.0);
+  EXPECT_EQ(r.rounds_phase1, T);
+  EXPECT_EQ(r.rounds_phase2, T + 3);
+  EXPECT_EQ(r.rounds_phase3, T);
+  EXPECT_LE(r.rounds_phase4, 3 * T + 8);
+  EXPECT_EQ(r.rounds_total, r.rounds_phase1 + r.rounds_phase2 +
+                                r.rounds_phase3 + r.rounds_phase4);
+}
+
+TEST(WeakDensest, ForcedSmallTAlsoSound) {
+  // Even with T smaller than the theory wants, the returned collection
+  // must stay consistent (disjoint, densities correctly reported) — only
+  // the gamma guarantee may fail.
+  util::Rng rng(7);
+  const Graph g = graph::ErdosRenyiGnp(80, 0.1, rng);
+  const WeakDensestResult r = RunWeakDensest(g, 3.0, /*T_override=*/2);
+  for (const auto& s : r.subsets) {
+    std::vector<char> mask(g.num_nodes(), 0);
+    for (NodeId v : s.members) mask[v] = 1;
+    EXPECT_NEAR(g.InducedDensity(mask), s.density, 1e-9);
+  }
+}
+
+class PipelinedEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelinedEquivalence, PipelinedAggregationMatchesBatch) {
+  // Algorithm 6's message-size optimization must not change the output:
+  // same selections, same subsets, strictly smaller max message size.
+  util::Rng rng(2800 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(20 + rng.NextBounded(120));
+  Graph g = graph::ErdosRenyiGnp(n, 0.1, rng);
+  if (GetParam() % 2 == 0) g = graph::WithUniformWeights(g, 0.5, 2.0, rng);
+  WeakDensestOptions batch;
+  batch.gamma = 3.0;
+  WeakDensestOptions piped = batch;
+  piped.pipelined_aggregation = true;
+  const WeakDensestResult rb = RunWeakDensest(g, batch);
+  const WeakDensestResult rp = RunWeakDensest(g, piped);
+  EXPECT_EQ(rb.selected, rp.selected);
+  EXPECT_DOUBLE_EQ(rb.best_density, rp.best_density);
+  EXPECT_EQ(rb.subsets.size(), rp.subsets.size());
+  // CONGEST profile: pipelined messages are O(1) words.
+  EXPECT_LE(rp.totals.max_entries_per_message, 4u);
+  if (rb.rounds_phase1 > 2) {
+    EXPECT_GT(rb.totals.max_entries_per_message, 4u)
+        << "batch variant should have sent whole arrays";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedEquivalence, ::testing::Range(0, 20));
+
+TEST(TieBreakAblation, NaiveRuleBreaksCoverageSomewhere) {
+  // Lemma III.11 depends on the stateful tie-break. Demonstrate that the
+  // stateless (re-sort by value, ties by id) variant leaves some edge
+  // unclaimed on at least one of these instances — i.e. the paper's rule
+  // is necessary, not cosmetic.
+  bool naive_violates_somewhere = false;
+  for (std::uint64_t seed = 0; seed < 40 && !naive_violates_somewhere;
+       ++seed) {
+    util::Rng rng(seed);
+    const NodeId n = static_cast<NodeId>(8 + rng.NextBounded(30));
+    Graph g = graph::ErdosRenyiGnp(n, 0.3, rng);
+    if (seed % 2 == 1) g = graph::WithDyadicWeights(g, 0.25, 2.0, rng, 2);
+    if (g.num_edges() == 0) continue;
+    CompactOptions o;
+    o.rounds = 8;
+    o.track_orientation = true;
+    o.stateful_tiebreak = false;
+    const auto res = RunCompactElimination(g, o);
+    std::vector<char> covered(g.num_edges(), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      for (auto idx : res.in_sets[v]) covered[g.Neighbors(v)[idx].edge] = 1;
+    }
+    for (char c : covered) {
+      if (!c) naive_violates_somewhere = true;
+    }
+  }
+  EXPECT_TRUE(naive_violates_somewhere);
+}
+
+}  // namespace
+}  // namespace kcore::core

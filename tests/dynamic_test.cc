@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dynamic/maintain.h"
+#include "graph/generators.h"
+#include "seq/kcore.h"
+#include "util/rng.h"
+
+namespace kcore::dynamic {
+namespace {
+
+void ExpectMatchesScratch(const DynamicCoreMaintenance& m) {
+  const graph::Graph g = m.Snapshot();
+  const auto scratch = seq::WeightedCoreness(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_NEAR(m.coreness()[v], scratch[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(DynamicCore, StartsAtZero) {
+  DynamicCoreMaintenance m(5);
+  for (double c : m.coreness()) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_EQ(m.num_edges(), 0u);
+}
+
+TEST(DynamicCore, BuildTriangleIncrementally) {
+  DynamicCoreMaintenance m(4);
+  m.InsertEdge(0, 1);
+  EXPECT_DOUBLE_EQ(m.coreness()[0], 1.0);
+  m.InsertEdge(1, 2);
+  EXPECT_DOUBLE_EQ(m.coreness()[1], 1.0);
+  m.InsertEdge(0, 2);
+  // Triangle: everyone coreness 2.
+  EXPECT_DOUBLE_EQ(m.coreness()[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.coreness()[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.coreness()[2], 2.0);
+  EXPECT_DOUBLE_EQ(m.coreness()[3], 0.0);
+  // Break it again.
+  m.DeleteEdge(0, 1);
+  EXPECT_DOUBLE_EQ(m.coreness()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.coreness()[2], 1.0);
+}
+
+TEST(DynamicCore, FromGraphMatchesScratch) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::BarabasiAlbert(120, 3, rng);
+  DynamicCoreMaintenance m(g);
+  ExpectMatchesScratch(m);
+}
+
+class RandomUpdateSequence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomUpdateSequence, AlwaysMatchesScratch) {
+  util::Rng rng(2500 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(30));
+  DynamicCoreMaintenance m(n);
+  // Track live edges for deletion sampling.
+  std::vector<std::tuple<NodeId, NodeId, double>> live;
+  for (int step = 0; step < 60; ++step) {
+    const bool del = !live.empty() && rng.NextBool(0.35);
+    if (del) {
+      const std::size_t idx = rng.NextBounded(live.size());
+      const auto [u, v, w] = live[idx];
+      live[idx] = live.back();
+      live.pop_back();
+      m.DeleteEdge(u, v, w);
+    } else {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+      NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+      if (u == v) v = (v + 1) % n;
+      const double w =
+          GetParam() % 2 == 0
+              ? 1.0
+              : static_cast<double>(1 + rng.NextBounded(4));
+      m.InsertEdge(u, v, w);
+      live.emplace_back(u, v, w);
+    }
+    if (step % 10 == 9) ExpectMatchesScratch(m);
+  }
+  ExpectMatchesScratch(m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomUpdateSequence, ::testing::Range(0, 15));
+
+TEST(DynamicCore, PendantDeletionIsLocal) {
+  // Deleting a TRUE pendant edge (fresh degree-1 node) must only touch
+  // the pendant and the hub's immediate neighborhood — the locality win
+  // of the worklist descent.
+  util::Rng rng(2);
+  const graph::Graph g = graph::BarabasiAlbert(2000, 3, rng);
+  // Rebuild over n+1 nodes so node 2000 starts isolated.
+  DynamicCoreMaintenance m(2001);
+  for (const graph::Edge& e : g.edges()) m.InsertEdge(e.u, e.v, e.w);
+  const auto before = m.coreness();
+  m.InsertEdge(0, 2000);
+  EXPECT_DOUBLE_EQ(m.coreness()[2000], 1.0);
+  const UpdateStats del = m.DeleteEdge(0, 2000);
+  EXPECT_DOUBLE_EQ(m.coreness()[2000], 0.0);
+  // The descent pops the two endpoints plus (at most) the hub's direct
+  // neighbors re-checked after the pendant's change.
+  EXPECT_LT(del.recomputations, g.Degree(0) + 8)
+      << "pendant deletion should stay local";
+  for (NodeId v = 0; v < 2000; ++v) {
+    ASSERT_DOUBLE_EQ(m.coreness()[v], before[v]);
+  }
+}
+
+TEST(DynamicCore, ParallelEdgesSupported) {
+  DynamicCoreMaintenance m(2);
+  m.InsertEdge(0, 1, 1.0);
+  m.InsertEdge(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(m.coreness()[0], 3.0);
+  m.DeleteEdge(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(m.coreness()[0], 2.0);
+  EXPECT_TRUE(m.HasEdge(0, 1, 2.0));
+  EXPECT_FALSE(m.HasEdge(0, 1, 1.0));
+}
+
+TEST(DynamicCore, DeleteMissingEdgeDies) {
+  DynamicCoreMaintenance m(3);
+  m.InsertEdge(0, 1);
+  EXPECT_DEATH(m.DeleteEdge(1, 2), "not present");
+}
+
+}  // namespace
+}  // namespace kcore::dynamic

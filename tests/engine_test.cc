@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "distsim/engine.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace kcore::distsim {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+// Toy protocol: every node repeatedly broadcasts the max id it has seen.
+// After D rounds everyone knows the global max (flood fill) — good for
+// validating delivery semantics and round counting.
+class MaxFlood : public Protocol {
+ public:
+  explicit MaxFlood(NodeId n) : value_(n) {
+    for (NodeId v = 0; v < n; ++v) value_[v] = v;
+  }
+
+  void Init(NodeContext& ctx) override {
+    ctx.Broadcast({static_cast<double>(value_[ctx.id()])});
+  }
+
+  void Round(NodeContext& ctx) override {
+    const NodeId v = ctx.id();
+    for (std::size_t i = 0; i < ctx.neighbors().size(); ++i) {
+      const Payload* p = ctx.NeighborBroadcast(i);
+      if (p != nullptr && !p->empty()) {
+        value_[v] = std::max(value_[v], static_cast<NodeId>((*p)[0]));
+      }
+    }
+    ctx.Broadcast({static_cast<double>(value_[v])});
+  }
+
+  const std::vector<NodeId>& value() const { return value_; }
+
+ private:
+  std::vector<NodeId> value_;
+};
+
+TEST(Engine, FloodReachesExactlyTheTHopBall) {
+  // On a path, after T rounds node 0 knows max(id) over its T-ball only:
+  // information travels one hop per round — the locality the paper's
+  // lower bounds rely on.
+  const Graph g = graph::Path(20);
+  Engine engine(g);
+  MaxFlood proto(20);
+  engine.Run(proto, 5);
+  EXPECT_EQ(proto.value()[0], 5u);
+  EXPECT_EQ(proto.value()[10], 15u);
+  EXPECT_EQ(proto.value()[19], 19u);
+}
+
+TEST(Engine, FloodConvergesAfterDiameterRounds) {
+  const Graph g = graph::Cycle(11);
+  Engine engine(g);
+  MaxFlood proto(11);
+  engine.Run(proto, 6);  // diameter of C11 is 5
+  for (NodeId v = 0; v < 11; ++v) EXPECT_EQ(proto.value()[v], 10u);
+}
+
+TEST(Engine, MessageAccountingBroadcast) {
+  const Graph g = graph::Star(5);  // degrees: 4,1,1,1,1 -> sum 8
+  Engine engine(g);
+  MaxFlood proto(5);
+  engine.Run(proto, 2);
+  const auto& h = engine.history();
+  ASSERT_EQ(h.size(), 3u);  // init + 2 rounds
+  for (const RoundStats& r : h) {
+    EXPECT_EQ(r.messages, 8u);  // every node broadcasts every round
+    EXPECT_EQ(r.entries, 8u);   // 1 double each
+  }
+  const Totals t = engine.totals();
+  EXPECT_EQ(t.messages, 24u);
+  EXPECT_EQ(t.max_entries_per_message, 1u);
+}
+
+TEST(Engine, DistinctValueCensus) {
+  const Graph g = graph::Complete(6);
+  Engine engine(g);
+  MaxFlood proto(6);
+  engine.Start(proto);
+  EXPECT_EQ(engine.history()[0].distinct_values, 6u);  // ids 0..5
+  engine.Step(proto);
+  // After one round on K6 everyone holds 5.
+  EXPECT_EQ(engine.history()[1].distinct_values, 1u);
+}
+
+// Point-to-point: node 0 sends a token around a cycle.
+class TokenRing : public Protocol {
+ public:
+  explicit TokenRing(NodeId n) : n_(n), seen_(n, 0) {}
+
+  void Init(NodeContext& ctx) override {
+    if (ctx.id() == 0) {
+      seen_[0] = 1;
+      ctx.Send((0 + 1) % n_, {42.0});
+    }
+  }
+
+  void Round(NodeContext& ctx) override {
+    for (const InMessage& m : ctx.Messages()) {
+      EXPECT_EQ(m.payload.size(), 1u);
+      EXPECT_DOUBLE_EQ(m.payload[0], 42.0);
+      seen_[ctx.id()] = 1;
+      const NodeId next = (ctx.id() + 1) % n_;
+      if (next != 0) ctx.Send(next, {42.0});
+    }
+  }
+
+  const std::vector<char>& seen() const { return seen_; }
+
+ private:
+  NodeId n_;
+  std::vector<char> seen_;
+};
+
+TEST(Engine, PointToPointTokenRing) {
+  const NodeId n = 8;
+  const Graph g = graph::Cycle(n);
+  Engine engine(g);
+  TokenRing proto(n);
+  const int rounds = engine.RunUntilQuiescent(proto, 100);
+  // Token needs n-1 hops; quiescence is observed in the same round the
+  // last hop finds no further message to forward.
+  EXPECT_EQ(rounds, static_cast<int>(n) - 1);
+  for (NodeId v = 0; v < n; ++v) EXPECT_TRUE(proto.seen()[v]) << v;
+}
+
+TEST(Engine, SendToNonNeighborDies) {
+  const Graph g = graph::Path(3);
+  Engine engine(g);
+  class Bad : public Protocol {
+    void Init(NodeContext& ctx) override {
+      if (ctx.id() == 0) ctx.Send(2, {1.0});  // 0 and 2 not adjacent
+    }
+    void Round(NodeContext&) override {}
+  } proto;
+  EXPECT_DEATH(engine.Start(proto), "not adjacent");
+}
+
+TEST(Engine, HaltedNodesStopBroadcasting) {
+  class HaltOdd : public Protocol {
+   public:
+    void Init(NodeContext& ctx) override { ctx.Broadcast({1.0}); }
+    void Round(NodeContext& ctx) override {
+      if (ctx.id() % 2 == 1) {
+        ctx.Halt();
+        return;
+      }
+      ctx.Broadcast({1.0});
+    }
+  } proto;
+  const Graph g = graph::Cycle(10);
+  Engine engine(g);
+  engine.Start(proto);
+  engine.Step(proto);
+  EXPECT_EQ(engine.num_halted(), 5u);
+  const RoundStats r2 = engine.Step(proto);
+  // Only 5 even nodes (degree 2) broadcast now.
+  EXPECT_EQ(r2.messages, 10u);
+  EXPECT_EQ(r2.active_nodes, 5u);
+}
+
+TEST(Engine, ThreadedMatchesSequential) {
+  util::Rng rng(17);
+  const Graph g = graph::BarabasiAlbert(600, 3, rng);
+  MaxFlood seq_proto(600);
+  MaxFlood par_proto(600);
+  Engine seq_engine(g, 1);
+  Engine par_engine(g, 4);
+  seq_engine.Run(seq_proto, 6);
+  par_engine.Run(par_proto, 6);
+  EXPECT_EQ(seq_proto.value(), par_proto.value());
+  EXPECT_EQ(seq_engine.totals().messages, par_engine.totals().messages);
+}
+
+TEST(Engine, QuiescenceDetection) {
+  const Graph g = graph::Path(6);
+  MaxFlood proto(6);
+  Engine engine(g);
+  // Path diameter 5: values converge after 5 rounds, detected at round 6.
+  const int rounds = engine.RunUntilQuiescent(proto, 50);
+  EXPECT_EQ(rounds, 6);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(proto.value()[v], 5u);
+}
+
+TEST(Engine, CongestLimitAllowsCompliantProtocols) {
+  const Graph g = graph::Cycle(10);
+  Engine engine(g);
+  engine.SetPayloadLimit(1);  // O(1) words: the paper's regime
+  MaxFlood proto(10);
+  engine.Run(proto, 5);  // MaxFlood broadcasts one double: compliant
+  EXPECT_EQ(engine.totals().max_entries_per_message, 1u);
+}
+
+TEST(Engine, CongestLimitRejectsOversizedMessages) {
+  class Chatty : public Protocol {
+    void Init(NodeContext& ctx) override {
+      ctx.Broadcast({1.0, 2.0, 3.0, 4.0, 5.0});
+    }
+    void Round(NodeContext&) override {}
+  } proto;
+  const Graph g = graph::Cycle(5);
+  Engine engine(g);
+  engine.SetPayloadLimit(2);
+  EXPECT_DEATH(engine.Start(proto), "CONGEST violation");
+}
+
+}  // namespace
+}  // namespace kcore::distsim

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/densest_flow.h"
+#include "flow/dinic.h"
+#include "graph/generators.h"
+#include "graph/quotient.h"
+#include "seq/brute.h"
+#include "util/rng.h"
+
+namespace kcore::flow {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+TEST(Dinic, TextbookNetwork) {
+  // Classic 6-node example with max flow 23.
+  Dinic d(6);
+  d.AddArc(0, 1, 16);
+  d.AddArc(0, 2, 13);
+  d.AddArc(1, 2, 10);
+  d.AddArc(2, 1, 4);
+  d.AddArc(1, 3, 12);
+  d.AddArc(3, 2, 9);
+  d.AddArc(2, 4, 14);
+  d.AddArc(4, 3, 7);
+  d.AddArc(3, 5, 20);
+  d.AddArc(4, 5, 4);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 5), 23.0);
+}
+
+TEST(Dinic, DisconnectedIsZero) {
+  Dinic d(4);
+  d.AddArc(0, 1, 5);
+  d.AddArc(2, 3, 5);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 3), 0.0);
+}
+
+TEST(Dinic, ParallelArcsAccumulate) {
+  Dinic d(2);
+  d.AddArc(0, 1, 2);
+  d.AddArc(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 1), 5.5);
+}
+
+TEST(Dinic, MinCutSidesArePartition) {
+  Dinic d(5);
+  d.AddArc(0, 1, 1);
+  d.AddArc(0, 2, 1);
+  d.AddArc(1, 3, 1);
+  d.AddArc(2, 3, 1);
+  d.AddArc(3, 4, 1);  // bottleneck
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 4), 1.0);
+  const auto src = d.MinCutSourceSide(0);
+  const auto sink = d.ResidualReachesSink(4);
+  EXPECT_TRUE(src[0]);
+  EXPECT_FALSE(src[4]);
+  EXPECT_TRUE(sink[4]);
+  EXPECT_FALSE(sink[0]);
+  // No node is on both sides (that would be an augmenting path).
+  for (int v = 0; v < 5; ++v) EXPECT_FALSE(src[v] && sink[v]);
+}
+
+TEST(Densest, TriangleWithPendantIncludesPendant) {
+  // Triangle {0,1,2} + pendant 3: the triangle has rho = 1 but so does the
+  // whole graph (4 edges / 4 nodes), so the MAXIMAL densest subset is all
+  // of V (Fact II.1: it contains every densest subset).
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(0, 2).AddEdge(2, 3);
+  const Graph g = std::move(b).Build();
+  const DensestResult r = MaximalDensestSubset(g);
+  EXPECT_NEAR(r.density, 1.0, 1e-9);
+  EXPECT_EQ(r.size, 4u);
+}
+
+TEST(Densest, K4WithPendantExcludesPendant) {
+  // K4 (rho = 1.5) + pendant: adding the pendant drops density to 7/5,
+  // so the maximal densest subset is exactly the K4.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1).AddEdge(0, 2).AddEdge(0, 3).AddEdge(1, 2).AddEdge(1, 3)
+      .AddEdge(2, 3).AddEdge(3, 4);
+  const Graph g = std::move(b).Build();
+  const DensestResult r = MaximalDensestSubset(g);
+  EXPECT_NEAR(r.density, 1.5, 1e-9);
+  EXPECT_EQ(r.size, 4u);
+  EXPECT_FALSE(r.in_set[4]);
+}
+
+TEST(Densest, CliqueDensity) {
+  const Graph g = graph::Complete(8);
+  const DensestResult r = MaximalDensestSubset(g);
+  EXPECT_NEAR(r.density, 7.0 / 2.0, 1e-9);
+  EXPECT_EQ(r.size, 8u);
+}
+
+TEST(Densest, EdgelessReturnsEverything) {
+  GraphBuilder b(5);
+  const Graph g = std::move(b).Build();
+  const DensestResult r = MaximalDensestSubset(g);
+  EXPECT_DOUBLE_EQ(r.density, 0.0);
+  EXPECT_EQ(r.size, 5u);
+}
+
+TEST(Densest, SelfLoopDominates) {
+  // A heavy self-loop at node 0 beats the triangle elsewhere.
+  GraphBuilder b(4);
+  b.AddEdge(0, 0, 10.0).AddEdge(1, 2).AddEdge(2, 3).AddEdge(1, 3);
+  const Graph g = std::move(b).Build();
+  const DensestResult r = MaximalDensestSubset(g);
+  EXPECT_NEAR(r.density, 10.0, 1e-9);
+  EXPECT_EQ(r.size, 1u);
+  EXPECT_TRUE(r.in_set[0]);
+}
+
+TEST(Densest, MaximalityPicksLargestOptimum) {
+  // Two disjoint triangles: both are densest (rho = 1); the maximal
+  // densest subset is their union (Fact II.1).
+  GraphBuilder b(6);
+  b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(0, 2);
+  b.AddEdge(3, 4).AddEdge(4, 5).AddEdge(3, 5);
+  const Graph g = std::move(b).Build();
+  const DensestResult r = MaximalDensestSubset(g);
+  EXPECT_NEAR(r.density, 1.0, 1e-9);
+  EXPECT_EQ(r.size, 6u);
+}
+
+TEST(MaxClosure, MatchesDefinitionOnSmallGraph) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 2.0).AddEdge(1, 2, 1.0).AddEdge(2, 3, 1.0).AddEdge(0, 2, 1.5);
+  const Graph g = std::move(b).Build();
+  for (double density : {0.0, 0.4, 0.9, 1.1, 1.6, 2.5}) {
+    // Brute force max of w(E(S)) - density * |S| over all S (incl. empty).
+    double best = 0.0;
+    for (std::uint32_t mask = 0; mask < 16; ++mask) {
+      double w = 0.0;
+      int size = 0;
+      for (const auto& e : g.edges()) {
+        if ((mask >> e.u & 1u) && (mask >> e.v & 1u)) w += e.w;
+      }
+      for (int v = 0; v < 4; ++v) size += (mask >> v) & 1;
+      best = std::max(best, w - density * size);
+    }
+    const double got = MaxClosureValue(g, density, nullptr);
+    EXPECT_NEAR(got, best, 1e-9) << "density=" << density;
+  }
+}
+
+// Property test: flow solver == brute force on random small graphs.
+class DensestVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensestVsBrute, DensityAndSetAgree) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(3 + rng.NextBounded(8));
+  Graph g = graph::ErdosRenyiGnp(n, 0.45, rng);
+  if (GetParam() % 2 == 0) {
+    g = graph::WithIntegerWeights(g, 5, rng);
+  }
+  const DensestResult flow_r = MaximalDensestSubset(g);
+  const seq::BruteDensestResult brute_r = seq::BruteDensestSubset(g);
+  EXPECT_NEAR(flow_r.density, brute_r.density, 1e-7);
+  EXPECT_EQ(flow_r.in_set, brute_r.in_set);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensestVsBrute, ::testing::Range(0, 40));
+
+// Property test including self-loops via random quotients.
+class DensestQuotientVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensestQuotientVsBrute, AgreesWithBruteOnQuotients) {
+  util::Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(5 + rng.NextBounded(7));
+  const Graph g = graph::WithIntegerWeights(
+      graph::ErdosRenyiGnp(n, 0.5, rng), 3, rng);
+  std::vector<char> remove(n, 0);
+  for (NodeId v = 0; v < n; ++v) remove[v] = rng.NextBool(0.3) ? 1 : 0;
+  const auto q = graph::QuotientGraph(g, remove);
+  if (q.graph.num_nodes() == 0) return;
+  const DensestResult flow_r = MaximalDensestSubset(q.graph);
+  const seq::BruteDensestResult brute_r = seq::BruteDensestSubset(q.graph);
+  EXPECT_NEAR(flow_r.density, brute_r.density, 1e-7);
+  EXPECT_EQ(flow_r.in_set, brute_r.in_set);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensestQuotientVsBrute,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace kcore::flow

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "seq/kcore.h"
+#include "util/rng.h"
+
+namespace kcore::graph {
+namespace {
+
+TEST(Shapes, PathCycleStar) {
+  EXPECT_EQ(Path(5).num_edges(), 4u);
+  EXPECT_EQ(Cycle(5).num_edges(), 5u);
+  EXPECT_EQ(Star(5).num_edges(), 4u);
+  EXPECT_EQ(Star(5).Degree(0), 4u);
+  EXPECT_EQ(Complete(6).num_edges(), 15u);
+  EXPECT_EQ(CompleteBipartite(3, 4).num_edges(), 12u);
+  EXPECT_EQ(Grid(3, 4).num_edges(), 3u * 3 + 2u * 4);
+}
+
+TEST(Shapes, AllSimpleAndLoopFree) {
+  util::Rng rng(1);
+  EXPECT_TRUE(Path(10).IsSimple());
+  EXPECT_TRUE(Cycle(10).IsSimple());
+  EXPECT_TRUE(Complete(8).IsSimple());
+  EXPECT_TRUE(Grid(4, 4).IsSimple());
+  EXPECT_TRUE(ErdosRenyiGnp(50, 0.2, rng).IsSimple());
+  EXPECT_TRUE(ErdosRenyiGnm(50, 100, rng).IsSimple());
+  EXPECT_TRUE(BarabasiAlbert(100, 3, rng).IsSimple());
+  EXPECT_TRUE(WattsStrogatz(60, 3, 0.2, rng).IsSimple());
+  EXPECT_TRUE(PowerLawConfiguration(100, 2.5, 2, 20, rng).IsSimple());
+  EXPECT_TRUE(Rmat(7, 4.0, 0.57, 0.19, 0.19, rng).IsSimple());
+  EXPECT_TRUE(PlantedPartition(60, 4, 0.4, 0.02, rng).IsSimple());
+  EXPECT_TRUE(RandomGeometric(100, 0.2, rng).IsSimple());
+}
+
+TEST(ErdosRenyi, GnpEdgeCountNearExpectation) {
+  util::Rng rng(5);
+  const NodeId n = 300;
+  const double p = 0.05;
+  const Graph g = ErdosRenyiGnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, GnmExactCount) {
+  util::Rng rng(6);
+  const Graph g = ErdosRenyiGnm(100, 321, rng);
+  EXPECT_EQ(g.num_edges(), 321u);
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  util::Rng rng(7);
+  EXPECT_EQ(ErdosRenyiGnp(20, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyiGnp(20, 1.0, rng).num_edges(), 190u);
+}
+
+TEST(BarabasiAlbert, ConnectedWithExpectedEdgeCount) {
+  util::Rng rng(8);
+  const NodeId n = 500;
+  const NodeId k = 3;
+  const Graph g = BarabasiAlbert(n, k, rng);
+  EXPECT_TRUE(IsConnected(g));
+  // clique seed + k per subsequent node
+  EXPECT_EQ(g.num_edges(), (k + 1) * k / 2 + (n - k - 1) * k);
+  // Heavy tail: max degree far above the mean.
+  const double mean_deg = 2.0 * static_cast<double>(g.num_edges()) / n;
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 4.0 * mean_deg);
+}
+
+TEST(PowerLaw, DegreesWithinBounds) {
+  util::Rng rng(9);
+  const Graph g = PowerLawConfiguration(400, 2.5, 2, 30, rng);
+  EXPECT_LE(g.MaxDegree(), 30u);
+  EXPECT_GT(g.num_edges(), 300u);
+}
+
+TEST(PlantedPartition, IntraDenserThanInter) {
+  util::Rng rng(10);
+  const NodeId n = 120;
+  const NodeId k = 4;
+  const Graph g = PlantedPartition(n, k, 0.5, 0.02, rng);
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const Edge& e : g.edges()) {
+    (e.u % k == e.v % k ? intra : inter) += 1;
+  }
+  EXPECT_GT(intra, 3 * inter);
+}
+
+TEST(WattsStrogatz, DegreesConcentrated) {
+  util::Rng rng(11);
+  const Graph g = WattsStrogatz(200, 4, 0.1, rng);
+  // Ring lattice has degree 2k = 8; rewiring changes few endpoints.
+  EXPECT_EQ(g.num_edges(), 200u * 4);
+}
+
+// --- Lower-bound gadgets --------------------------------------------------
+
+TEST(Fig1, CorenessValuesMatchPaper) {
+  const NodeId n = 20;
+  const auto ca = seq::UnweightedCoreness(Fig1a(n));
+  const auto cb = seq::UnweightedCoreness(Fig1b(n));
+  const auto cc = seq::UnweightedCoreness(Fig1c(n));
+  const NodeId v = Fig1DistinguishedNode(n);
+  // (a): cycle — everyone coreness 2; (b): path — everyone 1;
+  // (c): path + far triangle — v still 1, triangle nodes 2.
+  EXPECT_EQ(ca[v], 2u);
+  EXPECT_EQ(cb[v], 1u);
+  EXPECT_EQ(cc[v], 1u);
+  EXPECT_EQ(cc[n - 1], 2u);
+  EXPECT_EQ(cc[n - 2], 2u);
+  EXPECT_EQ(cc[n - 3], 2u);
+}
+
+TEST(Fig1, LocalViewsAgreeNearDistinguishedNode) {
+  // The distinguished node's T-hop neighborhood in (a) and (c) must look
+  // identical (a path of degree-2 nodes) for T < n/2 - 2: that is the
+  // indistinguishability driving the Omega(n) lower bound.
+  const NodeId n = 30;
+  const Graph a = Fig1a(n);
+  const Graph c = Fig1c(n);
+  const NodeId v = Fig1DistinguishedNode(n);
+  const auto da = BfsDistances(a, v);
+  const auto dc = BfsDistances(c, v);
+  // Count nodes within radius r and check degree-2-ness in both.
+  for (std::uint32_t r = 1; r + 4 < n / 2; ++r) {
+    std::size_t ball_a = 0;
+    std::size_t ball_c = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (da[u] <= r) ++ball_a;
+      if (dc[u] <= r) ++ball_c;
+    }
+    // Cycle ball: 2r+1 nodes. Path-end ball: r+1 nodes... the views differ
+    // in *size* but every node in both balls has degree <= 2, and v cannot
+    // tell a long cycle from a long path until the ends meet.
+    EXPECT_EQ(ball_a, 2u * r + 1);
+    EXPECT_EQ(ball_c, r + 1);
+  }
+}
+
+TEST(GammaTree, SizeAndStructure) {
+  EXPECT_EQ(GammaTreeSize(2, 3), 15u);
+  EXPECT_EQ(GammaTreeSize(3, 2), 13u);
+  const Graph t = GammaTree(3, 3);
+  EXPECT_EQ(t.num_nodes(), 40u);
+  EXPECT_EQ(t.num_edges(), 39u);  // a tree
+  EXPECT_TRUE(IsConnected(t));
+  // Every non-leaf internal node has gamma children (+1 for parent).
+  EXPECT_EQ(t.Degree(0), 3u);
+  EXPECT_EQ(t.Degree(1), 4u);
+  // Coreness of every tree node is 1.
+  for (std::uint32_t c : seq::UnweightedCoreness(t)) EXPECT_EQ(c, 1u);
+}
+
+TEST(GammaTreeWithLeafClique, RootCorenessJumpsToGamma) {
+  const NodeId gamma = 3;
+  const NodeId depth = 3;  // 27 leaves >= 2*gamma + 1
+  const Graph g = GammaTreeWithLeafClique(gamma, depth);
+  const auto core = seq::UnweightedCoreness(g);
+  // Lemma III.13: every node of G' has degree >= gamma (root: gamma
+  // children; internal: gamma+1; leaf: clique + parent), so the whole
+  // graph is a gamma-core and c(root) = gamma exactly (root degree caps it).
+  EXPECT_EQ(core[0], gamma);
+  const Graph t = GammaTree(gamma, depth);
+  const auto core_tree = seq::UnweightedCoreness(t);
+  EXPECT_EQ(core_tree[0], 1u);
+  // The clique nodes have high coreness.
+  EXPECT_GE(core[g.num_nodes() - 1], gamma);
+}
+
+TEST(Weights, UniformParetoInteger) {
+  util::Rng rng(12);
+  const Graph base = Cycle(50);
+  const Graph u = WithUniformWeights(base, 2.0, 5.0, rng);
+  for (const Edge& e : u.edges()) {
+    EXPECT_GE(e.w, 2.0);
+    EXPECT_LT(e.w, 5.0);
+  }
+  const Graph p = WithParetoWeights(base, 1.0, 2.0, rng);
+  for (const Edge& e : p.edges()) EXPECT_GE(e.w, 1.0);
+  const Graph i = WithIntegerWeights(base, 4, rng);
+  for (const Edge& e : i.edges()) {
+    EXPECT_GE(e.w, 1.0);
+    EXPECT_LE(e.w, 4.0);
+    EXPECT_DOUBLE_EQ(e.w, std::floor(e.w));
+  }
+}
+
+}  // namespace
+}  // namespace kcore::graph

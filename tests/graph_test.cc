@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/quotient.h"
+#include "util/rng.h"
+
+namespace kcore::graph {
+namespace {
+
+TEST(GraphBuilder, BasicAdjacency) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 2.0).AddEdge(1, 2, 3.0).AddEdge(0, 3, 1.0);
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 3.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 5.0);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_TRUE(g.IsSimple());
+  // Adjacency sorted by neighbor id.
+  const auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0].to, 1u);
+  EXPECT_EQ(n0[1].to, 3u);
+}
+
+TEST(GraphBuilder, SelfLoopCountsOnceInDegree) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 0, 5.0).AddEdge(0, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  EXPECT_TRUE(g.has_self_loops());
+  EXPECT_FALSE(g.IsSimple());
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 6.0);
+  EXPECT_DOUBLE_EQ(g.SelfLoopWeight(0), 5.0);
+  EXPECT_EQ(g.Degree(0), 2u);  // one slot for the loop, one for the edge
+  EXPECT_DOUBLE_EQ(g.total_weight(), 6.0);
+}
+
+TEST(GraphBuilder, MergeParallelSumsWeights) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0).AddEdge(1, 0, 2.5).AddEdge(1, 2, 1.0);
+  b.MergeParallel();
+  const Graph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 3.5);
+  EXPECT_TRUE(g.IsSimple());
+}
+
+TEST(Graph, InducedDensityAndWeight) {
+  const Graph g = Complete(4);  // 6 edges
+  std::vector<char> all(4, 1);
+  EXPECT_DOUBLE_EQ(g.InducedEdgeWeight(all), 6.0);
+  EXPECT_DOUBLE_EQ(g.InducedDensity(all), 1.5);
+  std::vector<char> tri{1, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(g.InducedDensity(tri), 1.0);
+  std::vector<char> none(4, 0);
+  EXPECT_DOUBLE_EQ(g.InducedDensity(none), 0.0);
+}
+
+TEST(Graph, InducedSubgraphRemaps) {
+  const Graph g = Path(5);
+  std::vector<char> keep{0, 1, 1, 1, 0};
+  std::vector<NodeId> map;
+  const Graph sub = InducedSubgraph(g, keep, &map);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 1-2, 2-3 survive
+  EXPECT_EQ(map[0], kInvalidNode);
+  EXPECT_EQ(map[1], 0u);
+  EXPECT_EQ(map[3], 2u);
+}
+
+TEST(Quotient, CrossEdgesBecomeSelfLoops) {
+  // Triangle 0-1-2 plus pendant 3 attached to 2. Remove {0, 1}.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0).AddEdge(1, 2, 2.0).AddEdge(0, 2, 3.0).AddEdge(2, 3, 4.0);
+  const Graph g = std::move(b).Build();
+  std::vector<char> remove{1, 1, 0, 0};
+  const QuotientResult q = QuotientGraph(g, remove);
+  EXPECT_EQ(q.graph.num_nodes(), 2u);
+  // Edge 0-1 vanishes; 1-2 and 0-2 fold into one self-loop at node 2 of
+  // weight 5 (Definition II.2 merges images); 2-3 survives.
+  EXPECT_DOUBLE_EQ(q.graph.SelfLoopWeight(q.old_to_new[2]), 5.0);
+  EXPECT_DOUBLE_EQ(q.graph.total_weight(), 9.0);
+  // Weighted degree of node 2 in the quotient: self-loop (5) + edge (4).
+  EXPECT_DOUBLE_EQ(q.graph.WeightedDegree(q.old_to_new[2]), 9.0);
+  EXPECT_EQ(q.new_to_old.size(), 2u);
+}
+
+TEST(Quotient, RemovingNothingKeepsGraph) {
+  util::Rng rng(1);
+  const Graph g = ErdosRenyiGnp(30, 0.2, rng);
+  std::vector<char> remove(30, 0);
+  const QuotientResult q = QuotientGraph(g, remove);
+  EXPECT_EQ(q.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(q.graph.num_edges(), g.num_edges());
+  EXPECT_DOUBLE_EQ(q.graph.total_weight(), g.total_weight());
+}
+
+TEST(Quotient, SelfLoopAtSurvivorIsKept) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 0, 2.0).AddEdge(0, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  std::vector<char> remove{0, 1};  // drop node 1
+  const QuotientResult q = QuotientGraph(g, remove);
+  ASSERT_EQ(q.graph.num_nodes(), 1u);
+  // Existing loop (2) merges with the folded edge (1).
+  EXPECT_DOUBLE_EQ(q.graph.SelfLoopWeight(0), 3.0);
+}
+
+TEST(Components, CountsAndSizes) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(3, 4);
+  const Graph g = std::move(b).Build();
+  const Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(c.comp[0], c.comp[2]);
+  EXPECT_NE(c.comp[0], c.comp[3]);
+  std::multiset<NodeId> sizes(c.sizes.begin(), c.sizes.end());
+  EXPECT_EQ(sizes, (std::multiset<NodeId>{1, 2, 3}));
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_TRUE(IsConnected(Cycle(5)));
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = Path(6);
+  const auto d = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+  EXPECT_EQ(Eccentricity(g, 0), 5u);
+  EXPECT_EQ(Eccentricity(g, 3), 3u);
+  EXPECT_EQ(ExactDiameter(g), 5u);
+  EXPECT_EQ(DoubleSweepDiameterLowerBound(g, 3), 5u);
+}
+
+TEST(Bfs, DisconnectedUnreachable) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = std::move(b).Build();
+  const auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(ExactDiameter(g), 1u);  // per-component
+}
+
+TEST(Io, RoundTrip) {
+  util::Rng rng(2);
+  const Graph g = WithUniformWeights(ErdosRenyiGnp(20, 0.3, rng), 0.5, 2.0,
+                                     rng);
+  const std::string path = testing::TempDir() + "/kcore_io_test.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path));
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->graph.num_edges(), g.num_edges());
+  EXPECT_NEAR(loaded->graph.total_weight(), g.total_weight(), 1e-9);
+}
+
+TEST(Io, ParsesCommentsAndRemapsSparseIds) {
+  const auto r = ParseEdgeList(
+      "# comment\n"
+      "% another\n"
+      "100 200 1.5\n"
+      "200 300\n");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->graph.num_nodes(), 3u);
+  EXPECT_EQ(r->graph.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(r->graph.total_weight(), 2.5);
+  EXPECT_EQ(r->original_ids, (std::vector<std::uint64_t>{100, 200, 300}));
+}
+
+TEST(Io, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseEdgeList("1 two 3\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("0 1 -2\n").has_value());
+}
+
+TEST(Io, MergesDuplicateLines) {
+  const auto r = ParseEdgeList("0 1 1\n1 0 2\n", /*merge_parallel=*/true);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->graph.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(r->graph.total_weight(), 3.0);
+}
+
+TEST(Io, EmptyInputYieldsEmptyGraph) {
+  const auto r = ParseEdgeList("# nothing\n");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->graph.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace kcore::graph

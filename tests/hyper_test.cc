@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/compact.h"
+#include "graph/generators.h"
+#include "hyper/helim.h"
+#include "hyper/hypergraph.h"
+#include "seq/densest_exact.h"
+#include "seq/kcore.h"
+#include "util/rng.h"
+
+namespace kcore::hyper {
+namespace {
+
+TEST(Hypergraph, BuildIncidenceDegrees) {
+  HypergraphBuilder b(5);
+  b.AddEdge({0, 1, 2}, 2.0).AddEdge({2, 3}, 1.0).AddEdge({4}, 3.0);
+  const Hypergraph h = std::move(b).Build();
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_EQ(h.Rank(), 3u);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(h.WeightedDegree(2), 3.0);
+  EXPECT_DOUBLE_EQ(h.WeightedDegree(4), 3.0);
+  EXPECT_EQ(h.IncidentEdges(2).size(), 2u);
+}
+
+TEST(Hypergraph, DuplicateMembersCollapsed) {
+  HypergraphBuilder b(3);
+  b.AddEdge({1, 1, 2}, 1.0);
+  const Hypergraph h = std::move(b).Build();
+  EXPECT_EQ(h.edge(0).nodes.size(), 2u);
+}
+
+TEST(Hypergraph, InducedDensitySemantics) {
+  // Edge counts toward S iff ALL members are in S.
+  HypergraphBuilder b(4);
+  b.AddEdge({0, 1, 2}, 3.0).AddEdge({0, 1}, 1.0);
+  const Hypergraph h = std::move(b).Build();
+  std::vector<char> s01{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(h.InducedEdgeWeight(s01), 1.0);
+  std::vector<char> s012{1, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(h.InducedEdgeWeight(s012), 4.0);
+  EXPECT_DOUBLE_EQ(h.InducedDensity(s012), 4.0 / 3.0);
+}
+
+TEST(Hypergraph, FromGraphIsRankTwo) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::ErdosRenyiGnp(20, 0.3, rng);
+  const Hypergraph h = FromGraph(g);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_LE(h.Rank(), 2u);
+  for (graph::NodeId v = 0; v < 20; ++v) {
+    EXPECT_DOUBLE_EQ(h.WeightedDegree(v), g.WeightedDegree(v));
+  }
+}
+
+TEST(HyperCoreness, ReducesToGraphCorenessAtRankTwo) {
+  util::Rng rng(2);
+  const graph::Graph g = graph::BarabasiAlbert(60, 3, rng);
+  const auto graph_core = seq::WeightedCoreness(g);
+  const auto hyper_core = HyperCoreness(FromGraph(g));
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(hyper_core[v], graph_core[v], 1e-9) << "v=" << v;
+  }
+}
+
+class HyperCorenessVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperCorenessVsBrute, AgreesOnSmallHypergraphs) {
+  util::Rng rng(2100 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(4 + rng.NextBounded(6));
+  const std::size_t r = 2 + rng.NextBounded(2);  // rank 2-3
+  const Hypergraph h = RandomUniform(n, 2 + rng.NextBounded(12),
+                                     std::min<std::size_t>(r, n), rng);
+  const auto fast = HyperCoreness(h);
+  const auto brute = HyperCorenessBrute(h);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(fast[v], brute[v], 1e-9) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HyperCorenessVsBrute, ::testing::Range(0, 40));
+
+class HyperDensestVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperDensestVsBrute, ExactSolverMatchesEnumeration) {
+  util::Rng rng(2200 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(4 + rng.NextBounded(7));
+  const std::size_t r = 2 + rng.NextBounded(2);
+  const Hypergraph h = RandomUniform(n, 3 + rng.NextBounded(15),
+                                     std::min<std::size_t>(r, n), rng);
+  const auto exact = HyperDensestExact(h);
+  const auto brute = HyperDensestBrute(h);
+  EXPECT_NEAR(exact.density, brute.density, 1e-7);
+  EXPECT_EQ(exact.in_set, brute.in_set);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HyperDensestVsBrute, ::testing::Range(0, 30));
+
+TEST(HyperDensestGreedy, RankFactorGuarantee) {
+  // Greedy peeling is an r-approximation on rank-r hypergraphs.
+  util::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t r = 2 + rng.NextBounded(3);
+    const Hypergraph h = RandomUniform(40, 80, r, rng);
+    const auto greedy = HyperDensestGreedy(h);
+    const auto exact = HyperDensestExact(h);
+    EXPECT_GE(greedy.density * static_cast<double>(r) + 1e-7, exact.density)
+        << "rank " << r;
+    EXPECT_LE(greedy.density, exact.density + 1e-7);
+  }
+}
+
+// Lemma III.2 analog: surviving numbers dominate the hypergraph coreness.
+class HyperBetaLowerBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperBetaLowerBound, BetaAtLeastCoreness) {
+  util::Rng rng(2300 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(30));
+  const std::size_t r = 2 + rng.NextBounded(3);
+  const Hypergraph h = RandomUniform(n, 2 * n, r, rng);
+  const auto core = HyperCoreness(h);
+  for (int T : {1, 2, 4, 8}) {
+    const auto beta = HyperSurvivingNumbers(h, T);
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_GE(beta[v], core[v] - 1e-9) << "T=" << T << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HyperBetaLowerBound, ::testing::Range(0, 15));
+
+// Lemma III.3 analog with the rank factor: max beta^T <= r n^{1/T} rho*.
+class HyperBetaUpperBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperBetaUpperBound, BetaBoundedByRankTimesDensity) {
+  util::Rng rng(2400 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(8 + rng.NextBounded(20));
+  const std::size_t r = 2 + rng.NextBounded(3);
+  const Hypergraph h = RandomUniform(n, 2 * n, r, rng);
+  const double rho = HyperDensestExact(h).density;
+  for (int T : {1, 2, 4, 8}) {
+    const auto beta = HyperSurvivingNumbers(h, T);
+    const double bound = static_cast<double>(h.Rank()) *
+                         std::pow(static_cast<double>(n),
+                                  1.0 / static_cast<double>(T)) *
+                         rho;
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_LE(beta[v], bound + 1e-7) << "T=" << T << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HyperBetaUpperBound, ::testing::Range(0, 15));
+
+TEST(HyperSurviving, MatchesGraphCompactEliminationAtRankTwo) {
+  // On rank-2 hypergraphs the update degenerates to the paper's
+  // Algorithm 2 (min over the single other member = that neighbor's b).
+  util::Rng rng(4);
+  const graph::Graph g = graph::ErdosRenyiGnp(40, 0.15, rng);
+  const Hypergraph h = FromGraph(g);
+  for (int T : {1, 3, 6}) {
+    const auto hb = HyperSurvivingNumbers(h, T);
+    core::CompactOptions opts;
+    opts.rounds = T;
+    const auto gb = core::RunCompactElimination(g, opts);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(hb[v], gb.b[v], 1e-9) << "T=" << T << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kcore::hyper

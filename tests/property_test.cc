@@ -1,0 +1,163 @@
+// Cross-cutting structural properties that tie several modules together:
+// quotient-graph algebra, elimination equivalences across implementations,
+// and decomposition invariants on randomized inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/elimination.h"
+#include "graph/generators.h"
+#include "graph/quotient.h"
+#include "seq/brute.h"
+#include "seq/charikar.h"
+#include "seq/densest_exact.h"
+#include "seq/kcore.h"
+#include "seq/local_density.h"
+#include "seq/streaming.h"
+#include "util/rng.h"
+
+namespace kcore {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+// Quotient composition: removing B1 then B2 equals removing B1 ∪ B2
+// (Definition II.2 is a congruence).
+class QuotientComposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuotientComposition, TwoStepEqualsOneStep) {
+  util::Rng rng(3300 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(6 + rng.NextBounded(20));
+  const Graph g = graph::WithIntegerWeights(
+      graph::ErdosRenyiGnp(n, 0.35, rng), 3, rng);
+  std::vector<char> b1(n, 0);
+  std::vector<char> b12(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    b1[v] = rng.NextBool(0.3) ? 1 : 0;
+    b12[v] = b1[v];
+  }
+  const auto q1 = graph::QuotientGraph(g, b1);
+  // Second batch, expressed in q1's ids.
+  std::vector<char> b2(q1.graph.num_nodes(), 0);
+  for (NodeId v = 0; v < q1.graph.num_nodes(); ++v) {
+    if (rng.NextBool(0.3)) {
+      b2[v] = 1;
+      b12[q1.new_to_old[v]] = 1;
+    }
+  }
+  const auto q2 = graph::QuotientGraph(q1.graph, b2);
+  const auto q_direct = graph::QuotientGraph(g, b12);
+  ASSERT_EQ(q2.graph.num_nodes(), q_direct.graph.num_nodes());
+  EXPECT_NEAR(q2.graph.total_weight(), q_direct.graph.total_weight(), 1e-9);
+  for (NodeId v = 0; v < q2.graph.num_nodes(); ++v) {
+    // Node correspondence: both keep survivors in increasing old-id order.
+    EXPECT_NEAR(q2.graph.WeightedDegree(v), q_direct.graph.WeightedDegree(v),
+                1e-9)
+        << "v=" << v;
+    EXPECT_NEAR(q2.graph.SelfLoopWeight(v), q_direct.graph.SelfLoopWeight(v),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuotientComposition, ::testing::Range(0, 25));
+
+// The distributed Algorithm 1 and the centralized fixpoint oracle agree
+// round by round (same synchronous semantics).
+class EliminationEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(EliminationEquivalence, DistributedMatchesCentralized) {
+  util::Rng rng(3400 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(8 + rng.NextBounded(40));
+  Graph g = graph::ErdosRenyiGnp(n, 0.2, rng);
+  if (GetParam() % 2 == 0) g = graph::WithIntegerWeights(g, 3, rng);
+  const double b = 0.5 + static_cast<double>(rng.NextBounded(6));
+  const int T = 1 + static_cast<int>(rng.NextBounded(8));
+  const auto dist = core::RunSingleThreshold(g, b, T);
+  const auto central = seq::EliminationFixpoint(g, b, T);
+  EXPECT_EQ(dist.surviving, central);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EliminationEquivalence,
+                         ::testing::Range(0, 30));
+
+// rho* dominates every density notion we compute, and the approximation
+// chain streaming <= charikar <= rho* orders as theory predicts.
+class DensityChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensityChain, OrderingHolds) {
+  util::Rng rng(3500 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(12 + rng.NextBounded(50));
+  Graph g = graph::ErdosRenyiGnp(n, 0.15, rng);
+  if (GetParam() % 2 == 0) g = graph::WithUniformWeights(g, 0.3, 2.0, rng);
+  const double rho = seq::MaxDensity(g);
+  const double charikar = seq::CharikarDensest(g).density;
+  const double streaming = seq::StreamingDensest(g, 0.5).density;
+  EXPECT_LE(charikar, rho + 1e-9);
+  EXPECT_LE(streaming, rho + 1e-9);
+  EXPECT_GE(2.0 * charikar + 1e-9, rho);
+  EXPECT_GE(3.0 * streaming + 1e-9, rho);  // 2(1+0.5)
+  // rho* itself is at least the whole-graph density and the max r(v).
+  EXPECT_GE(rho + 1e-9, g.Density());
+  const auto r = seq::MaximalDensities(g);
+  for (NodeId v = 0; v < n; ++v) EXPECT_LE(r[v], rho + 1e-7);
+  // max r(v) equals rho* (the first layer of the decomposition).
+  const double rmax = *std::max_element(r.begin(), r.end());
+  EXPECT_NEAR(rmax, rho, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensityChain, ::testing::Range(0, 25));
+
+// Coreness is monotone under edge addition; rho* too.
+class Monotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(Monotonicity, AddingEdgesNeverDecreasesCoreOrDensity) {
+  util::Rng rng(3600 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(8 + rng.NextBounded(20));
+  const Graph g = graph::ErdosRenyiGnp(n, 0.2, rng);
+  // Add a random extra edge.
+  const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+  NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+  if (u == v) v = (v + 1) % n;
+  graph::GraphBuilder builder(n);
+  for (const auto& e : g.edges()) builder.AddEdge(e.u, e.v, e.w);
+  builder.AddEdge(u, v, 1.0);
+  const Graph g2 = std::move(builder).Build();
+
+  const auto c1 = seq::WeightedCoreness(g);
+  const auto c2 = seq::WeightedCoreness(g2);
+  for (NodeId x = 0; x < n; ++x) {
+    EXPECT_GE(c2[x], c1[x] - 1e-9);
+    EXPECT_LE(c2[x], c1[x] + 1.0 + 1e-9);  // one unit edge adds <= 1
+  }
+  EXPECT_GE(seq::MaxDensity(g2) + 1e-9, seq::MaxDensity(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Monotonicity, ::testing::Range(0, 25));
+
+// Lemma III.4 / Corollary III.6 on quotient graphs too (the decomposition
+// recurses through them, so the sandwich must survive self-loops).
+class SandwichOnQuotients : public ::testing::TestWithParam<int> {};
+
+TEST_P(SandwichOnQuotients, HoldsWithSelfLoops) {
+  util::Rng rng(3700 + static_cast<std::uint64_t>(GetParam()));
+  // Stay within the brute oracles' subset-enumeration limits.
+  const NodeId n = static_cast<NodeId>(6 + rng.NextBounded(10));
+  const Graph g = graph::WithIntegerWeights(
+      graph::ErdosRenyiGnp(n, 0.4, rng), 3, rng);
+  std::vector<char> remove(n, 0);
+  for (NodeId v = 0; v < n; ++v) remove[v] = rng.NextBool(0.3) ? 1 : 0;
+  const auto q = graph::QuotientGraph(g, remove);
+  if (q.graph.num_nodes() == 0) return;
+  const auto c = seq::BruteCoreness(q.graph);
+  const auto r = seq::BruteMaximalDensities(q.graph);
+  for (NodeId v = 0; v < q.graph.num_nodes(); ++v) {
+    EXPECT_LE(r[v], c[v] + 1e-9) << "r <= c (Lemma III.4)";
+    EXPECT_LE(c[v], 2.0 * r[v] + 1e-9) << "c <= 2r (Corollary III.6)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SandwichOnQuotients, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace kcore

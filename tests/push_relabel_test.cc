@@ -1,0 +1,159 @@
+// Cross-validation of the two independent max-flow implementations
+// (Dinic and FIFO push-relabel) against each other and against
+// brute-force min cuts, plus flow-conservation property checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "flow/dinic.h"
+#include "flow/push_relabel.h"
+#include "util/rng.h"
+
+namespace kcore::flow {
+namespace {
+
+struct RandomNetwork {
+  int n;
+  std::vector<std::tuple<int, int, double>> arcs;
+};
+
+RandomNetwork MakeNetwork(util::Rng& rng, bool integer_caps) {
+  RandomNetwork net;
+  net.n = 4 + static_cast<int>(rng.NextBounded(12));
+  const int m = 2 * net.n + static_cast<int>(rng.NextBounded(30));
+  for (int i = 0; i < m; ++i) {
+    const int u = static_cast<int>(rng.NextBounded(net.n));
+    int v = static_cast<int>(rng.NextBounded(net.n));
+    if (u == v) v = (v + 1) % net.n;
+    const double cap = integer_caps
+                           ? static_cast<double>(rng.NextBounded(10))
+                           : rng.NextDouble(0.0, 5.0);
+    net.arcs.emplace_back(u, v, cap);
+  }
+  return net;
+}
+
+// Brute-force min cut by enumerating source sides (n <= 16).
+double BruteMinCut(const RandomNetwork& net, int s, int t) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << net.n); ++mask) {
+    if (!(mask >> s & 1u) || (mask >> t & 1u)) continue;
+    double cut = 0.0;
+    for (const auto& [u, v, cap] : net.arcs) {
+      if ((mask >> u & 1u) && !(mask >> v & 1u)) cut += cap;
+    }
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+TEST(PushRelabel, TextbookNetwork) {
+  PushRelabel pr(6);
+  pr.AddArc(0, 1, 16);
+  pr.AddArc(0, 2, 13);
+  pr.AddArc(1, 2, 10);
+  pr.AddArc(2, 1, 4);
+  pr.AddArc(1, 3, 12);
+  pr.AddArc(3, 2, 9);
+  pr.AddArc(2, 4, 14);
+  pr.AddArc(4, 3, 7);
+  pr.AddArc(3, 5, 20);
+  pr.AddArc(4, 5, 4);
+  EXPECT_NEAR(pr.MaxFlow(0, 5), 23.0, 1e-9);
+}
+
+TEST(PushRelabel, DisconnectedIsZero) {
+  PushRelabel pr(4);
+  pr.AddArc(0, 1, 5);
+  pr.AddArc(2, 3, 5);
+  EXPECT_NEAR(pr.MaxFlow(0, 3), 0.0, 1e-9);
+}
+
+class FlowCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowCrossValidation, DinicEqualsPushRelabelEqualsBrute) {
+  util::Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+  const RandomNetwork net = MakeNetwork(rng, GetParam() % 2 == 0);
+  const int s = 0;
+  const int t = net.n - 1;
+
+  Dinic dinic(net.n);
+  PushRelabel pr(net.n);
+  for (const auto& [u, v, cap] : net.arcs) {
+    dinic.AddArc(u, v, cap);
+    pr.AddArc(u, v, cap);
+  }
+  const double fd = dinic.MaxFlow(s, t);
+  const double fp = pr.MaxFlow(s, t);
+  EXPECT_NEAR(fd, fp, 1e-7);
+  if (net.n <= 16) {
+    EXPECT_NEAR(fd, BruteMinCut(net, s, t), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowCrossValidation, ::testing::Range(0, 60));
+
+class FlowProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowProperties, ConservationAndCutConsistency) {
+  util::Rng rng(3100 + static_cast<std::uint64_t>(GetParam()));
+  const RandomNetwork net = MakeNetwork(rng, true);
+  const int s = 0;
+  const int t = net.n - 1;
+  PushRelabel pr(net.n);
+  std::vector<int> handles;
+  for (const auto& [u, v, cap] : net.arcs) {
+    handles.push_back(pr.AddArc(u, v, cap));
+  }
+  const double flow = pr.MaxFlow(s, t);
+
+  // Per-arc flow in [0, cap]; conservation at internal nodes.
+  std::vector<double> net_out(net.n, 0.0);
+  for (std::size_t i = 0; i < net.arcs.size(); ++i) {
+    const auto& [u, v, cap] = net.arcs[i];
+    const double f = pr.Flow(handles[i]);
+    EXPECT_GE(f, -1e-9);
+    EXPECT_LE(f, cap + 1e-9);
+    net_out[u] += f;
+    net_out[v] -= f;
+  }
+  for (int v = 0; v < net.n; ++v) {
+    if (v == s || v == t) continue;
+    EXPECT_NEAR(net_out[v], 0.0, 1e-7) << "node " << v;
+  }
+  EXPECT_NEAR(net_out[s], flow, 1e-7);
+  EXPECT_NEAR(net_out[t], -flow, 1e-7);
+
+  // The reported cut's capacity equals the flow value (max-flow/min-cut).
+  const auto side = pr.MinCutSourceSide(s);
+  EXPECT_TRUE(side[s]);
+  EXPECT_FALSE(side[t]);
+  double cut = 0.0;
+  for (const auto& [u, v, cap] : net.arcs) {
+    if (side[u] && !side[v]) cut += cap;
+  }
+  EXPECT_NEAR(cut, flow, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowProperties, ::testing::Range(0, 40));
+
+TEST(PushRelabel, LargeRandomAgreesWithDinic) {
+  util::Rng rng(9);
+  const int n = 300;
+  Dinic dinic(n);
+  PushRelabel pr(n);
+  for (int i = 0; i < 3000; ++i) {
+    const int u = static_cast<int>(rng.NextBounded(n));
+    int v = static_cast<int>(rng.NextBounded(n));
+    if (u == v) v = (v + 1) % n;
+    const double cap = static_cast<double>(rng.NextBounded(20));
+    dinic.AddArc(u, v, cap);
+    pr.AddArc(u, v, cap);
+  }
+  EXPECT_NEAR(dinic.MaxFlow(0, n - 1), pr.MaxFlow(0, n - 1), 1e-6);
+}
+
+}  // namespace
+}  // namespace kcore::flow

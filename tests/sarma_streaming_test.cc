@@ -1,0 +1,127 @@
+// Tests for the diameter-dependent baselines: the Sarma et al.-style
+// distributed densest subset and the Bahmani streaming algorithm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/densest.h"
+#include "core/sarma.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "seq/densest_exact.h"
+#include "seq/streaming.h"
+#include "util/rng.h"
+
+namespace kcore {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+// Bahmani guarantee: rho(returned) >= rho* / (2(1+eps)).
+class StreamingGuarantee : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamingGuarantee, WithinTwoOnePlusEps) {
+  util::Rng rng(1700 + static_cast<std::uint64_t>(GetParam()));
+  const double eps = 0.1 + 0.3 * (GetParam() % 3);
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(80));
+  Graph g = graph::ErdosRenyiGnp(n, 0.1, rng);
+  if (GetParam() % 2 == 0) g = graph::WithUniformWeights(g, 0.3, 2.0, rng);
+  const auto r = seq::StreamingDensest(g, eps);
+  const double rho = seq::MaxDensity(g);
+  EXPECT_GE(r.density * 2.0 * (1 + eps) + 1e-7, rho);
+  EXPECT_LE(r.density, rho + 1e-7);
+  EXPECT_NEAR(g.InducedDensity(r.in_set), r.density, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingGuarantee, ::testing::Range(0, 20));
+
+TEST(Streaming, PassCountLogarithmic) {
+  util::Rng rng(3);
+  const Graph g = graph::BarabasiAlbert(3000, 4, rng);
+  const auto r = seq::StreamingDensest(g, 0.5);
+  // ceil(log_{1.5} 3000) ~ 20; passes must stay within that ballpark.
+  EXPECT_LE(r.passes, 24);
+  EXPECT_GE(r.passes, 2);
+}
+
+TEST(Streaming, EdgelessAndEmpty) {
+  graph::GraphBuilder b(5);
+  const auto r = seq::StreamingDensest(std::move(b).Build(), 0.5);
+  EXPECT_DOUBLE_EQ(r.density, 0.0);
+  graph::GraphBuilder b0(0);
+  const auto r0 = seq::StreamingDensest(std::move(b0).Build(), 0.5);
+  EXPECT_DOUBLE_EQ(r0.density, 0.0);
+}
+
+// Sarma-style baseline: 2(1+eps) guarantee, but diameter-dependent rounds.
+class SarmaGuarantee : public ::testing::TestWithParam<int> {};
+
+TEST_P(SarmaGuarantee, DensityWithinBound) {
+  util::Rng rng(1800 + static_cast<std::uint64_t>(GetParam()));
+  const double eps = 0.5;
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(60));
+  Graph g = graph::ErdosRenyiGnp(n, 0.12, rng);
+  if (GetParam() % 2 == 0) g = graph::WithUniformWeights(g, 0.5, 2.0, rng);
+  const auto r = core::RunSarmaDensest(g, eps);
+  const double rho = seq::MaxDensity(g);
+  EXPECT_GE(r.density * 2.0 * (1 + eps) + 1e-7, rho)
+      << "n=" << n << " rho=" << rho;
+  EXPECT_LE(r.density, rho + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SarmaGuarantee, ::testing::Range(0, 20));
+
+TEST(Sarma, RoundsScaleWithDiameter) {
+  // On a long path the BFS phase alone costs ~n rounds; the paper's weak
+  // algorithm stays logarithmic. This is the diameter barrier, measured.
+  const NodeId n = 301;
+  const Graph path = graph::Path(n);
+  const auto sarma = core::RunSarmaDensest(path, 0.5);
+  EXPECT_GE(sarma.rounds_bfs, static_cast<int>(n) / 2);
+  EXPECT_GE(sarma.tree_depth, static_cast<int>(n) / 2);
+
+  const auto weak = core::RunWeakDensest(path, 3.0);
+  EXPECT_LT(weak.rounds_total, sarma.rounds_total / 2)
+      << "the weak formulation must beat the diameter-bound baseline";
+  // Both achieve the density guarantee (rho* = (n-1)/n for a path).
+  const double rho = seq::MaxDensity(path);
+  EXPECT_GE(sarma.density * 3.0 + 1e-7, rho);
+  EXPECT_GE(weak.best_density * 3.0 + 1e-7, rho);
+}
+
+TEST(Sarma, CliqueFoundExactly) {
+  const Graph g = graph::Complete(16);
+  const auto r = core::RunSarmaDensest(g, 0.5);
+  EXPECT_NEAR(r.density, 7.5, 1e-9);
+  std::size_t size = 0;
+  for (char c : r.in_set) size += c ? 1 : 0;
+  EXPECT_EQ(size, 16u);
+}
+
+TEST(Sarma, DisconnectedComponentsHandled) {
+  // K6 and K4 in separate components; the K6 component's root returns it.
+  graph::GraphBuilder b(10);
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = i + 1; j < 6; ++j) b.AddEdge(i, j);
+  }
+  for (NodeId i = 6; i < 10; ++i) {
+    for (NodeId j = i + 1; j < 10; ++j) b.AddEdge(i, j);
+  }
+  const Graph g = std::move(b).Build();
+  const auto r = core::RunSarmaDensest(g, 0.5);
+  EXPECT_GE(r.density * 3.0 + 1e-7, 2.5);  // rho* = 2.5 (K6)
+}
+
+TEST(Sarma, BfsDepthMatchesEccentricity) {
+  util::Rng rng(4);
+  const Graph g = graph::BarabasiAlbert(200, 2, rng);
+  const auto r = core::RunSarmaDensest(g, 0.5);
+  // The tree is rooted at the max-id node; its depth equals that node's
+  // eccentricity.
+  EXPECT_EQ(r.tree_depth,
+            static_cast<int>(graph::Eccentricity(g, g.num_nodes() - 1)));
+}
+
+}  // namespace
+}  // namespace kcore

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "seq/brute.h"
+#include "seq/charikar.h"
+#include "seq/densest_exact.h"
+#include "seq/kcore.h"
+#include "seq/local_density.h"
+#include "seq/orientation_exact.h"
+#include "util/rng.h"
+
+namespace kcore::seq {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+// --- Coreness --------------------------------------------------------------
+
+TEST(UnweightedCoreness, KnownShapes) {
+  // Path: everyone 1. Cycle: everyone 2. K5: everyone 4.
+  for (std::uint32_t c : UnweightedCoreness(graph::Path(10))) EXPECT_EQ(c, 1u);
+  for (std::uint32_t c : UnweightedCoreness(graph::Cycle(10))) EXPECT_EQ(c, 2u);
+  for (std::uint32_t c : UnweightedCoreness(graph::Complete(5))) EXPECT_EQ(c, 4u);
+  // Star: center and leaves all coreness 1.
+  for (std::uint32_t c : UnweightedCoreness(graph::Star(8))) EXPECT_EQ(c, 1u);
+}
+
+TEST(UnweightedCoreness, CliquePlusPendant) {
+  // K4 on {0..3} + pendant 4 on node 0.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1).AddEdge(0, 2).AddEdge(0, 3).AddEdge(1, 2).AddEdge(1, 3)
+      .AddEdge(2, 3).AddEdge(0, 4);
+  const auto core = UnweightedCoreness(std::move(b).Build());
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[1], 3u);
+  EXPECT_EQ(core[4], 1u);
+}
+
+TEST(WeightedCoreness, MatchesUnweightedOnUnitGraphs) {
+  util::Rng rng(3);
+  const Graph g = graph::ErdosRenyiGnp(60, 0.12, rng);
+  const auto cw = WeightedCoreness(g);
+  const auto cu = UnweightedCoreness(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(cw[v], static_cast<double>(cu[v])) << "node " << v;
+  }
+}
+
+class WeightedCorenessVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedCorenessVsBrute, AgreesOnSmallGraphs) {
+  util::Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(3 + rng.NextBounded(8));
+  const Graph g = graph::WithIntegerWeights(
+      graph::ErdosRenyiGnp(n, 0.5, rng), 4, rng);
+  const auto fast = WeightedCoreness(g);
+  const auto brute = BruteCoreness(g);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(fast[v], brute[v], 1e-9) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedCorenessVsBrute,
+                         ::testing::Range(0, 40));
+
+TEST(WeightedCoreness, DefinitionCertificates) {
+  // For each node, the set {u : c(u) >= c(v)} must induce min degree
+  // >= c(v) around v... more precisely elimination with threshold c(v)
+  // must keep v, and any higher threshold must kill it.
+  util::Rng rng(4);
+  const Graph g = graph::WithUniformWeights(
+      graph::BarabasiAlbert(40, 2, rng), 0.5, 2.0, rng);
+  const auto core = WeightedCoreness(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto keep = EliminationFixpoint(g, core[v]);
+    EXPECT_TRUE(keep[v]) << "threshold c(v) must keep v";
+    const auto kill = EliminationFixpoint(g, core[v] * (1 + 1e-9) + 1e-9);
+    EXPECT_FALSE(kill[v]) << "threshold > c(v) must remove v";
+  }
+}
+
+TEST(Degeneracy, Values) {
+  EXPECT_EQ(Degeneracy(graph::Complete(7)), 6u);
+  EXPECT_EQ(Degeneracy(graph::Path(7)), 1u);
+  EXPECT_EQ(Degeneracy(graph::Cycle(7)), 2u);
+}
+
+// --- Densest subset / Charikar ----------------------------------------------
+
+TEST(Charikar, TwoApproxGuarantee) {
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = graph::WithIntegerWeights(
+        graph::ErdosRenyiGnp(40, 0.15, rng), 3, rng);
+    if (g.num_edges() == 0) continue;
+    const CharikarResult ch = CharikarDensest(g);
+    const double opt = MaxDensity(g);
+    EXPECT_GE(ch.density * 2.0 + 1e-9, opt);
+    EXPECT_LE(ch.density, opt + 1e-9);
+    // Internal consistency: reported density matches the set.
+    EXPECT_NEAR(g.InducedDensity(ch.in_set), ch.density, 1e-9);
+  }
+}
+
+TEST(Charikar, ExactOnCliquePlusNoise) {
+  const Graph g = graph::Complete(6);
+  const CharikarResult ch = CharikarDensest(g);
+  EXPECT_NEAR(ch.density, 2.5, 1e-9);
+  EXPECT_EQ(ch.size, 6u);
+}
+
+// --- Diminishingly-dense decomposition --------------------------------------
+
+TEST(LocalDensity, StrictlyDecreasingLayers) {
+  util::Rng rng(6);
+  const Graph g = graph::BarabasiAlbert(80, 3, rng);
+  const LocalDensityResult r = DiminishinglyDenseDecomposition(g);
+  for (std::size_t i = 1; i < r.layer_density.size(); ++i) {
+    EXPECT_LT(r.layer_density[i], r.layer_density[i - 1] + 1e-9);
+  }
+  // First layer density == rho*.
+  EXPECT_NEAR(r.layer_density[0], MaxDensity(g), 1e-7);
+  // Every node assigned.
+  std::uint32_t total = 0;
+  for (std::uint32_t s : r.layer_size) total += s;
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+class LocalDensityVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalDensityVsBrute, AgreesOnSmallGraphs) {
+  util::Rng rng(200 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(4 + rng.NextBounded(7));
+  const Graph g = graph::WithIntegerWeights(
+      graph::ErdosRenyiGnp(n, 0.45, rng), 3, rng);
+  const auto fast = MaximalDensities(g);
+  const auto brute = BruteMaximalDensities(g);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(fast[v], brute[v], 1e-6) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalDensityVsBrute, ::testing::Range(0, 30));
+
+// Corollary III.6: r(v) <= c(v) <= 2 r(v).
+class SandwichProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SandwichProperty, CorenessVsMaximalDensity) {
+  util::Rng rng(300 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(40));
+  Graph g = graph::ErdosRenyiGnp(n, 0.2, rng);
+  if (GetParam() % 3 == 0) g = graph::WithUniformWeights(g, 0.2, 3.0, rng);
+  const auto c = WeightedCoreness(g);
+  const auto r = MaximalDensities(g);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_LE(r[v], c[v] + 1e-7) << "node " << v;
+    EXPECT_LE(c[v], 2.0 * r[v] + 1e-7) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SandwichProperty, ::testing::Range(0, 25));
+
+// --- Min-max orientation -----------------------------------------------------
+
+TEST(OrientationExact, PathAndCycleAndClique) {
+  EXPECT_EQ(ExactMinMaxOrientationUnweighted(graph::Path(10)).opt, 1u);
+  EXPECT_EQ(ExactMinMaxOrientationUnweighted(graph::Cycle(10)).opt, 1u);
+  // K4: 6 edges / 4 nodes -> someone gets 2.
+  EXPECT_EQ(ExactMinMaxOrientationUnweighted(graph::Complete(4)).opt, 2u);
+  // Star: all edges can point at leaves.
+  EXPECT_EQ(ExactMinMaxOrientationUnweighted(graph::Star(9)).opt, 1u);
+}
+
+TEST(OrientationExact, EmptyGraph) {
+  graph::GraphBuilder b(3);
+  const auto r = ExactMinMaxOrientationUnweighted(std::move(b).Build());
+  EXPECT_EQ(r.opt, 0u);
+  EXPECT_DOUBLE_EQ(r.orientation.max_load, 0.0);
+}
+
+class OrientationVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrientationVsBrute, UnweightedAgreesWithEnumeration) {
+  util::Rng rng(400 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(4 + rng.NextBounded(4));
+  Graph g = graph::ErdosRenyiGnp(n, 0.6, rng);
+  if (g.num_edges() > 16 || g.num_edges() == 0) return;
+  const auto exact = ExactMinMaxOrientationUnweighted(g);
+  const double brute = BruteMinMaxOrientation(g);
+  EXPECT_NEAR(static_cast<double>(exact.opt), brute, 1e-9);
+  EXPECT_NEAR(exact.orientation.max_load, brute, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrientationVsBrute, ::testing::Range(0, 40));
+
+TEST(OrientationExact, LpDualityLowerBound) {
+  // OPT >= rho* and (unweighted) OPT = ceil(pseudo-arboricity-like bound):
+  // here we just verify the weak-duality inequality on random graphs.
+  util::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const Graph g = graph::ErdosRenyiGnp(25, 0.25, rng);
+    if (g.num_edges() == 0) continue;
+    const auto exact = ExactMinMaxOrientationUnweighted(g);
+    const double rho = OrientationLpLowerBound(g);
+    EXPECT_GE(static_cast<double>(exact.opt) + 1e-9, rho);
+    // Known tight relation for unit weights: OPT = ceil(max-density) when
+    // rho* is not integral; always OPT <= ceil(rho*) .. so check both
+    // directions loosely: OPT - 1 < rho* <= OPT.
+    EXPECT_LT(static_cast<double>(exact.opt) - 1.0, rho + 1e-9);
+  }
+}
+
+TEST(GreedyOrientation, FeasibleAndBoundedByDegree) {
+  util::Rng rng(8);
+  const Graph g = graph::WithParetoWeights(
+      graph::BarabasiAlbert(60, 3, rng), 1.0, 1.8, rng);
+  Orientation o = GreedyOrientation(g);
+  // Loads recompute consistently.
+  double mx = 0.0;
+  for (double l : o.loads) mx = std::max(mx, l);
+  EXPECT_DOUBLE_EQ(mx, o.max_load);
+  const double before = o.max_load;
+  LocalSearchImprove(g, o, 8);
+  EXPECT_LE(o.max_load, before + 1e-12);
+  EXPECT_GE(o.max_load, OrientationLpLowerBound(g) - 1e-9);
+}
+
+TEST(MakeOrientation, RejectsNonEndpointOwnerViaDeath) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = std::move(b).Build();
+  EXPECT_DEATH(MakeOrientation(g, {2}), "endpoint");
+}
+
+// --- Elimination fixpoint oracle ---------------------------------------------
+
+TEST(EliminationFixpoint, ThresholdSweepIsMonotone) {
+  util::Rng rng(9);
+  const Graph g = graph::BarabasiAlbert(30, 2, rng);
+  // Higher thresholds keep fewer nodes.
+  std::size_t prev = g.num_nodes();
+  for (double b = 0.5; b < 6.0; b += 0.5) {
+    const auto alive = EliminationFixpoint(g, b);
+    std::size_t count = 0;
+    for (char a : alive) count += a ? 1 : 0;
+    EXPECT_LE(count, prev);
+    prev = count;
+  }
+}
+
+TEST(EliminationFixpoint, MatchesCorenessCharacterization) {
+  // Survivors of threshold b are exactly {v : c(v) >= b}.
+  util::Rng rng(10);
+  const Graph g = graph::ErdosRenyiGnp(40, 0.2, rng);
+  const auto core = WeightedCoreness(g);
+  for (double b : {1.0, 2.0, 3.0, 4.0}) {
+    const auto alive = EliminationFixpoint(g, b);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(alive[v] != 0, core[v] >= b) << "b=" << b << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kcore::seq

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/update.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace kcore {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedIsInRangeAndCoversValues) {
+  util::Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.NextBounded(10);
+    ASSERT_LT(x, 10u);
+    ++hits[static_cast<std::size_t>(x)];
+  }
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  util::Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.NextInt(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  util::Rng rng(11);
+  double mean = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    mean += x;
+  }
+  mean /= kN;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.NextPareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  util::Rng rng(13);
+  double sum = 0.0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  util::Rng rng(17);
+  util::Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.Add(rng.NextGaussian(3.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 3.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  util::Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.Shuffle(w.begin(), w.end());
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  util::Rng a(42);
+  util::Rng child = a.Fork();
+  // Child should not replay the parent's stream.
+  util::Rng b(42);
+  b.Next();  // align with the Fork's consumption
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Accumulator, BasicMoments) {
+  util::Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+}
+
+TEST(Accumulator, MergeMatchesCombined) {
+  util::Rng rng(9);
+  util::Accumulator a;
+  util::Accumulator b;
+  util::Accumulator all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble(-5, 5);
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, SummaryPercentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const util::Summary s = util::Summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(util::Percentile({}, 0.5), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(util::Percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(util::Percentile(one, 1.0), 7.0);
+  const std::vector<double> two{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(util::Percentile(two, 0.5), 2.0);
+}
+
+TEST(Table, TextCsvMarkdown) {
+  util::Table t({"graph", "n", "ratio"});
+  t.Row().Str("ba").Int(1000).Dbl(1.2345, 2);
+  t.Row().Str("er").Int(500).Dbl(2.0);
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("graph"), std::string::npos);
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("ba,1000,1.23"), std::string::npos);
+  const std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| ba | 1000 | 1.23 |"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting) {
+  util::Table t({"a"});
+  t.Row().Str("x,y\"z");
+  EXPECT_NE(t.ToCsv().find("\"x,y\"\"z\""), std::string::npos);
+}
+
+TEST(FormatDouble, TrimsZeros) {
+  EXPECT_EQ(util::FormatDouble(2.0), "2");
+  EXPECT_EQ(util::FormatDouble(2.5, 4), "2.5");
+  EXPECT_EQ(util::FormatDouble(1.0 / 0.0), "inf");
+}
+
+TEST(Flags, ParsesForms) {
+  // Note: "--flag value" binds the value, so a boolean switch must be
+  // followed by another flag (or use --flag=true).
+  const char* argv[] = {"prog",      "--n=100", "--graph", "ba",
+                        "--verbose", "--eps",   "0.5",     "pos1"};
+  util::Flags f;
+  ASSERT_TRUE(f.Parse(8, argv));
+  EXPECT_EQ(f.GetInt("n"), 100);
+  EXPECT_EQ(f.GetString("graph"), "ba");
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_DOUBLE_EQ(f.GetDouble("eps"), 0.5);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_EQ(f.GetInt("missing", -7), -7);
+}
+
+TEST(RoundDownToPower, Basics) {
+  // lambda = 0 is the identity.
+  EXPECT_DOUBLE_EQ(core::RoundDownToPower(3.7, 0.0), 3.7);
+  EXPECT_DOUBLE_EQ(core::RoundDownToPower(0.0, 0.5), 0.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(core::RoundDownToPower(inf, 0.5), inf);
+  // Powers of 1.5: ... 1, 1.5, 2.25, 3.375, 5.0625 ...
+  EXPECT_NEAR(core::RoundDownToPower(4.0, 0.5), 3.375, 1e-12);
+  EXPECT_NEAR(core::RoundDownToPower(3.375, 0.5), 3.375, 1e-12);
+  EXPECT_NEAR(core::RoundDownToPower(1.49, 0.5), 1.0, 1e-12);
+}
+
+TEST(RoundDownToPower, SandwichProperty) {
+  util::Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const double lambda = rng.NextDouble(0.01, 1.0);
+    const double x = rng.NextPareto(0.001, 0.5);
+    const double p = core::RoundDownToPower(x, lambda);
+    ASSERT_LE(p, x * (1 + 1e-12));
+    ASSERT_GE(p * (1.0 + lambda), x * (1 - 1e-12))
+        << "x=" << x << " lambda=" << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace kcore
