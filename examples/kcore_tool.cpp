@@ -10,6 +10,8 @@
 //
 // Graph input: --file=PATH (edge list "u v [w]"), or a generator:
 //   --graph=ba|er|ws|powerlaw|rmat|community [--n=N] [--seed=S]
+// --threads=K runs the simulator's round scheduler on K pool workers
+// (results are bit-identical to --threads=1).
 //
 // Examples:
 //   kcore_tool generate --graph=ba --n=5000 --out=/tmp/ba.txt
@@ -93,6 +95,7 @@ int CmdCoreness(const Flags& flags) {
   kcore::core::CompactOptions opts;
   opts.rounds = T;
   opts.lambda = flags.GetDouble("lambda", 0.0);
+  opts.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   const auto res = kcore::core::RunCompactElimination(g, opts);
   const auto exact = kcore::seq::WeightedCoreness(g);
   std::vector<double> ratios;
@@ -104,7 +107,7 @@ int CmdCoreness(const Flags& flags) {
   std::printf("ratio beta/c: %s\n",
               kcore::util::Summarize(ratios).ToString().c_str());
   if (flags.GetBool("montresor")) {
-    const auto conv = kcore::core::RunToConvergence(g);
+    const auto conv = kcore::core::RunToConvergence(g, -1, opts.num_threads);
     std::printf("run-to-exact (Montresor): %d rounds, %zu messages\n",
                 conv.last_change_round, conv.totals.messages);
   }
@@ -130,10 +133,13 @@ int CmdCoreness(const Flags& flags) {
 int CmdOrientation(const Flags& flags) {
   const Graph g = MakeGraph(flags);
   const double eps = flags.GetDouble("eps", 0.5);
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
   const int T = kcore::core::RoundsForEpsilon(g.num_nodes(), eps);
   const double rho = kcore::seq::MaxDensity(g);
-  const auto ours = kcore::core::RunDistributedOrientation(g, T);
-  const auto two_phase = kcore::core::RunTwoPhaseOrientation(g, T, eps);
+  const auto ours = kcore::core::RunDistributedOrientation(
+      g, T, kcore::core::ConflictRule::kLowerLoad, threads);
+  const auto two_phase =
+      kcore::core::RunTwoPhaseOrientation(g, T, eps, -1, threads);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
   kcore::util::Table t({"method", "max load", "load/rho*", "rounds"});
@@ -161,7 +167,8 @@ int CmdDensest(const Flags& flags) {
   const Graph g = MakeGraph(flags);
   const double gamma = flags.GetDouble("gamma", 3.0);
   const double rho = kcore::seq::MaxDensity(g);
-  const auto weak = kcore::core::RunWeakDensest(g, gamma);
+  const auto weak = kcore::core::RunWeakDensest(
+      g, gamma, -1, static_cast<int>(flags.GetInt("threads", 1)));
   const auto charikar = kcore::seq::CharikarDensest(g);
   const auto streaming = kcore::seq::StreamingDensest(g, gamma / 2 - 1);
   kcore::util::Table t({"method", "density", "density/rho*", "rounds/passes"});

@@ -10,7 +10,7 @@
 //   * a centralized greedy + local search,
 //   * the two-phase Barenboim-Elkin-style baseline.
 //
-// Usage: p2p_orientation [--n=1500] [--eps=0.5] [--seed=3]
+// Usage: p2p_orientation [--n=1500] [--eps=0.5] [--seed=3] [--threads=1]
 #include <cstdio>
 
 #include "core/compact.h"
@@ -42,8 +42,11 @@ int main(int argc, char** argv) {
   const int T = kcore::core::RoundsForEpsilon(n, eps);
   const double rho = kcore::seq::MaxDensity(g);
 
-  const auto ours = kcore::core::RunDistributedOrientation(g, T);
-  const auto two_phase = kcore::core::RunTwoPhaseOrientation(g, T, eps);
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const auto ours = kcore::core::RunDistributedOrientation(
+      g, T, kcore::core::ConflictRule::kLowerLoad, threads);
+  const auto two_phase =
+      kcore::core::RunTwoPhaseOrientation(g, T, eps, -1, threads);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
 

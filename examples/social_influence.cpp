@@ -9,6 +9,7 @@
 // cascade simulation.
 //
 // Usage: social_influence [--n=2000] [--eps=0.5] [--seed=7] [--topk=25]
+//                         [--threads=1]
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
   const int T = kcore::core::RoundsForEpsilon(n, eps);
   kcore::core::CompactOptions opts;
   opts.rounds = T;
+  opts.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   const auto res = kcore::core::RunCompactElimination(g, opts);
   std::printf("distributed coreness estimate: %d rounds, %zu messages\n", T,
               res.totals.messages);

@@ -35,10 +35,10 @@ void SingleThresholdElimination::Round(NodeContext& ctx) {
 }
 
 EliminationRun RunSingleThreshold(const graph::Graph& g, double threshold,
-                                  int rounds) {
+                                  int rounds, int num_threads) {
   KCORE_CHECK_MSG(!g.has_self_loops(),
                   "distributed protocols run on self-loop-free graphs");
-  distsim::Engine engine(g);
+  distsim::Engine engine(g, num_threads);
   SingleThresholdElimination proto(g.num_nodes(), threshold);
   EliminationRun out;
   engine.Start(proto);

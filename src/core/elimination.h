@@ -39,7 +39,9 @@ struct EliminationRun {
 };
 
 // Runs Algorithm 1 for T rounds on g (must be self-loop free).
+// num_threads > 1 backs the rounds with the engine's thread pool; the
+// outcome is bit-identical to the sequential run.
 EliminationRun RunSingleThreshold(const graph::Graph& g, double threshold,
-                                  int rounds);
+                                  int rounds, int num_threads = 1);
 
 }  // namespace kcore::core

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
-#include <thread>
 #include <unordered_set>
 
+#include "distsim/thread_pool.h"
 #include "util/logging.h"
 
 namespace kcore::distsim {
@@ -133,34 +133,33 @@ void Engine::CollectRound(int round) {
   history_.push_back(stats);
 }
 
+void Engine::ComputePhase(Protocol& p, int round) {
+  const NodeId n = graph_.num_nodes();
+  if (num_threads_ <= 1 || n < 256) {
+    ComputeRange(p, 0, n, round);
+    return;
+  }
+  // Disjoint contiguous id ranges; per-node state writes never alias, so
+  // this is race-free and bit-identical to the sequential order. The
+  // pool persists across rounds — workers are created once per engine.
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  pool_->ParallelFor(0, n, [this, &p, round](std::uint64_t begin,
+                                             std::uint64_t end) {
+    ComputeRange(p, static_cast<NodeId>(begin), static_cast<NodeId>(end),
+                 round);
+  });
+}
+
 void Engine::Start(Protocol& p) {
   KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
                   "Start() must be the first call");
-  ComputeRange(p, 0, graph_.num_nodes(), 0);
+  ComputePhase(p, 0);
   CollectRound(0);
 }
 
 RoundStats Engine::Step(Protocol& p) {
   const int round = ++round_;
-  const NodeId n = graph_.num_nodes();
-  if (num_threads_ <= 1 || n < 256) {
-    ComputeRange(p, 0, n, round);
-  } else {
-    // Disjoint id ranges; per-node state writes never alias, so this is
-    // race-free and bit-identical to the sequential order.
-    const int workers = num_threads_;
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(workers));
-    const NodeId chunk = (n + workers - 1) / static_cast<NodeId>(workers);
-    for (int t = 0; t < workers; ++t) {
-      const NodeId begin = static_cast<NodeId>(t) * chunk;
-      const NodeId end = std::min<NodeId>(n, begin + chunk);
-      if (begin >= end) break;
-      threads.emplace_back(
-          [this, &p, begin, end, round] { ComputeRange(p, begin, end, round); });
-    }
-    for (auto& th : threads) th.join();
-  }
+  ComputePhase(p, round);
   CollectRound(round);
   return history_.back();
 }

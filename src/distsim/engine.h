@@ -104,8 +104,10 @@ class NodeContext {
 };
 
 // A distributed protocol: per-node init and per-node round logic. The
-// protocol object owns all per-node state (indexed by node id); the engine
-// guarantees Round(ctx) for node v touches only v's slots.
+// protocol object owns all per-node state (indexed by node id). Both
+// Init(ctx) and Round(ctx) may be sharded over the engine's thread pool,
+// so for node v they must touch only v's slots — the disjoint-writes
+// contract the determinism guarantee rests on.
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -113,9 +115,13 @@ class Protocol {
   virtual void Round(NodeContext& ctx) = 0;
 };
 
+class ThreadPool;
+
 class Engine {
  public:
-  // num_threads <= 1 means sequential. The graph must outlive the engine.
+  // num_threads <= 1 means sequential; > 1 backs the compute phase of
+  // every round with a persistent ThreadPool (workers live for the
+  // engine's lifetime, not per round). The graph must outlive the engine.
   explicit Engine(const graph::Graph& g, int num_threads = 1);
 
   // CONGEST enforcement: once set, staging any message with more than
@@ -144,6 +150,7 @@ class Engine {
   int RunUntilQuiescent(Protocol& p, int max_rounds);
 
   const graph::Graph& graph() const { return graph_; }
+  int num_threads() const { return num_threads_; }
   const std::vector<RoundStats>& history() const { return history_; }
   Totals totals() const;
 
@@ -159,10 +166,18 @@ class Engine {
   };
 
   void ComputeRange(Protocol& p, NodeId begin, NodeId end, int round);
+  // Runs the round's compute sweep — sequentially, or sharded over the
+  // pool when num_threads_ > 1 and the graph clears the cutoff. Both
+  // Start (round 0) and Step go through here.
+  void ComputePhase(Protocol& p, int round);
   void CollectRound(int round);
 
   const graph::Graph& graph_;
   int num_threads_;
+  // Lazily created on the first parallel compute phase (Start's Init
+  // sweep included) and reused for every later round; null while running
+  // sequentially.
+  std::unique_ptr<ThreadPool> pool_;
   int round_ = 0;
 
   // Double-buffered broadcasts: prev_ visible to readers, next_ written by

@@ -1,0 +1,98 @@
+#include "distsim/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace kcore::distsim {
+
+ThreadPool::ThreadPool(int num_threads) {
+  KCORE_CHECK_MSG(num_threads >= 1,
+                  "ThreadPool needs num_threads >= 1, got " << num_threads);
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int shard = 1; shard < num_threads; ++shard) {
+    workers_.emplace_back([this, shard] { WorkerLoop(shard); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunShard(int shard) {
+  const std::uint64_t b =
+      job_begin_ + static_cast<std::uint64_t>(shard) * job_chunk_;
+  const std::uint64_t e = std::min(job_end_, b + job_chunk_);
+  if (b < e) (*body_)(b, e);
+}
+
+void ThreadPool::WorkerLoop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    std::exception_ptr error;
+    try {
+      RunShard(shard);
+    } catch (...) {
+      // Must not escape the thread entry (std::terminate); stash the
+      // first failure for ParallelFor to rethrow on the caller's thread.
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (error && !error_) error_ = std::move(error);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (begin >= end) return;
+  const int shards = num_shards();
+  if (shards == 1) {
+    body(begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_chunk_ = (end - begin + static_cast<std::uint64_t>(shards) - 1) /
+                 static_cast<std::uint64_t>(shards);
+    pending_ = shards - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // Workers hold a raw pointer to `body` until pending_ hits zero, so if
+  // the caller's shard throws we must still wait for them before the
+  // stack (and the std::function) unwinds.
+  const auto drain = [this] {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return pending_ == 0; });
+    body_ = nullptr;
+    return std::exchange(error_, nullptr);
+  };
+  try {
+    RunShard(0);  // the caller is shard 0
+  } catch (...) {
+    drain();
+    throw;  // a caller-shard throw wins over any stashed worker error
+  }
+  if (std::exception_ptr error = drain()) std::rethrow_exception(error);
+}
+
+}  // namespace kcore::distsim

@@ -179,6 +179,44 @@ TEST(Engine, ThreadedMatchesSequential) {
   EXPECT_EQ(seq_engine.totals().messages, par_engine.totals().messages);
 }
 
+TEST(Engine, ReportsConfiguredThreadCount) {
+  const Graph g = graph::Path(4);
+  EXPECT_EQ(Engine(g).num_threads(), 1);
+  EXPECT_EQ(Engine(g, 8).num_threads(), 8);
+  // num_threads <= 1 clamps to sequential.
+  EXPECT_EQ(Engine(g, 0).num_threads(), 1);
+  EXPECT_EQ(Engine(g, -3).num_threads(), 1);
+}
+
+TEST(Engine, ThreadedQuiescenceMatchesSequential) {
+  // RunUntilQuiescent goes through the pooled Step path too; the detected
+  // round and the fixpoint must not depend on the thread count.
+  util::Rng rng(23);
+  const Graph g = graph::BarabasiAlbert(800, 3, rng);
+  MaxFlood seq_proto(800);
+  MaxFlood par_proto(800);
+  Engine seq_engine(g, 1);
+  Engine par_engine(g, 8);
+  const int seq_rounds = seq_engine.RunUntilQuiescent(seq_proto, 100);
+  const int par_rounds = par_engine.RunUntilQuiescent(par_proto, 100);
+  EXPECT_EQ(seq_rounds, par_rounds);
+  EXPECT_EQ(seq_proto.value(), par_proto.value());
+  EXPECT_EQ(seq_engine.totals().messages, par_engine.totals().messages);
+}
+
+TEST(Engine, PoolSurvivesManyRounds) {
+  // The pool is created once and reused for every round; hammer it long
+  // enough that a worker lifecycle bug (lost wakeup, double dispatch)
+  // would deadlock or corrupt results.
+  util::Rng rng(29);
+  const Graph g = graph::ErdosRenyiGnp(500, 0.02, rng);
+  MaxFlood proto(500);
+  Engine engine(g, 4);
+  engine.Start(proto);
+  for (int t = 0; t < 200; ++t) engine.Step(proto);
+  EXPECT_EQ(engine.history().size(), 201u);
+}
+
 TEST(Engine, QuiescenceDetection) {
   const Graph g = graph::Path(6);
   MaxFlood proto(6);

@@ -174,6 +174,104 @@ TEST(GammaTreeWithLeafClique, RootCorenessJumpsToGamma) {
   EXPECT_GE(core[g.num_nodes() - 1], gamma);
 }
 
+// --- Property tests across the random models ------------------------------
+
+// Every simple generated graph must satisfy the handshake lemma: the sum
+// of unweighted degrees equals 2m, and the sum of weighted degrees equals
+// 2 * w(E). (With self-loops the loop contributes once to its endpoint —
+// none of these models emit loops, which AllSimpleAndLoopFree pins.)
+TEST(GeneratorProperties, DegreeSumsMatchHandshakeLemma) {
+  util::Rng rng(21);
+  const Graph graphs[] = {
+      ErdosRenyiGnp(300, 0.04, rng),
+      ErdosRenyiGnm(300, 900, rng),
+      BarabasiAlbert(300, 3, rng),
+      WattsStrogatz(300, 3, 0.15, rng),
+      PowerLawConfiguration(300, 2.4, 2, 40, rng),
+      Rmat(8, 5.0, 0.57, 0.19, 0.19, rng),
+      PlantedPartition(240, 6, 0.3, 0.01, rng),
+      RandomGeometric(300, 0.12, rng),
+  };
+  for (const Graph& g : graphs) {
+    std::size_t degree_sum = 0;
+    double weighted_sum = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      degree_sum += g.Degree(v);
+      weighted_sum += g.WeightedDegree(v);
+    }
+    EXPECT_EQ(degree_sum, 2 * g.num_edges());
+    EXPECT_NEAR(weighted_sum, 2.0 * g.total_weight(),
+                1e-9 * (1.0 + g.total_weight()));
+  }
+}
+
+// Replaying any generator with the same seed must reproduce the edge list
+// bit-for-bit — the reproducibility contract every experiment leans on.
+TEST(GeneratorProperties, DeterministicUnderFixedSeed) {
+  const auto same_edges = [](const Graph& a, const Graph& b) {
+    ASSERT_EQ(a.num_nodes(), b.num_nodes());
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (EdgeId e = 0; e < a.num_edges(); ++e) {
+      ASSERT_EQ(a.edge(e).u, b.edge(e).u);
+      ASSERT_EQ(a.edge(e).v, b.edge(e).v);
+      ASSERT_DOUBLE_EQ(a.edge(e).w, b.edge(e).w);
+    }
+  };
+  const auto with = [](auto&& f) {
+    util::Rng rng(77);
+    return f(rng);
+  };
+  const auto check = [&](auto&& f) {
+    same_edges(with(f), with(f));
+  };
+  check([](util::Rng& r) { return ErdosRenyiGnp(200, 0.05, r); });
+  check([](util::Rng& r) { return ErdosRenyiGnm(200, 500, r); });
+  check([](util::Rng& r) { return BarabasiAlbert(200, 3, r); });
+  check([](util::Rng& r) { return WattsStrogatz(200, 3, 0.2, r); });
+  check([](util::Rng& r) { return PowerLawConfiguration(200, 2.5, 2, 30, r); });
+  check([](util::Rng& r) { return Rmat(7, 4.0, 0.57, 0.19, 0.19, r); });
+  check([](util::Rng& r) { return PlantedPartition(120, 4, 0.4, 0.02, r); });
+  check([](util::Rng& r) { return RandomGeometric(150, 0.15, r); });
+  check([](util::Rng& r) {
+    return WithUniformWeights(Cycle(64), 1.0, 3.0, r);
+  });
+  check([](util::Rng& r) { return WithParetoWeights(Cycle(64), 1.0, 2.0, r); });
+}
+
+// Different seeds must (overwhelmingly likely) give different graphs;
+// guards against a generator silently ignoring its Rng.
+TEST(GeneratorProperties, DifferentSeedsDiffer) {
+  util::Rng r1(1);
+  util::Rng r2(2);
+  const Graph a = ErdosRenyiGnm(100, 300, r1);
+  const Graph b = ErdosRenyiGnm(100, 300, r2);
+  bool differs = false;
+  for (EdgeId e = 0; e < a.num_edges() && !differs; ++e) {
+    differs = a.edge(e).u != b.edge(e).u || a.edge(e).v != b.edge(e).v;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// Invalid parameters must trip a KCORE_CHECK, not corrupt memory.
+TEST(GeneratorProperties, ParameterValidationDies) {
+  util::Rng rng(3);
+  EXPECT_DEATH(Cycle(2), "cycle needs >= 3 nodes");
+  EXPECT_DEATH(ErdosRenyiGnm(10, 100, rng), "too many edges");
+  EXPECT_DEATH(BarabasiAlbert(3, 3, rng), "n > attach");
+  EXPECT_DEATH(BarabasiAlbert(10, 0, rng), "attach >= 1");
+}
+
+// Boundary sizes: the smallest legal instance of each deterministic shape.
+TEST(GeneratorProperties, MinimalShapes) {
+  EXPECT_EQ(Path(1).num_edges(), 0u);
+  EXPECT_EQ(Path(0).num_nodes(), 0u);
+  EXPECT_EQ(Cycle(3).num_edges(), 3u);
+  EXPECT_EQ(Star(1).num_edges(), 0u);
+  EXPECT_EQ(Complete(1).num_edges(), 0u);
+  EXPECT_EQ(Grid(1, 1).num_edges(), 0u);
+  EXPECT_EQ(CompleteBipartite(1, 1).num_edges(), 1u);
+}
+
 TEST(Weights, UniformParetoInteger) {
   util::Rng rng(12);
   const Graph base = Cycle(50);

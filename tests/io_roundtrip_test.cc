@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "seq/kcore.h"
+#include "util/rng.h"
+
+namespace kcore::graph {
+namespace {
+
+std::string TempPath(const char* stem) {
+  return std::string(::testing::TempDir()) + "/" + stem + ".txt";
+}
+
+void ExpectSameEdgeList(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u) << "edge " << e;
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v) << "edge " << e;
+    EXPECT_DOUBLE_EQ(a.edge(e).w, b.edge(e).w) << "edge " << e;
+  }
+}
+
+TEST(IoRoundTrip, WriteReadIdenticalEdgeList) {
+  util::Rng rng(33);
+  const Graph g = WithUniformWeights(BarabasiAlbert(200, 3, rng), 0.5,
+                                     7.5, rng);
+  const std::string path = TempPath("roundtrip_ba");
+  ASSERT_TRUE(SaveEdgeList(g, path));
+  // merge_parallel=false: the file has no duplicates, and skipping the
+  // merge keeps the reader's edge order equal to the writer's.
+  const auto loaded = LoadEdgeList(path, /*merge_parallel=*/false);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectSameEdgeList(g, loaded->graph);
+  // Every node of a BA graph has degree >= 1, so the dense remap is the
+  // identity.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(loaded->original_ids[v], v);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoRoundTrip, WeightsSurviveExactly) {
+  // precision(17) in the writer must round-trip doubles bit-exactly,
+  // including awkward values.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0 / 3.0);
+  b.AddEdge(1, 2, 1e-12);
+  b.AddEdge(2, 3, 12345678.87654321);
+  const Graph g = std::move(b).Build();
+  const std::string path = TempPath("roundtrip_weights");
+  ASSERT_TRUE(SaveEdgeList(g, path));
+  const auto loaded = LoadEdgeList(path, /*merge_parallel=*/false);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectSameEdgeList(g, loaded->graph);
+  std::remove(path.c_str());
+}
+
+TEST(IoRoundTrip, SelfLoopsPreserved) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 0, 2.5);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(2, 2, 0.5);
+  const Graph g = std::move(b).Build();
+  const std::string path = TempPath("roundtrip_loops");
+  ASSERT_TRUE(SaveEdgeList(g, path));
+  const auto loaded = LoadEdgeList(path, /*merge_parallel=*/false);
+  ASSERT_TRUE(loaded.has_value());
+  ExpectSameEdgeList(g, loaded->graph);
+  EXPECT_TRUE(loaded->graph.has_self_loops());
+  EXPECT_DOUBLE_EQ(loaded->graph.SelfLoopWeight(0), 2.5);
+  EXPECT_DOUBLE_EQ(loaded->graph.SelfLoopWeight(2), 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(IoRoundTrip, SparseIdsRemapDensely) {
+  const auto loaded = ParseEdgeList("1000 2000\n2000 5\n# comment\n5 1000\n");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->graph.num_nodes(), 3u);
+  EXPECT_EQ(loaded->graph.num_edges(), 3u);
+  // Dense ids follow sorted original ids.
+  ASSERT_EQ(loaded->original_ids.size(), 3u);
+  EXPECT_EQ(loaded->original_ids[0], 5u);
+  EXPECT_EQ(loaded->original_ids[1], 1000u);
+  EXPECT_EQ(loaded->original_ids[2], 2000u);
+}
+
+TEST(IoRoundTrip, DuplicateEdgesMergeOnLoad) {
+  const auto merged = ParseEdgeList("0 1 2.0\n1 0 3.0\n0 1\n");
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->graph.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(merged->graph.edge(0).w, 6.0);  // 2 + 3 + default 1
+
+  const auto raw = ParseEdgeList("0 1 2.0\n1 0 3.0\n0 1\n",
+                                 /*merge_parallel=*/false);
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(raw->graph.num_edges(), 3u);
+}
+
+TEST(IoRoundTrip, ParseRejectsGarbageAndNegativeWeights) {
+  EXPECT_FALSE(ParseEdgeList("0 one\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("0 1 -2.0\n").has_value());
+  EXPECT_FALSE(LoadEdgeList("/nonexistent/path/to/graph.txt").has_value());
+}
+
+TEST(IoRoundTrip, EmptyInputsYieldEmptyGraph) {
+  const auto empty = ParseEdgeList("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->graph.num_nodes(), 0u);
+  EXPECT_EQ(empty->graph.num_edges(), 0u);
+
+  const auto comments = ParseEdgeList("# nothing\n% here\n\n");
+  ASSERT_TRUE(comments.has_value());
+  EXPECT_EQ(comments->graph.num_nodes(), 0u);
+}
+
+// --- Coreness edge cases: empty graphs, self-loops, duplicate edges ------
+
+TEST(CorenessEdgeCases, EmptyGraph) {
+  const Graph g;
+  EXPECT_TRUE(seq::UnweightedCoreness(g).empty());
+  EXPECT_TRUE(seq::WeightedCoreness(g).empty());
+  EXPECT_EQ(seq::Degeneracy(g), 0u);
+}
+
+TEST(CorenessEdgeCases, EdgelessGraph) {
+  GraphBuilder b(5);
+  const Graph g = std::move(b).Build();
+  const auto u = seq::UnweightedCoreness(g);
+  const auto w = seq::WeightedCoreness(g);
+  ASSERT_EQ(u.size(), 5u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(u[v], 0u);
+    EXPECT_DOUBLE_EQ(w[v], 0.0);
+  }
+}
+
+TEST(CorenessEdgeCases, SelfLoopsRaiseDegree) {
+  // Node 0 carries a weight-3 self-loop plus an edge to node 1. The
+  // deepest core containing 0 is {0} alone: a self-loop is one adjacency
+  // entry (unweighted degree 1) contributing its full weight (3.0), so
+  // c(0) = 1 and c_w(0) = 3 — strictly above the loop-free values.
+  GraphBuilder b(2);
+  b.AddEdge(0, 0, 3.0);
+  b.AddEdge(0, 1, 1.0);
+  const Graph g = std::move(b).Build();
+  const auto u = seq::UnweightedCoreness(g);
+  EXPECT_EQ(u[0], 1u);
+  EXPECT_EQ(u[1], 1u);
+  const auto w = seq::WeightedCoreness(g);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);  // self-loop weight persists until 0 peels
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+
+  // Without the self-loop the same graph is a single edge: c_w drops to 1.
+  GraphBuilder b2(2);
+  b2.AddEdge(0, 1, 1.0);
+  const Graph plain = std::move(b2).Build();
+  EXPECT_DOUBLE_EQ(seq::WeightedCoreness(plain)[0], 1.0);
+}
+
+TEST(CorenessEdgeCases, DuplicateEdgesMergeToSameCoreness) {
+  // Loading a file with duplicate lines (merged) must agree with building
+  // the summed-weight graph directly.
+  const auto loaded = ParseEdgeList("0 1 1.0\n0 1 1.0\n1 2 2.0\n");
+  ASSERT_TRUE(loaded.has_value());
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(1, 2, 2.0);
+  const Graph direct = std::move(b).Build();
+  EXPECT_EQ(seq::WeightedCoreness(loaded->graph),
+            seq::WeightedCoreness(direct));
+}
+
+}  // namespace
+}  // namespace kcore::graph

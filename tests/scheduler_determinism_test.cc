@@ -1,0 +1,129 @@
+// The parallel round scheduler must be bit-identical to the sequential
+// engine: the compute phase partitions node ids into disjoint contiguous
+// shards and every per-node write goes to that node's own slot, so the OS
+// interleaving cannot leak into results. These tests pin that contract
+// across the three coreness paths that ride the engine (compact/Theorem
+// I.1, run-to-convergence/Montresor, two-phase orientation) plus the
+// ThreadPool primitive itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/compact.h"
+#include "core/montresor.h"
+#include "core/two_phase.h"
+#include "distsim/thread_pool.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace kcore {
+namespace {
+
+graph::Graph TestGraph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  // Big enough to clear the engine's sequential cutoff (n >= 256) so the
+  // pool actually runs.
+  return graph::BarabasiAlbert(3000, 4, rng);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  distsim::ThreadPool pool(8);
+  std::vector<int> hits(10000, 0);
+  pool.ParallelFor(0, hits.size(), [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRounds) {
+  distsim::ThreadPool pool(4);
+  std::vector<std::uint64_t> acc(5000, 0);
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, acc.size(), [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) acc[i] += i;
+    });
+  }
+  for (std::uint64_t i = 0; i < acc.size(); ++i) EXPECT_EQ(acc[i], 50 * i);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  distsim::ThreadPool pool(8);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(3, 0);
+  pool.ParallelFor(0, 3, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(SchedulerDeterminism, CompactEliminationOneVsEightThreads) {
+  const graph::Graph g = TestGraph(101);
+  core::CompactOptions o1;
+  o1.rounds = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  core::CompactOptions o8 = o1;
+  o1.num_threads = 1;
+  o8.num_threads = 8;
+  const core::CompactResult r1 = core::RunCompactElimination(g, o1);
+  const core::CompactResult r8 = core::RunCompactElimination(g, o8);
+  // Bit-exact equality, not approximate: the parallel schedule must not
+  // change a single floating-point operation.
+  EXPECT_EQ(r1.b, r8.b);
+  EXPECT_EQ(r1.totals.messages, r8.totals.messages);
+  EXPECT_EQ(r1.totals.entries, r8.totals.entries);
+}
+
+TEST(SchedulerDeterminism, CompactWithOrientationTracking) {
+  const graph::Graph g = TestGraph(102);
+  core::CompactOptions o1;
+  o1.rounds = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  o1.track_orientation = true;
+  core::CompactOptions o8 = o1;
+  o1.num_threads = 1;
+  o8.num_threads = 8;
+  const core::CompactResult r1 = core::RunCompactElimination(g, o1);
+  const core::CompactResult r8 = core::RunCompactElimination(g, o8);
+  EXPECT_EQ(r1.b, r8.b);
+  EXPECT_EQ(r1.in_sets, r8.in_sets);
+}
+
+TEST(SchedulerDeterminism, MontresorConvergenceOneVsEightThreads) {
+  const graph::Graph g = TestGraph(103);
+  const core::ConvergenceResult r1 = core::RunToConvergence(g, -1, 1);
+  const core::ConvergenceResult r8 = core::RunToConvergence(g, -1, 8);
+  EXPECT_EQ(r1.coreness, r8.coreness);
+  EXPECT_EQ(r1.rounds_executed, r8.rounds_executed);
+  EXPECT_EQ(r1.last_change_round, r8.last_change_round);
+}
+
+TEST(SchedulerDeterminism, TwoPhaseOrientationOneVsEightThreads) {
+  const graph::Graph g = TestGraph(104);
+  const int T = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  const core::TwoPhaseResult r1 =
+      core::RunTwoPhaseOrientation(g, T, 0.5, -1, 1);
+  const core::TwoPhaseResult r8 =
+      core::RunTwoPhaseOrientation(g, T, 0.5, -1, 8);
+  EXPECT_EQ(r1.b, r8.b);
+  EXPECT_EQ(r1.orientation.owner, r8.orientation.owner);
+  EXPECT_EQ(r1.phase2_rounds, r8.phase2_rounds);
+  EXPECT_DOUBLE_EQ(r1.orientation.max_load, r8.orientation.max_load);
+}
+
+TEST(SchedulerDeterminism, RepeatedParallelRunsAgree) {
+  // Same seed, same thread count, run twice: the pool must not inject any
+  // run-to-run nondeterminism either.
+  const graph::Graph g = TestGraph(105);
+  core::CompactOptions opts;
+  opts.rounds = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  opts.num_threads = 8;
+  const core::CompactResult a = core::RunCompactElimination(g, opts);
+  const core::CompactResult b = core::RunCompactElimination(g, opts);
+  EXPECT_EQ(a.b, b.b);
+  EXPECT_EQ(a.totals.messages, b.totals.messages);
+}
+
+}  // namespace
+}  // namespace kcore
