@@ -1,48 +1,89 @@
-// Thread-scaling of the parallel round scheduler.
+// Thread-scaling of the parallel round scheduler — BOTH phases.
 //
-// Runs the compact elimination protocol (Algorithm 2) on a 100k-node
-// heavy-tailed graph with the engine's thread pool at 1, 2, 4, and 8
-// workers and reports rounds/sec plus speedup over the sequential run.
-// Because the scheduler is deterministic, every configuration computes the
-// same surviving numbers — verified here so a scaling win can never hide
-// a correctness regression. Note: speedups only materialize when the
-// machine actually has the cores; on a 1-core container every row
+// Two workloads on a heavy-tailed graph, each run with the engine's
+// thread pool at 1, 2, 4, and 8 workers:
+//
+//   compute-heavy:  compact elimination (Algorithm 2) — per-node Update
+//                   dominates; the collect phase is light.
+//   collect-heavy:  a randomized gossip protocol (per-node RNG streams,
+//                   variable-size broadcasts plus p2p sends every round)
+//                   — the round census + two-pass p2p delivery dominate,
+//                   so this row moves only because CollectRound itself is
+//                   sharded now, not just the compute sweep.
+//
+// Reported rounds/sec therefore include the collect phase. Because the
+// scheduler is deterministic end to end, every thread count computes
+// bit-identical results — verified per row so a scaling win can never
+// hide a correctness regression. Note: speedups only materialize when
+// the machine actually has the cores; on a 1-core container every row
 // degenerates to ~1x and that is the expected reading, not a bug.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/compact.h"
+#include "distsim/engine.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
 
-int main(int argc, char** argv) {
-  using namespace kcore;
+namespace {
 
-  long long requested = 100000;
-  if (argc > 1) requested = std::atoll(argv[1]);
-  if (requested < 16 || requested > 50000000) {
-    std::fprintf(stderr, "usage: %s [num_nodes in 16..50000000]\n", argv[0]);
-    return 2;
+using namespace kcore;
+
+constexpr std::uint64_t kMasterSeed = 2019;  // engine RNG-stream seed knob
+
+// Collect-stressor: every node draws from its private stream
+// (NodeContext::Rng), broadcasts a 1-4 entry payload, and sends a p2p
+// message to one random neighbor each round. Inbox contents are folded
+// into per-node digests so cross-thread-count runs can be compared.
+class GossipStress : public distsim::Protocol {
+ public:
+  explicit GossipStress(graph::NodeId n)
+      : value_(n, 0.0), digest_(n, 0xcbf29ce484222325ULL) {}
+
+  void Init(distsim::NodeContext& ctx) override {
+    value_[ctx.id()] = ctx.Rng().NextDouble();
+    ctx.Broadcast({value_[ctx.id()]});
   }
-  const graph::NodeId n = static_cast<graph::NodeId>(requested);
 
-  util::Rng rng(7);
-  util::Timer gen_timer;
-  const graph::Graph g = graph::BarabasiAlbert(n, 4, rng);
-  std::printf("graph: BA n=%u m=%zu (generated in %.2fs)\n", g.num_nodes(),
-              g.num_edges(), gen_timer.Seconds());
+  void Round(distsim::NodeContext& ctx) override {
+    const graph::NodeId v = ctx.id();
+    std::uint64_t& h = digest_[v];
+    for (const distsim::InMessage& m : ctx.Messages()) {
+      h = h * 0x100000001b3ULL ^ m.from;
+      value_[v] += m.payload[0];
+    }
+    const auto nbrs = ctx.neighbors();
+    if (!nbrs.empty()) {
+      const std::size_t pick = ctx.Rng().NextBounded(nbrs.size());
+      ctx.Send(nbrs[pick].to, {value_[v]});
+    }
+    distsim::Payload p;
+    const std::size_t len = 1 + v % 4;
+    for (std::size_t k = 0; k < len; ++k) p.push_back(value_[v] + k);
+    ctx.Broadcast(std::move(p));
+  }
 
+  const std::vector<std::uint64_t>& digest() const { return digest_; }
+
+ private:
+  std::vector<double> value_;
+  std::vector<std::uint64_t> digest_;
+};
+
+int RunComputeHeavy(const graph::Graph& g) {
   const int T = core::RoundsForEpsilon(g.num_nodes(), 0.5);
-  std::printf("protocol: compact elimination, T=%d rounds, eps=0.5\n\n", T);
+  std::printf(
+      "\n[compute-heavy] compact elimination, T=%d rounds, eps=0.5\n", T);
 
-  // Warm-up + reference result at 1 thread.
   core::CompactOptions base;
   base.rounds = T;
   base.num_threads = 1;
+  base.seed = kMasterSeed;
   const core::CompactResult reference = core::RunCompactElimination(g, base);
 
   util::Table table({"threads", "seconds", "rounds_per_sec", "speedup",
@@ -76,4 +117,68 @@ int main(int argc, char** argv) {
   }
   table.Print();
   return 0;
+}
+
+int RunCollectHeavy(const graph::Graph& g, int rounds) {
+  std::printf(
+      "\n[collect-heavy] randomized gossip (broadcast + p2p + per-node "
+      "RNG), %d rounds, master seed %llu\n",
+      rounds, static_cast<unsigned long long>(kMasterSeed));
+
+  std::vector<std::uint64_t> reference;
+  util::Table table({"threads", "seconds", "rounds_per_sec", "speedup",
+                     "deterministic"});
+  double seq_seconds = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    double best = -1.0;
+    std::vector<std::uint64_t> digest;
+    for (int rep = 0; rep < 3; ++rep) {
+      GossipStress proto(g.num_nodes());
+      distsim::Engine engine(g, threads);
+      engine.SetSeed(kMasterSeed);
+      util::Timer timer;
+      engine.Start(proto);
+      for (int t = 0; t < rounds; ++t) engine.Step(proto);
+      const double s = timer.Seconds();
+      if (best < 0.0 || s < best) best = s;
+      digest = proto.digest();
+    }
+    if (threads == 1) {
+      seq_seconds = best;
+      reference = digest;
+    }
+    table.Row()
+        .Int(threads)
+        .Dbl(best, 3)
+        .Dbl(static_cast<double>(rounds) / best, 1)
+        .Dbl(seq_seconds / best, 2)
+        .Str(digest == reference ? "yes" : "NO — BUG");
+    if (digest != reference) {
+      std::fprintf(stderr, "determinism violation at %d threads\n", threads);
+      return 1;
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long requested = 100000;
+  if (argc > 1) requested = std::atoll(argv[1]);
+  if (requested < 16 || requested > 50000000) {
+    std::fprintf(stderr, "usage: %s [num_nodes in 16..50000000]\n", argv[0]);
+    return 2;
+  }
+  const graph::NodeId n = static_cast<graph::NodeId>(requested);
+
+  util::Rng rng(7);
+  util::Timer gen_timer;
+  const graph::Graph g = graph::BarabasiAlbert(n, 4, rng);
+  std::printf("graph: BA n=%u m=%zu (generated in %.2fs)\n", g.num_nodes(),
+              g.num_edges(), gen_timer.Seconds());
+
+  if (int rc = RunComputeHeavy(g)) return rc;
+  return RunCollectHeavy(g, /*rounds=*/30);
 }

@@ -57,6 +57,14 @@ AsyncResult RunAsyncCoreness(const graph::Graph& g, util::Rng& rng,
     }
   }
 
+  // Per-node delay streams, keyed forks of the caller's rng: the delays a
+  // node attaches to its announcements depend only on (rng state, node id,
+  // #announcements by that node), not on the global delivery interleaving
+  // — the same per-entity stream discipline the synchronous engine uses.
+  std::vector<util::Rng> delay_rng;
+  delay_rng.reserve(n);
+  for (NodeId v = 0; v < n; ++v) delay_rng.push_back(rng.ForkKeyed(v));
+
   std::priority_queue<Message, std::vector<Message>, std::greater<>> queue;
   std::uint64_t seq = 0;
 
@@ -72,8 +80,8 @@ AsyncResult RunAsyncCoreness(const graph::Graph& g, util::Rng& rng,
     out.b[v] = nb;
     ++out.stats.value_changes;
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      queue.push(Message{now + rng.NextDouble(1.0, max_delay), nbrs[i].to,
-                         peer_slot[v][i], nb, seq++});
+      queue.push(Message{now + delay_rng[v].NextDouble(1.0, max_delay),
+                         nbrs[i].to, peer_slot[v][i], nb, seq++});
     }
   };
 

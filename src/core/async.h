@@ -42,7 +42,9 @@ struct AsyncResult {
 };
 
 // Runs the asynchronous iteration to quiescence. max_delay >= 1 scales
-// the adversarial jitter; rng drives delays (deterministic per seed).
+// the adversarial jitter; rng seeds per-node delay streams (ForkKeyed), so
+// runs are deterministic per seed and each node's delay sequence is
+// independent of the global delivery order.
 // message_budget caps deliveries (0 = unlimited) as a failure injection
 // hook: when hit, the partially-converged values are returned.
 AsyncResult RunAsyncCoreness(const graph::Graph& g, util::Rng& rng,

@@ -112,6 +112,7 @@ CompactResult RunCompactElimination(const graph::Graph& g,
                                     const CompactOptions& opts) {
   KCORE_CHECK_MSG(opts.rounds >= 1, "need at least one round");
   distsim::Engine engine(g, opts.num_threads);
+  engine.SetSeed(opts.seed);
   CompactElimination proto(g, opts);
   CompactResult out;
   engine.Start(proto);

@@ -40,6 +40,10 @@ struct CompactOptions {
   bool stateful_tiebreak = true;
   // Worker threads for the simulator.
   int num_threads = 1;
+  // Master seed for the engine's per-node RNG streams. Algorithm 2 itself
+  // is deterministic; the seed exists so randomized protocol variants
+  // layered on this path (and the engine they share) stay replayable.
+  std::uint64_t seed = 0x6b636f7265ULL;
 };
 
 // T = ceil(log n / log(gamma/2)) for gamma > 2 (Theorem III.5).

@@ -5,15 +5,17 @@
 namespace kcore::core {
 
 ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
-                                   int num_threads) {
+                                   int num_threads, std::uint64_t seed) {
   if (max_rounds < 0) {
     max_rounds = static_cast<int>(g.num_nodes()) + 2;
   }
   CompactOptions opts;
   opts.rounds = max_rounds;  // upper bound; engine stops at quiescence
   opts.num_threads = num_threads;
+  opts.seed = seed;
   CompactElimination proto(g, opts);
   distsim::Engine engine(g, num_threads);
+  engine.SetSeed(seed);
   ConvergenceResult out;
   out.rounds_executed = engine.RunUntilQuiescent(proto, max_rounds);
   out.coreness = proto.b();

@@ -55,11 +55,12 @@ class PeelingProtocol : public distsim::Protocol {
 
 TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
                                       double eps, int max_phase2_rounds,
-                                      int num_threads) {
+                                      int num_threads, std::uint64_t seed) {
   KCORE_CHECK_MSG(eps > 0.0, "eps must be positive");
   CompactOptions copts;
   copts.rounds = phase1_rounds;
   copts.num_threads = num_threads;
+  copts.seed = seed;
   CompactResult compact = RunCompactElimination(g, copts);
 
   TwoPhaseResult out;
@@ -84,6 +85,7 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
   }
   PeelingProtocol peel(g, std::move(thresholds));
   distsim::Engine engine(g, num_threads);
+  engine.SetSeed(seed);
   engine.Start(peel);
   int rounds = 0;
   while (rounds < max_phase2_rounds) {

@@ -60,6 +60,11 @@ void NodeContext::Send(NodeId neighbor, Payload p) {
       Engine::OutMessage{neighbor, std::move(p)});
 }
 
+util::Rng& NodeContext::Rng() {
+  engine_->EnsureNodeRng();
+  return engine_->node_rng_[id_];
+}
+
 void NodeContext::Halt() { engine_->halted_[id_] = 1; }
 
 Engine::Engine(const graph::Graph& g, int num_threads)
@@ -76,9 +81,38 @@ Engine::Engine(const graph::Graph& g, int num_threads)
 
 Engine::~Engine() = default;
 
-void Engine::ComputeRange(Protocol& p, NodeId begin, NodeId end, int round) {
+void Engine::SetSeed(std::uint64_t seed) {
+  KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
+                  "SetSeed() must precede Start()");
+  master_seed_ = seed;
+}
+
+void Engine::EnsureNodeRng() {
+  // First draw materializes every node's stream (concurrent first draws
+  // from several shards block on the flag; later draws take the atomic
+  // fast path). Streams are keyed forks of the master: which node
+  // triggered construction cannot influence any stream.
+  std::call_once(node_rng_once_, [this] {
+    util::Rng master(master_seed_);
+    node_rng_.reserve(graph_.num_nodes());
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      node_rng_.push_back(master.ForkKeyed(v));
+    }
+  });
+}
+
+bool Engine::UseParallelPhases() const {
+  // Graphs under the cutoff stay sequential: the dispatch barrier costs
+  // more than the phases themselves.
+  return num_threads_ > 1 && graph_.num_nodes() >= 256;
+}
+
+std::size_t Engine::ComputeRange(Protocol& p, NodeId begin, NodeId end,
+                                 int round) {
+  std::size_t executed = 0;
   for (NodeId v = begin; v < end; ++v) {
     if (halted_[v]) continue;
+    ++executed;
     NodeContext ctx(this, v, round);
     if (round == 0) {
       p.Init(ctx);
@@ -86,43 +120,187 @@ void Engine::ComputeRange(Protocol& p, NodeId begin, NodeId end, int round) {
       p.Round(ctx);
     }
   }
+  return executed;
+}
+
+// Per-shard census accumulator: stats partials plus this shard's distinct
+// first-entry broadcast values; merged on the caller in shard order.
+struct Engine::CollectPartial {
+  std::size_t messages = 0;
+  std::size_t entries = 0;
+  std::size_t max_entries = 0;
+  std::size_t p2p_messages = 0;
+  std::unordered_set<std::uint64_t> distinct;
+};
+
+void Engine::CensusRange(NodeId begin, NodeId end, CollectPartial& part,
+                         std::uint32_t* counts_row) {
+  if (counts_row != nullptr) {
+    // This shard's per-receiver in-degree row spans ALL receivers (it
+    // counts by sender range), so it must be re-zeroed before counting —
+    // but only when the range actually staged p2p traffic. Shards that
+    // sent nothing (including empty trailing shards, whose body never
+    // runs at all) leave their row stale; the offset pass skips stale
+    // rows via the per-shard p2p flag, so broadcast-only rounds never
+    // pay the O(shards * n) fill.
+    bool any = false;
+    for (NodeId v = begin; v < end && !any; ++v) {
+      any = !outbox_[v].empty();
+    }
+    if (any) {
+      std::fill(counts_row, counts_row + graph_.num_nodes(), 0u);
+    } else {
+      counts_row = nullptr;
+    }
+  }
+  for (NodeId v = begin; v < end; ++v) {
+    if (next_has_[v]) {
+      const std::size_t deg = graph_.Degree(v);
+      part.messages += deg;
+      part.entries += deg * next_bcast_[v].size();
+      part.max_entries = std::max(part.max_entries, next_bcast_[v].size());
+      if (!next_bcast_[v].empty()) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(double));
+        std::memcpy(&bits, &next_bcast_[v][0], sizeof(bits));
+        part.distinct.insert(bits);
+      }
+    }
+    for (const OutMessage& m : outbox_[v]) {
+      part.messages += 1;
+      part.entries += m.payload.size();
+      part.max_entries = std::max(part.max_entries, m.payload.size());
+      ++part.p2p_messages;
+      if (counts_row != nullptr) ++counts_row[m.to];
+    }
+  }
+}
+
+void Engine::CollectSequential(RoundStats& stats) {
+  const NodeId n = graph_.num_nodes();
+  CollectPartial part;
+  CensusRange(0, n, part, nullptr);
+  stats.messages += part.messages;
+  stats.entries += part.entries;
+  stats.distinct_values = part.distinct.size();
+  max_entries_per_message_ =
+      std::max(max_entries_per_message_, part.max_entries);
+  inboxes_dirty_ = part.p2p_messages > 0;
+
+  // Deliver point-to-point messages: iterate senders in id order so each
+  // inbox ends up sorted by sender id (deterministic).
+  for (auto& ib : inbox_) ib.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    for (OutMessage& m : outbox_[v]) {
+      inbox_[m.to].push_back(InMessage{v, std::move(m.payload)});
+    }
+    outbox_[v].clear();
+  }
+}
+
+void Engine::CollectParallel(RoundStats& stats) {
+  const NodeId n = graph_.num_nodes();
+  const int shards = pool_->num_shards();
+  p2p_offsets_.resize(static_cast<std::size_t>(shards) * n);
+
+  // Pass 1, sharded by SENDER: per-shard stats partials + per-(shard,
+  // receiver) p2p counts. Partials merge in shard order on this thread,
+  // so every accumulated quantity (sums, maxes, the distinct-value set)
+  // is independent of how the OS scheduled the shards.
+  std::vector<CollectPartial> partials(shards);
+  std::unordered_set<std::uint64_t> distinct;
+  std::size_t total_p2p = 0;
+  pool_->ParallelReduce(
+      0, n,
+      [&](int shard, std::uint64_t b, std::uint64_t e) {
+        CensusRange(static_cast<NodeId>(b), static_cast<NodeId>(e),
+                    partials[shard],
+                    p2p_offsets_.data() +
+                        static_cast<std::size_t>(shard) * n);
+      },
+      [&](int shard) {
+        CollectPartial& part = partials[shard];
+        stats.messages += part.messages;
+        stats.entries += part.entries;
+        max_entries_per_message_ =
+            std::max(max_entries_per_message_, part.max_entries);
+        total_p2p += part.p2p_messages;
+        distinct.insert(part.distinct.begin(), part.distinct.end());
+      });
+  stats.distinct_values = distinct.size();
+
+  if (total_p2p == 0) {
+    // No traffic staged this round: at most, last round's deliveries need
+    // clearing. Broadcast-only protocols take this path every round and
+    // skip the whole offset machinery.
+    if (inboxes_dirty_) {
+      pool_->ParallelFor(0, n, [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t u = b; u < e; ++u) inbox_[u].clear();
+      });
+      inboxes_dirty_ = false;
+    }
+    return;
+  }
+  inboxes_dirty_ = true;
+
+  // Only rows of shards that staged p2p were (re)zeroed and counted this
+  // round; everything else in p2p_offsets_ is stale and must be skipped.
+  std::vector<char> shard_sent(shards, 0);
+  for (int s = 0; s < shards; ++s) {
+    shard_sent[s] = partials[s].p2p_messages > 0 ? 1 : 0;
+  }
+
+  // Offset pass, sharded by RECEIVER: turn each receiver's per-shard
+  // counts column into running block offsets (shard s's messages to u
+  // start after every earlier shard's) and pre-size the inbox. Clearing
+  // stale inboxes rides along.
+  pool_->ParallelFor(0, n, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t u = b; u < e; ++u) {
+      std::uint32_t run = 0;
+      for (int s = 0; s < shards; ++s) {
+        if (!shard_sent[s]) continue;
+        std::uint32_t& c = p2p_offsets_[static_cast<std::size_t>(s) * n + u];
+        const std::uint32_t count = c;
+        c = run;
+        run += count;
+      }
+      inbox_[u].clear();
+      inbox_[u].resize(run);
+    }
+  });
+
+  // Pass 2, sharded by SENDER on the same boundaries as pass 1: write
+  // every message into its receiver's pre-sized slot. Within a shard
+  // senders run in ascending id order and shard blocks are laid out in
+  // shard order, so each inbox comes out sorted by sender id —
+  // bit-identical to the sequential push_back delivery. Writes to a given
+  // inbox land at disjoint indices and never reallocate: race-free.
+  pool_->ParallelFor(0, n, [&](int shard, std::uint64_t b, std::uint64_t e) {
+    std::uint32_t* cursor =
+        p2p_offsets_.data() + static_cast<std::size_t>(shard) * n;
+    for (std::uint64_t v = b; v < e; ++v) {
+      for (OutMessage& m : outbox_[v]) {
+        InMessage& slot = inbox_[m.to][cursor[m.to]++];
+        slot.from = static_cast<NodeId>(v);
+        slot.payload = std::move(m.payload);
+      }
+      outbox_[v].clear();
+    }
+  });
 }
 
 void Engine::CollectRound(int round) {
   RoundStats stats;
   stats.round = round;
+  // Counted during the compute phase: a node is active iff its Init/Round
+  // actually ran this round (halting mid-round still counts the round it
+  // halted in).
+  stats.active_nodes = active_this_round_;
 
-  // Broadcast accounting + distinct-value census (first payload entry).
-  std::unordered_set<std::uint64_t> distinct;
-  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    if (!halted_[v] && round >= 0) ++stats.active_nodes;
-    if (!next_has_[v]) continue;
-    const std::size_t deg = graph_.Degree(v);
-    stats.messages += deg;
-    stats.entries += deg * next_bcast_[v].size();
-    max_entries_per_message_ =
-        std::max(max_entries_per_message_, next_bcast_[v].size());
-    if (!next_bcast_[v].empty()) {
-      std::uint64_t bits = 0;
-      static_assert(sizeof(bits) == sizeof(double));
-      std::memcpy(&bits, &next_bcast_[v][0], sizeof(bits));
-      distinct.insert(bits);
-    }
-  }
-  stats.distinct_values = distinct.size();
-
-  // Deliver point-to-point messages: iterate senders in id order so each
-  // inbox ends up sorted by sender id (deterministic).
-  for (auto& ib : inbox_) ib.clear();
-  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
-    for (OutMessage& m : outbox_[v]) {
-      stats.messages += 1;
-      stats.entries += m.payload.size();
-      max_entries_per_message_ =
-          std::max(max_entries_per_message_, m.payload.size());
-      inbox_[m.to].push_back(InMessage{v, std::move(m.payload)});
-    }
-    outbox_[v].clear();
+  if (UseParallelPhases()) {
+    CollectParallel(stats);
+  } else {
+    CollectSequential(stats);
   }
 
   // Publish broadcasts for the next round.
@@ -135,19 +313,23 @@ void Engine::CollectRound(int round) {
 
 void Engine::ComputePhase(Protocol& p, int round) {
   const NodeId n = graph_.num_nodes();
-  if (num_threads_ <= 1 || n < 256) {
-    ComputeRange(p, 0, n, round);
+  active_this_round_ = 0;
+  if (!UseParallelPhases()) {
+    active_this_round_ = ComputeRange(p, 0, n, round);
     return;
   }
   // Disjoint contiguous id ranges; per-node state writes never alias, so
   // this is race-free and bit-identical to the sequential order. The
   // pool persists across rounds — workers are created once per engine.
   if (!pool_) pool_ = std::make_unique<ThreadPool>(num_threads_);
-  pool_->ParallelFor(0, n, [this, &p, round](std::uint64_t begin,
-                                             std::uint64_t end) {
-    ComputeRange(p, static_cast<NodeId>(begin), static_cast<NodeId>(end),
-                 round);
-  });
+  std::vector<std::size_t> executed(pool_->num_shards(), 0);
+  pool_->ParallelReduce(
+      0, n,
+      [&](int shard, std::uint64_t begin, std::uint64_t end) {
+        executed[shard] = ComputeRange(p, static_cast<NodeId>(begin),
+                                       static_cast<NodeId>(end), round);
+      },
+      [&](int shard) { active_this_round_ += executed[shard]; });
 }
 
 void Engine::Start(Protocol& p) {

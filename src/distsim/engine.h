@@ -15,21 +15,41 @@
 //     entries, and the number of distinct broadcast values (the knob the
 //     paper's Λ-discretization optimizes for CONGEST-size messages).
 //
-// Execution model per round t >= 1:
-//   1. Deliver: every neighbor's round-(t-1) broadcast and any
-//      point-to-point payloads addressed to the node become visible.
-//   2. Compute: Protocol::Round(ctx) runs for every non-halted node; it
-//      may stage a new broadcast and point-to-point sends (visible to
-//      receivers in round t+1) and may Halt() the node.
+// Execution model per round t >= 1 — two phases, BOTH sharded over the
+// engine's persistent thread pool (static contiguous node-id shards;
+// sequential when num_threads <= 1 or the graph is below the cutoff):
+//   1. Compute: Protocol::Round(ctx) runs for every non-halted node; it
+//      sees every neighbor's round-(t-1) broadcast plus any point-to-point
+//      payloads addressed to it, may stage a new broadcast and p2p sends
+//      (visible to receivers in round t+1), and may Halt() the node.
+//      Per-node writes are disjoint by the Protocol contract.
+//   2. Collect: the round census (message/entry counts, max message size,
+//      distinct broadcast values, active nodes) is accumulated as
+//      per-shard partials merged in shard order, and staged p2p traffic is
+//      delivered by a two-pass scheme — pass 1 counts per-(shard,
+//      receiver) in-degrees while censusing senders, pass 2 writes each
+//      InMessage into a pre-sized, offset-indexed inbox slot. Shard
+//      blocks land in sender-shard order and senders run in ascending id
+//      order within a shard, so every inbox ends up sorted by sender id,
+//      bit-identical to the sequential delivery at any thread count.
 // Protocol::Init(ctx) stages the round-0 broadcasts.
+//
+// Randomness: NodeContext::Rng() hands each node its own util::Rng stream,
+// keyed-forked from the engine's master seed (SetSeed to override; streams
+// materialize lazily on the first draw, so deterministic protocols pay
+// nothing). A node's draw sequence depends only on (seed, node id, #draws
+// by that node), never on sharding or thread count, so randomized
+// protocols keep the bit-determinism contract.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/rng.h"
 
 namespace kcore::distsim {
 
@@ -91,6 +111,12 @@ class NodeContext {
   // Stages a point-to-point message to a neighbor (must be adjacent).
   void Send(NodeId neighbor, Payload p);
 
+  // This node's private random stream (seeded from the engine's master
+  // seed, independent per node). Draws are part of the node's state: only
+  // node v's compute may touch v's stream — the same disjoint-writes rule
+  // the rest of the per-node state follows.
+  util::Rng& Rng();
+
   // Stops participating: no further Compute calls, no broadcasts.
   void Halt();
 
@@ -129,6 +155,12 @@ class Engine {
   // use O(1) reals per message; tests arm this to PROVE compliance rather
   // than merely count it. 0 disables the check (default).
   void SetPayloadLimit(std::size_t limit) { payload_limit_ = limit; }
+
+  // Master seed for the per-node RNG streams (NodeContext::Rng). Must be
+  // called before Start; the default reproduces unless overridden, so
+  // every run is replayable by construction.
+  void SetSeed(std::uint64_t seed);
+  std::uint64_t seed() const { return master_seed_; }
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -164,12 +196,25 @@ class Engine {
     NodeId to;
     Payload payload;
   };
+  // Per-shard census accumulator (defined in engine.cc).
+  struct CollectPartial;
 
-  void ComputeRange(Protocol& p, NodeId begin, NodeId end, int round);
+  // Both phases shard iff the same predicate holds, so a run is either
+  // wholly sequential or wholly pooled.
+  bool UseParallelPhases() const;
+  // Returns the number of nodes that executed Init/Round in the range.
+  std::size_t ComputeRange(Protocol& p, NodeId begin, NodeId end, int round);
   // Runs the round's compute sweep — sequentially, or sharded over the
   // pool when num_threads_ > 1 and the graph clears the cutoff. Both
   // Start (round 0) and Step go through here.
   void ComputePhase(Protocol& p, int round);
+  // Stats census over senders in [begin, end): broadcast fan-out and
+  // staged p2p messages. When counts_row != nullptr (parallel collect),
+  // also tallies this shard's per-receiver p2p in-degrees into it.
+  void CensusRange(NodeId begin, NodeId end, CollectPartial& part,
+                   std::uint32_t* counts_row);
+  void CollectSequential(RoundStats& stats);
+  void CollectParallel(RoundStats& stats);
   void CollectRound(int round);
 
   const graph::Graph& graph_;
@@ -194,6 +239,29 @@ class Engine {
   std::vector<RoundStats> history_;
   std::size_t max_entries_per_message_ = 0;
   std::size_t payload_limit_ = 0;
+
+  // Nodes whose Init/Round ran in the current round's compute phase
+  // (counted there, per shard, and consumed by CollectRound's stats).
+  std::size_t active_this_round_ = 0;
+
+  // Per-node RNG streams behind NodeContext::Rng, keyed forks of
+  // Rng(master_seed_). Built lazily on the first draw (call_once, so
+  // concurrent first draws from several shards are safe): deterministic
+  // protocols that never call Rng() pay neither the O(n) forks nor the
+  // per-node stream storage.
+  void EnsureNodeRng();
+  std::uint64_t master_seed_ = 0x6b636f7265ULL;  // "kcore"
+  std::once_flag node_rng_once_;
+  std::vector<util::Rng> node_rng_;
+
+  // Parallel-collect scratch: num_shards rows of n per-receiver counts;
+  // pass 1 fills the rows of shards that staged p2p (others stay stale
+  // and are masked out), the offset pass turns each live column into
+  // running block offsets, pass 2 consumes them as write cursors.
+  std::vector<std::uint32_t> p2p_offsets_;
+  // Whether last round's parallel collect delivered anything — i.e.
+  // whether inboxes need clearing before the next delivery.
+  bool inboxes_dirty_ = false;
 };
 
 }  // namespace kcore::distsim

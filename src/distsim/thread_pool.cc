@@ -25,11 +25,20 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::RunShard(int shard) {
+std::pair<std::uint64_t, std::uint64_t> ThreadPool::ShardBounds(
+    std::uint64_t begin, std::uint64_t end, int shard, int num_shards) {
+  const std::uint64_t chunk =
+      (end - begin + static_cast<std::uint64_t>(num_shards) - 1) /
+      static_cast<std::uint64_t>(num_shards);
   const std::uint64_t b =
-      job_begin_ + static_cast<std::uint64_t>(shard) * job_chunk_;
-  const std::uint64_t e = std::min(job_end_, b + job_chunk_);
-  if (b < e) (*body_)(b, e);
+      std::min(end, begin + static_cast<std::uint64_t>(shard) * chunk);
+  const std::uint64_t e = std::min(end, b + chunk);
+  return {b, e};
+}
+
+void ThreadPool::RunShard(int shard) {
+  const auto [b, e] = ShardBounds(job_begin_, job_end_, shard, num_shards());
+  if (b < e) (*body_)(shard, b, e);
 }
 
 void ThreadPool::WorkerLoop(int shard) {
@@ -60,10 +69,34 @@ void ThreadPool::WorkerLoop(int shard) {
 void ThreadPool::ParallelFor(
     std::uint64_t begin, std::uint64_t end,
     const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  Dispatch(begin, end,
+           [&body](int, std::uint64_t b, std::uint64_t e) { body(b, e); });
+}
+
+void ThreadPool::ParallelFor(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& body) {
+  Dispatch(begin, end, body);
+}
+
+void ThreadPool::ParallelReduce(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& body,
+    const std::function<void(int)>& merge) {
+  if (begin >= end) return;
+  Dispatch(begin, end, body);
+  // Merge strictly in shard order on this thread: the reduction sees the
+  // same partial order no matter how the shards were scheduled.
+  for (int shard = 0; shard < num_shards(); ++shard) merge(shard);
+}
+
+void ThreadPool::Dispatch(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& body) {
   if (begin >= end) return;
   const int shards = num_shards();
   if (shards == 1) {
-    body(begin, end);
+    body(0, begin, end);
     return;
   }
   {
@@ -71,8 +104,6 @@ void ThreadPool::ParallelFor(
     body_ = &body;
     job_begin_ = begin;
     job_end_ = end;
-    job_chunk_ = (end - begin + static_cast<std::uint64_t>(shards) - 1) /
-                 static_cast<std::uint64_t>(shards);
     pending_ = shards - 1;
     ++generation_;
   }

@@ -19,6 +19,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace kcore::distsim {
@@ -47,7 +48,39 @@ class ThreadPool {
       std::uint64_t begin, std::uint64_t end,
       const std::function<void(std::uint64_t, std::uint64_t)>& body);
 
+  // Shard-indexed variant: body(shard, chunk_begin, chunk_end) — the same
+  // static partition, with the shard index exposed so each chunk can use
+  // shard-private scratch (offset rows, partial buffers) without a merge.
+  void ParallelFor(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<void(int, std::uint64_t, std::uint64_t)>& body);
+
+  // Sharded map-reduce. Like ParallelFor, but body also receives its shard
+  // index so each shard can accumulate partials into a slot the caller
+  // owns; after the barrier, merge(shard) runs on the caller's thread for
+  // every shard in ascending order. The fixed merge order is the
+  // determinism hook: order-sensitive reductions (floating-point sums,
+  // container concatenation) come out identical at any thread count.
+  // merge is skipped entirely when the range is empty, and is not run if
+  // any body shard threw (the exception is rethrown first).
+  void ParallelReduce(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<void(int, std::uint64_t, std::uint64_t)>& body,
+      const std::function<void(int)>& merge);
+
+  // The contiguous chunk [begin, end) is split into for a given shard —
+  // pure arithmetic, exposed so callers and tests can pin the static
+  // partition the determinism contract rests on. Returns an empty range
+  // (b == e) for shards past the end of a short range.
+  static std::pair<std::uint64_t, std::uint64_t> ShardBounds(
+      std::uint64_t begin, std::uint64_t end, int shard, int num_shards);
+
  private:
+  // Runs body sharded over [begin, end) and blocks until the barrier;
+  // rethrows the first shard failure. Shared by ParallelFor/Reduce.
+  void Dispatch(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<void(int, std::uint64_t, std::uint64_t)>& body);
   void WorkerLoop(int shard);
   void RunShard(int shard);
 
@@ -65,10 +98,10 @@ class ThreadPool {
   std::exception_ptr error_;
 
   // Current job, valid while pending_ > 0 (guarded by generation_).
-  const std::function<void(std::uint64_t, std::uint64_t)>* body_ = nullptr;
+  const std::function<void(int, std::uint64_t, std::uint64_t)>* body_ =
+      nullptr;
   std::uint64_t job_begin_ = 0;
   std::uint64_t job_end_ = 0;
-  std::uint64_t job_chunk_ = 0;
 };
 
 }  // namespace kcore::distsim

@@ -26,6 +26,15 @@ void Rng::Seed(std::uint64_t seed) {
   gauss_spare_ = 0.0;
 }
 
+Rng Rng::ForkKeyed(std::uint64_t key) const {
+  // Hash the key through SplitMix64 before mixing it with the state words
+  // so adjacent keys (0, 1, 2, ... node ids) land in unrelated seeds;
+  // Rng::Seed then SplitMix64-expands the combined word once more.
+  std::uint64_t k = key;
+  const std::uint64_t hashed = SplitMix64(k);
+  return Rng(s_[0] ^ Rotl(s_[2], 29) ^ hashed);
+}
+
 std::uint64_t Rng::Next() {
   const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -69,7 +69,17 @@ class Rng {
 
   // Forks an independent stream; the child is seeded from this stream's
   // output so sub-generators used by parallel components do not collide.
+  // Advances this stream by one draw — successive Fork() calls yield
+  // distinct children.
   Rng Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }
+
+  // Keyed fork: derives the child for `key` from the CURRENT state without
+  // advancing it, so the same (state, key) pair always yields the same
+  // child and distinct keys yield independent streams. This is the
+  // primitive behind per-entity RNG streams (one per simulated node): all
+  // children can be derived from one master in any order — or in parallel
+  // — and still come out identical.
+  Rng ForkKeyed(std::uint64_t key) const;
 
  private:
   std::uint64_t s_[4];

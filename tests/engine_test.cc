@@ -166,6 +166,93 @@ TEST(Engine, HaltedNodesStopBroadcasting) {
   EXPECT_EQ(r2.active_nodes, 5u);
 }
 
+// Mixed broadcast + p2p traffic on Star(5) with every stat hand-computed:
+// the regression pin for the RoundStats fields across the collect-phase
+// rewrite. Center = node 0 (degree 4), leaves 1..4 (degree 1).
+class StarTraffic : public Protocol {
+ public:
+  void Init(NodeContext& ctx) override {
+    ctx.Broadcast({static_cast<double>(ctx.id())});
+    if (ctx.id() == 0) ctx.Send(1, {7.0, 8.0});
+  }
+
+  void Round(NodeContext& ctx) override {
+    if (ctx.id() == 0) {
+      // Inboxes are sorted by sender id — every leaf's message, in order.
+      const auto msgs = ctx.Messages();
+      if (ctx.round() >= 2) {
+        EXPECT_EQ(msgs.size(), 4u);
+        for (std::size_t i = 0; i < msgs.size(); ++i) {
+          EXPECT_EQ(msgs[i].from, static_cast<NodeId>(i + 1));
+          EXPECT_DOUBLE_EQ(msgs[i].payload[0],
+                           static_cast<double>(ctx.round() - 1));
+        }
+      }
+      ctx.Broadcast({42.0, static_cast<double>(ctx.round())});
+    } else {
+      ctx.Send(0, {static_cast<double>(ctx.round())});
+    }
+  }
+};
+
+TEST(Engine, RoundStatsRegressionOnHandComputedStar) {
+  const Graph g = graph::Star(5);
+  Engine engine(g);
+  StarTraffic proto;
+  engine.Run(proto, 2);
+  const auto& h = engine.history();
+  ASSERT_EQ(h.size(), 3u);
+
+  // Round 0 (Init): all 5 nodes ran; 5 broadcasts of 1 entry fan out over
+  // the degrees (4+1+1+1+1 = 8 deliveries, 8 entries) plus one p2p of 2
+  // entries; broadcast first entries are the 5 distinct ids.
+  EXPECT_EQ(h[0].active_nodes, 5u);
+  EXPECT_EQ(h[0].messages, 9u);
+  EXPECT_EQ(h[0].entries, 10u);
+  EXPECT_EQ(h[0].distinct_values, 5u);
+
+  // Rounds 1..2: the center broadcasts {42, r} to 4 leaves (4 deliveries,
+  // 8 entries); 4 leaves each send 1 p2p entry to the center. One
+  // distinct broadcast value (42).
+  for (std::size_t r = 1; r <= 2; ++r) {
+    EXPECT_EQ(h[r].active_nodes, 5u) << "round " << r;
+    EXPECT_EQ(h[r].messages, 8u) << "round " << r;
+    EXPECT_EQ(h[r].entries, 12u) << "round " << r;
+    EXPECT_EQ(h[r].distinct_values, 1u) << "round " << r;
+  }
+
+  const Totals t = engine.totals();
+  EXPECT_EQ(t.rounds, 2);
+  EXPECT_EQ(t.messages, 25u);
+  EXPECT_EQ(t.entries, 34u);
+  EXPECT_EQ(t.max_entries_per_message, 2u);
+}
+
+TEST(Engine, ActiveNodeCensusCountsExecutedNodes) {
+  // A node that halts during round r still EXECUTED round r: the census
+  // counts compute-phase participation, not post-round liveness (the old
+  // collect-time census undercounted the halting round).
+  class HaltOdd : public Protocol {
+   public:
+    void Init(NodeContext& ctx) override { ctx.Broadcast({1.0}); }
+    void Round(NodeContext& ctx) override {
+      if (ctx.id() % 2 == 1) {
+        ctx.Halt();
+        return;
+      }
+      ctx.Broadcast({1.0});
+    }
+  } proto;
+  const Graph g = graph::Cycle(10);
+  Engine engine(g);
+  engine.Start(proto);
+  EXPECT_EQ(engine.history()[0].active_nodes, 10u);
+  const RoundStats r1 = engine.Step(proto);
+  EXPECT_EQ(r1.active_nodes, 10u);  // odds ran round 1, then halted
+  const RoundStats r2 = engine.Step(proto);
+  EXPECT_EQ(r2.active_nodes, 5u);  // only the 5 even nodes remain
+}
+
 TEST(Engine, ThreadedMatchesSequential) {
   util::Rng rng(17);
   const Graph g = graph::BarabasiAlbert(600, 3, rng);
@@ -247,6 +334,104 @@ TEST(Engine, CongestLimitRejectsOversizedMessages) {
   Engine engine(g);
   engine.SetPayloadLimit(2);
   EXPECT_DEATH(engine.Start(proto), "CONGEST violation");
+}
+
+TEST(Engine, CongestLimitRejectsOversizedBroadcastUnderThreading) {
+  // The violating node sits mid-range so a worker shard (not the caller)
+  // trips the check; the abort must still surface. Threadsafe style:
+  // the death-test child re-executes from main, so the parent's live pool
+  // workers cannot poison the fork.
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  class ChattyAt300 : public Protocol {
+    void Init(NodeContext& ctx) override { ctx.Broadcast({1.0}); }
+    void Round(NodeContext& ctx) override {
+      if (ctx.id() == 300 && ctx.round() == 1) {
+        ctx.Broadcast({1.0, 2.0, 3.0});
+      } else {
+        ctx.Broadcast({1.0});
+      }
+    }
+  };
+  EXPECT_DEATH(
+      {
+        const Graph g = graph::Cycle(600);
+        Engine engine(g, 8);
+        engine.SetPayloadLimit(2);
+        ChattyAt300 proto;
+        engine.Start(proto);
+        engine.Step(proto);
+      },
+      "CONGEST violation");
+}
+
+TEST(Engine, CongestLimitRejectsOversizedP2PUnderThreading) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  class P2PChatty : public Protocol {
+    void Init(NodeContext&) override {}
+    void Round(NodeContext& ctx) override {
+      if (ctx.id() == 451 && ctx.round() == 2) {
+        ctx.Send(ctx.neighbors()[0].to, {1.0, 2.0, 3.0, 4.0});
+      }
+    }
+  };
+  EXPECT_DEATH(
+      {
+        const Graph g = graph::Cycle(600);
+        Engine engine(g, 8);
+        engine.SetPayloadLimit(3);
+        P2PChatty proto;
+        engine.Start(proto);
+        engine.Step(proto);
+        engine.Step(proto);
+      },
+      "CONGEST violation");
+}
+
+TEST(Engine, QuiescenceImmediateWhenProtocolStaysSilent) {
+  // A protocol that never broadcasts or sends is quiescent after the
+  // first (empty) step — both sequentially and threaded over the pool.
+  class Silent : public Protocol {
+    void Init(NodeContext&) override {}
+    void Round(NodeContext&) override {}
+  };
+  for (int threads : {1, 8}) {
+    const Graph g = graph::Cycle(600);
+    Silent proto;
+    Engine engine(g, threads);
+    EXPECT_EQ(engine.RunUntilQuiescent(proto, 50), 1) << threads;
+    EXPECT_EQ(engine.totals().messages, 0u) << threads;
+  }
+}
+
+TEST(Engine, QuiescenceHitsMaxRoundsOnRestlessProtocol) {
+  // Broadcasting the round number changes the staged value every round,
+  // so quiescence never arrives and the cap must bound the run.
+  class Restless : public Protocol {
+    void Init(NodeContext& ctx) override { ctx.Broadcast({0.0}); }
+    void Round(NodeContext& ctx) override {
+      ctx.Broadcast({static_cast<double>(ctx.round())});
+    }
+  } proto;
+  const Graph g = graph::Cycle(8);
+  Engine engine(g);
+  EXPECT_EQ(engine.RunUntilQuiescent(proto, 7), 7);
+  EXPECT_EQ(static_cast<int>(engine.history().size()), 8);  // init + 7
+}
+
+TEST(Engine, QuiescenceSeesVanishingBroadcastOfHaltedNodes) {
+  // Nodes broadcast at init and then halt: the round in which the
+  // broadcasts disappear is still a change (a neighbor observes the
+  // silence), so quiescence lands one round later — not at round 1.
+  class ShoutThenHalt : public Protocol {
+    void Init(NodeContext& ctx) override { ctx.Broadcast({1.0}); }
+    void Round(NodeContext& ctx) override { ctx.Halt(); }
+  } proto;
+  const Graph g = graph::Cycle(6);
+  Engine engine(g);
+  EXPECT_EQ(engine.RunUntilQuiescent(proto, 50), 2);
+  EXPECT_EQ(engine.num_halted(), 6u);
+  EXPECT_EQ(engine.history()[1].active_nodes, 6u);
+  EXPECT_EQ(engine.history()[2].active_nodes, 0u);
 }
 
 }  // namespace

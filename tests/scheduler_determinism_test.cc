@@ -1,25 +1,35 @@
 // The parallel round scheduler must be bit-identical to the sequential
-// engine: the compute phase partitions node ids into disjoint contiguous
-// shards and every per-node write goes to that node's own slot, so the OS
-// interleaving cannot leak into results. These tests pin that contract
-// across the three coreness paths that ride the engine (compact/Theorem
-// I.1, run-to-convergence/Montresor, two-phase orientation) plus the
-// ThreadPool primitive itself.
+// engine: BOTH phases of a round — the compute sweep and the collect
+// phase (stats census + p2p delivery) — partition node ids into disjoint
+// contiguous shards, merge partials in shard order, and write inbox slots
+// at precomputed offsets, so the OS interleaving cannot leak into
+// results. These tests pin that contract across the coreness paths that
+// ride the engine (compact/Theorem I.1, run-to-convergence/Montresor,
+// two-phase orientation) and across synthetic p2p-heavy,
+// broadcast-heavy, and randomized (per-node RNG stream) protocols that
+// stress the collect phase directly. The ThreadPool primitive has its
+// own suite in thread_pool_test.cc.
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <numeric>
 #include <vector>
 
 #include "core/compact.h"
 #include "core/montresor.h"
 #include "core/two_phase.h"
-#include "distsim/thread_pool.h"
+#include "distsim/engine.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
 namespace kcore {
 namespace {
+
+using distsim::Engine;
+using distsim::InMessage;
+using distsim::NodeContext;
+using distsim::Payload;
+using distsim::RoundStats;
+using graph::NodeId;
 
 graph::Graph TestGraph(std::uint64_t seed) {
   util::Rng rng(seed);
@@ -28,36 +38,150 @@ graph::Graph TestGraph(std::uint64_t seed) {
   return graph::BarabasiAlbert(3000, 4, rng);
 }
 
-TEST(ThreadPool, CoversRangeExactlyOnce) {
-  distsim::ThreadPool pool(8);
-  std::vector<int> hits(10000, 0);
-  pool.ParallelFor(0, hits.size(), [&](std::uint64_t b, std::uint64_t e) {
-    for (std::uint64_t i = b; i < e; ++i) hits[i] += 1;
-  });
-  for (int h : hits) EXPECT_EQ(h, 1);
+// Order-sensitive FNV-style fold: two digests agree only if the same
+// values arrived in the same order.
+std::uint64_t Mix(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * 0x100000001b3ULL;
 }
 
-TEST(ThreadPool, ReusableAcrossManyRounds) {
-  distsim::ThreadPool pool(4);
-  std::vector<std::uint64_t> acc(5000, 0);
-  for (int round = 0; round < 50; ++round) {
-    pool.ParallelFor(0, acc.size(), [&](std::uint64_t b, std::uint64_t e) {
-      for (std::uint64_t i = b; i < e; ++i) acc[i] += i;
-    });
+std::uint64_t MixDouble(std::uint64_t h, double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(double));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return Mix(h, bits);
+}
+
+void ExpectSameHistory(const std::vector<RoundStats>& a,
+                       const std::vector<RoundStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].round, b[i].round) << "round " << i;
+    EXPECT_EQ(a[i].active_nodes, b[i].active_nodes) << "round " << i;
+    EXPECT_EQ(a[i].messages, b[i].messages) << "round " << i;
+    EXPECT_EQ(a[i].entries, b[i].entries) << "round " << i;
+    EXPECT_EQ(a[i].distinct_values, b[i].distinct_values) << "round " << i;
   }
-  for (std::uint64_t i = 0; i < acc.size(); ++i) EXPECT_EQ(acc[i], 50 * i);
 }
 
-TEST(ThreadPool, EmptyAndTinyRanges) {
-  distsim::ThreadPool pool(8);
-  int calls = 0;
-  pool.ParallelFor(5, 5, [&](std::uint64_t, std::uint64_t) { ++calls; });
-  EXPECT_EQ(calls, 0);
-  std::vector<int> hits(3, 0);
-  pool.ParallelFor(0, 3, [&](std::uint64_t b, std::uint64_t e) {
-    for (std::uint64_t i = b; i < e; ++i) hits[i] += 1;
-  });
-  for (int h : hits) EXPECT_EQ(h, 1);
+// P2P-heavy protocol: every node sends variable-size payloads to a
+// round-dependent subset of its neighbors and folds its ENTIRE inbox
+// (sender ids and payload contents, in delivery order) into a per-node
+// digest — so any reordering or misplacement a parallel delivery could
+// introduce flips the digest.
+class P2PStress : public distsim::Protocol {
+ public:
+  explicit P2PStress(NodeId n) : digest_(n, 0xcbf29ce484222325ULL) {}
+
+  void Init(NodeContext& ctx) override { SendWave(ctx); }
+
+  void Round(NodeContext& ctx) override {
+    std::uint64_t& h = digest_[ctx.id()];
+    for (const InMessage& m : ctx.Messages()) {
+      h = Mix(h, m.from);
+      for (double x : m.payload) h = MixDouble(h, x);
+    }
+    SendWave(ctx);
+  }
+
+  const std::vector<std::uint64_t>& digest() const { return digest_; }
+
+ private:
+  void SendWave(NodeContext& ctx) {
+    const auto nbrs = ctx.neighbors();
+    const NodeId v = ctx.id();
+    const auto r = static_cast<std::size_t>(ctx.round());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if ((i + v + r) % 3 != 0) continue;
+      Payload p;
+      const std::size_t len = 1 + (v + i + r) % 3;
+      for (std::size_t k = 0; k < len; ++k) {
+        p.push_back(static_cast<double>(v * 1000 + r * 10 + k));
+      }
+      ctx.Send(nbrs[i].to, std::move(p));
+    }
+  }
+
+  std::vector<std::uint64_t> digest_;
+};
+
+// Broadcast-heavy protocol: variable-size broadcasts with a small
+// distinct-value alphabet (stressing the sharded distinct-value census)
+// folded into per-node digests via NeighborBroadcast.
+class BroadcastStorm : public distsim::Protocol {
+ public:
+  explicit BroadcastStorm(NodeId n) : digest_(n, 0x84222325cbf29ce4ULL) {}
+
+  void Init(NodeContext& ctx) override { Shout(ctx); }
+
+  void Round(NodeContext& ctx) override {
+    std::uint64_t& h = digest_[ctx.id()];
+    for (std::size_t i = 0; i < ctx.neighbors().size(); ++i) {
+      const Payload* p = ctx.NeighborBroadcast(i);
+      if (p == nullptr) {
+        h = Mix(h, 0xdeadULL);
+        continue;
+      }
+      for (double x : *p) h = MixDouble(h, x);
+    }
+    Shout(ctx);
+  }
+
+  const std::vector<std::uint64_t>& digest() const { return digest_; }
+
+ private:
+  void Shout(NodeContext& ctx) {
+    const NodeId v = ctx.id();
+    const auto r = static_cast<std::size_t>(ctx.round());
+    if ((v + r) % 7 == 0) return;  // some nodes stay silent some rounds
+    Payload p;
+    const std::size_t len = 1 + v % 4;
+    p.push_back(static_cast<double>((v + r) % 17));  // 17-value alphabet
+    for (std::size_t k = 1; k < len; ++k) {
+      p.push_back(static_cast<double>(k));
+    }
+    ctx.Broadcast(std::move(p));
+  }
+
+  std::vector<std::uint64_t> digest_;
+};
+
+// Randomized gossip: every draw goes through the node's private stream
+// (NodeContext::Rng), so the draw sequence must be a pure function of
+// (master seed, node id) — sharding cannot shift which node consumes
+// which random number.
+class RandomGossip : public distsim::Protocol {
+ public:
+  explicit RandomGossip(NodeId n) : value_(n, 0.0) {}
+
+  void Init(NodeContext& ctx) override {
+    value_[ctx.id()] = ctx.Rng().NextDouble();
+    ctx.Broadcast({value_[ctx.id()]});
+  }
+
+  void Round(NodeContext& ctx) override {
+    const NodeId v = ctx.id();
+    double& x = value_[v];
+    for (const InMessage& m : ctx.Messages()) x += m.payload[0];
+    const auto nbrs = ctx.neighbors();
+    if (!nbrs.empty()) {
+      // Push x (jittered) to one uniformly random neighbor.
+      const std::size_t pick = ctx.Rng().NextBounded(nbrs.size());
+      ctx.Send(nbrs[pick].to, {x + ctx.Rng().NextDouble()});
+    }
+    if (ctx.Rng().NextBool(0.5)) ctx.Broadcast({x});
+  }
+
+  const std::vector<double>& value() const { return value_; }
+
+ private:
+  std::vector<double> value_;
+};
+
+template <typename Proto>
+void RunRounds(Engine& engine, Proto& proto, int rounds) {
+  engine.Start(proto);
+  for (int t = 0; t < rounds; ++t) engine.Step(proto);
 }
 
 TEST(SchedulerDeterminism, CompactEliminationOneVsEightThreads) {
@@ -74,6 +198,7 @@ TEST(SchedulerDeterminism, CompactEliminationOneVsEightThreads) {
   EXPECT_EQ(r1.b, r8.b);
   EXPECT_EQ(r1.totals.messages, r8.totals.messages);
   EXPECT_EQ(r1.totals.entries, r8.totals.entries);
+  ExpectSameHistory(r1.history, r8.history);
 }
 
 TEST(SchedulerDeterminism, CompactWithOrientationTracking) {
@@ -123,6 +248,103 @@ TEST(SchedulerDeterminism, RepeatedParallelRunsAgree) {
   const core::CompactResult b = core::RunCompactElimination(g, opts);
   EXPECT_EQ(a.b, b.b);
   EXPECT_EQ(a.totals.messages, b.totals.messages);
+}
+
+TEST(SchedulerDeterminism, P2PHeavyInboxOrderOneVsEightThreads) {
+  // The parallel collect delivers into precomputed inbox slots; the
+  // per-node inbox digests only match the sequential run if every message
+  // landed in the same slot with the same bytes.
+  const graph::Graph g = TestGraph(106);
+  P2PStress p1(g.num_nodes());
+  P2PStress p8(g.num_nodes());
+  Engine e1(g, 1);
+  Engine e8(g, 8);
+  RunRounds(e1, p1, 12);
+  RunRounds(e8, p8, 12);
+  EXPECT_EQ(p1.digest(), p8.digest());
+  EXPECT_EQ(e1.totals().messages, e8.totals().messages);
+  EXPECT_EQ(e1.totals().entries, e8.totals().entries);
+  EXPECT_EQ(e1.totals().max_entries_per_message,
+            e8.totals().max_entries_per_message);
+  ExpectSameHistory(e1.history(), e8.history());
+}
+
+TEST(SchedulerDeterminism, BroadcastHeavyStatsOneVsEightThreads) {
+  // Stats are merged from per-shard partials in shard order; the whole
+  // history (including the sharded distinct-value census) must match the
+  // sequential pass field by field.
+  const graph::Graph g = TestGraph(107);
+  BroadcastStorm p1(g.num_nodes());
+  BroadcastStorm p8(g.num_nodes());
+  Engine e1(g, 1);
+  Engine e8(g, 8);
+  RunRounds(e1, p1, 10);
+  RunRounds(e8, p8, 10);
+  EXPECT_EQ(p1.digest(), p8.digest());
+  ExpectSameHistory(e1.history(), e8.history());
+  EXPECT_EQ(e1.totals().messages, e8.totals().messages);
+  EXPECT_EQ(e1.totals().entries, e8.totals().entries);
+}
+
+TEST(SchedulerDeterminism, RandomizedProtocolOneVsEightThreads) {
+  // Per-node RNG streams: a node's draws depend only on (seed, id, draw
+  // index), so the randomized run is bit-identical at any thread count.
+  const graph::Graph g = TestGraph(108);
+  RandomGossip p1(g.num_nodes());
+  RandomGossip p8(g.num_nodes());
+  Engine e1(g, 1);
+  Engine e8(g, 8);
+  e1.SetSeed(4242);
+  e8.SetSeed(4242);
+  RunRounds(e1, p1, 15);
+  RunRounds(e8, p8, 15);
+  EXPECT_EQ(p1.value(), p8.value());
+  ExpectSameHistory(e1.history(), e8.history());
+  EXPECT_EQ(e1.totals().messages, e8.totals().messages);
+  EXPECT_EQ(e1.totals().entries, e8.totals().entries);
+}
+
+TEST(SchedulerDeterminism, MoreShardsThanWorkEmptyShardRegression) {
+  // 32 shards on a 300-node graph (just over the n >= 256 parallel
+  // cutoff): ceil-chunking leaves trailing shards with EMPTY sender
+  // ranges whose collect bodies never run. Regression pin: stale
+  // per-shard count rows from earlier rounds must not be read back as
+  // in-degrees (that injected phantom empty messages into inboxes from
+  // round 2 onward).
+  util::Rng rng(110);
+  const graph::Graph g = graph::BarabasiAlbert(300, 4, rng);
+  P2PStress p1(g.num_nodes());
+  P2PStress p32(g.num_nodes());
+  RandomGossip r1(g.num_nodes());
+  RandomGossip r32(g.num_nodes());
+  Engine e1(g, 1);
+  Engine e32(g, 32);
+  RunRounds(e1, p1, 10);
+  RunRounds(e32, p32, 10);
+  EXPECT_EQ(p1.digest(), p32.digest());
+  ExpectSameHistory(e1.history(), e32.history());
+  Engine f1(g, 1);
+  Engine f32(g, 32);
+  RunRounds(f1, r1, 10);
+  RunRounds(f32, r32, 10);
+  EXPECT_EQ(r1.value(), r32.value());
+  EXPECT_EQ(f1.totals().messages, f32.totals().messages);
+  EXPECT_EQ(f1.totals().entries, f32.totals().entries);
+}
+
+TEST(SchedulerDeterminism, MasterSeedActuallyFeedsTheStreams) {
+  // Different master seeds must produce different randomized runs —
+  // otherwise the determinism tests above would pass vacuously.
+  const graph::Graph g = TestGraph(109);
+  RandomGossip pa(g.num_nodes());
+  RandomGossip pb(g.num_nodes());
+  Engine ea(g, 8);
+  Engine eb(g, 8);
+  ea.SetSeed(1);
+  eb.SetSeed(2);
+  RunRounds(ea, pa, 5);
+  RunRounds(eb, pb, 5);
+  EXPECT_NE(pa.value(), pb.value());
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// ThreadPool is the primitive the whole determinism story stands on: a
+// fixed static partition (ShardBounds), disjoint-write parallel sweeps
+// (ParallelFor), and order-pinned reductions (ParallelReduce, merge in
+// shard order on the caller). These tests pin the partition arithmetic,
+// the exception drain-and-rethrow contract, long-lived reuse across
+// generations, and the reduce merge order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "distsim/thread_pool.h"
+
+namespace kcore::distsim {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<int> hits(10000, 0);
+  pool.ParallelFor(0, hits.size(), [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ShardBoundsPartitionTheRange) {
+  // The static partition must tile [begin, end): contiguous, ascending,
+  // disjoint, and exhaustive — for ranges shorter than, equal to, and far
+  // longer than the shard count.
+  for (int shards : {1, 2, 3, 7, 8}) {
+    for (std::uint64_t range : {0ull, 1ull, 5ull, 8ull, 100ull, 10001ull}) {
+      const std::uint64_t begin = 13;
+      const std::uint64_t end = begin + range;
+      std::uint64_t cursor = begin;
+      for (int s = 0; s < shards; ++s) {
+        const auto [b, e] = ThreadPool::ShardBounds(begin, end, s, shards);
+        EXPECT_LE(b, e) << "shards=" << shards << " range=" << range;
+        if (b < e) {
+          EXPECT_EQ(b, cursor) << "gap before shard " << s;
+          cursor = e;
+        }
+      }
+      EXPECT_EQ(cursor, end) << "shards=" << shards << " range=" << range;
+    }
+  }
+}
+
+TEST(ThreadPool, ShardIndexedForMatchesShardBounds) {
+  ThreadPool pool(4);
+  const std::uint64_t kEnd = 1003;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen(
+      pool.num_shards(), {0, 0});
+  pool.ParallelFor(0, kEnd, [&](int shard, std::uint64_t b, std::uint64_t e) {
+    seen[shard] = {b, e};
+  });
+  for (int s = 0; s < pool.num_shards(); ++s) {
+    EXPECT_EQ(seen[s], ThreadPool::ShardBounds(0, kEnd, s, pool.num_shards()))
+        << "shard " << s;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyGenerations) {
+  // One pool, hundreds of jobs: a generation-counter bug (lost wakeup,
+  // double dispatch, stale body pointer) shows up as a wrong sum or hang.
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> acc(5000, 0);
+  for (int round = 0; round < 300; ++round) {
+    pool.ParallelFor(0, acc.size(), [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) acc[i] += i;
+    });
+  }
+  for (std::uint64_t i = 0; i < acc.size(); ++i) EXPECT_EQ(acc[i], 300 * i);
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadPool pool(8);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](std::uint64_t, std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(3, 0);
+  pool.ParallelFor(0, 3, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, WorkerExceptionDrainsAndRethrows) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 3; ++rep) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.ParallelFor(0, 1000,
+                         [&](std::uint64_t b, std::uint64_t) {
+                           ran.fetch_add(1);
+                           if (b != 0) throw std::runtime_error("shard boom");
+                         }),
+        std::runtime_error);
+    // Every shard ran before the rethrow (the drain guarantee), and the
+    // pool stays usable for the next job.
+    EXPECT_EQ(ran.load(), pool.num_shards());
+    std::vector<int> hits(100, 0);
+    pool.ParallelFor(0, hits.size(), [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) hits[i] = 1;
+    });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, CallerShardExceptionWinsAndDrains) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  // Shard 0 runs on the caller; its exception propagates only after the
+  // workers finished (they hold a pointer to the body otherwise).
+  EXPECT_THROW(pool.ParallelFor(0, 1000,
+                                [&](std::uint64_t b, std::uint64_t) {
+                                  ran.fetch_add(1);
+                                  if (b == 0) throw std::logic_error("caller");
+                                }),
+               std::logic_error);
+  EXPECT_EQ(ran.load(), pool.num_shards());
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(0, hits.size(), [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i] = 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelReduceMergesInShardOrder) {
+  ThreadPool pool(8);
+  const std::uint64_t kEnd = 4321;
+  std::vector<std::uint64_t> partial(pool.num_shards(), 0);
+  std::vector<int> merge_order;
+  std::uint64_t total = 0;
+  pool.ParallelReduce(
+      0, kEnd,
+      [&](int shard, std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) partial[shard] += i;
+      },
+      [&](int shard) {
+        merge_order.push_back(shard);
+        total += partial[shard];
+      });
+  EXPECT_EQ(total, kEnd * (kEnd - 1) / 2);
+  ASSERT_EQ(merge_order.size(), static_cast<std::size_t>(pool.num_shards()));
+  for (int s = 0; s < pool.num_shards(); ++s) EXPECT_EQ(merge_order[s], s);
+}
+
+TEST(ThreadPool, ParallelReduceEmptyRangeSkipsMerge) {
+  ThreadPool pool(4);
+  int merges = 0;
+  pool.ParallelReduce(
+      9, 9, [&](int, std::uint64_t, std::uint64_t) {},
+      [&](int) { ++merges; });
+  EXPECT_EQ(merges, 0);
+}
+
+TEST(ThreadPool, ParallelReduceBodyThrowSkipsMerge) {
+  ThreadPool pool(4);
+  int merges = 0;
+  EXPECT_THROW(pool.ParallelReduce(
+                   0, 1000,
+                   [&](int shard, std::uint64_t, std::uint64_t) {
+                     if (shard == 2) throw std::runtime_error("partial boom");
+                   },
+                   [&](int) { ++merges; }),
+               std::runtime_error);
+  // A failed map phase must not feed a half-baked reduction.
+  EXPECT_EQ(merges, 0);
+}
+
+TEST(ThreadPool, SingleThreadDegeneratesToPlainLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_shards(), 1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, hits.size(), [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  std::uint64_t total = 0;
+  std::uint64_t partial = 0;
+  pool.ParallelReduce(
+      0, 100,
+      [&](int shard, std::uint64_t b, std::uint64_t e) {
+        EXPECT_EQ(shard, 0);
+        for (std::uint64_t i = b; i < e; ++i) partial += i;
+      },
+      [&](int) { total += partial; });
+  EXPECT_EQ(total, 4950u);
+}
+
+TEST(ThreadPool, ManyConcurrentReducesStayIndependent) {
+  // Two pools running interleaved jobs from the same thread must not
+  // cross-talk (all job state is per-pool).
+  ThreadPool a(3), b(5);
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<std::uint64_t> pa(a.num_shards(), 0), pb(b.num_shards(), 0);
+    std::uint64_t ta = 0, tb = 0;
+    a.ParallelReduce(
+        0, 1000,
+        [&](int s, std::uint64_t lo, std::uint64_t hi) {
+          pa[s] = hi - lo;
+        },
+        [&](int s) { ta += pa[s]; });
+    b.ParallelReduce(
+        0, 2000,
+        [&](int s, std::uint64_t lo, std::uint64_t hi) {
+          pb[s] = hi - lo;
+        },
+        [&](int s) { tb += pb[s]; });
+    EXPECT_EQ(ta, 1000u);
+    EXPECT_EQ(tb, 2000u);
+  }
+}
+
+}  // namespace
+}  // namespace kcore::distsim

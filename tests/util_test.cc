@@ -119,6 +119,38 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(same, 3);
 }
 
+TEST(Rng, ForkKeyedIsPureAndKeyed) {
+  util::Rng a(42);
+  // Same state + same key -> the same child stream, and deriving children
+  // does not advance the parent (it is const).
+  util::Rng c1 = a.ForkKeyed(7);
+  util::Rng c2 = a.ForkKeyed(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1.Next(), c2.Next());
+  util::Rng b(42);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, ForkKeyedDistinctKeysAndStates) {
+  util::Rng a(42);
+  // Adjacent keys (node ids) must land in unrelated streams.
+  util::Rng k0 = a.ForkKeyed(0);
+  util::Rng k1 = a.ForkKeyed(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (k0.Next() == k1.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+  // Advancing the parent changes what a key derives.
+  a.Next();
+  util::Rng k0_after = a.ForkKeyed(0);
+  util::Rng k0_fresh = util::Rng(42).ForkKeyed(0);
+  same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (k0_after.Next() == k0_fresh.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
 TEST(Accumulator, BasicMoments) {
   util::Accumulator acc;
   for (double x : {1.0, 2.0, 3.0, 4.0}) acc.Add(x);
