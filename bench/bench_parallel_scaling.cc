@@ -17,6 +17,16 @@
 // hide a correctness regression. Note: speedups only materialize when
 // the machine actually has the cores; on a 1-core container every row
 // degenerates to ~1x and that is the expected reading, not a bug.
+//
+// A third section probes the shard-load balancer on skewed graphs (star,
+// power-law, BA): per-shard degree+1 weight under the equal-count split
+// vs ThreadPool::WeightedShardBounds. The spread column (max shard
+// weight / mean) is a pure partition property, so it reads the same on
+// any machine — on a star the equal-count split leaves shard 0 carrying
+// nearly everything and the weighted split flattens it. A balanced
+// gossip run (1-thread vs 8-thread weighted, rebalancing every 4 rounds)
+// rides along as a determinism cross-check on exactly these graphs.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +35,7 @@
 
 #include "core/compact.h"
 #include "distsim/engine.h"
+#include "distsim/thread_pool.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -162,6 +173,110 @@ int RunCollectHeavy(const graph::Graph& g, int rounds) {
   return 0;
 }
 
+// Per-shard degree+1 load of a partition; spread = max / mean. The
+// number the balancer exists to shrink.
+struct ShardLoad {
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double spread() const { return mean > 0.0 ? static_cast<double>(max) / mean : 0.0; }
+};
+
+ShardLoad LoadOf(const std::vector<std::uint64_t>& weights,
+                 const std::vector<std::uint64_t>& bounds) {
+  ShardLoad out;
+  const int shards = static_cast<int>(bounds.size()) - 1;
+  std::uint64_t total = 0;
+  for (int s = 0; s < shards; ++s) {
+    std::uint64_t w = 0;
+    for (std::uint64_t i = bounds[s]; i < bounds[s + 1]; ++i) w += weights[i];
+    out.max = std::max(out.max, w);
+    total += w;
+  }
+  out.mean = static_cast<double>(total) / shards;
+  return out;
+}
+
+void ShardSpreadRows(util::Table& table, const char* name,
+                     const graph::Graph& g, int shards) {
+  std::vector<std::uint64_t> w(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    w[v] = static_cast<std::uint64_t>(g.Degree(v)) + 1;
+  }
+  std::vector<std::uint64_t> equal(static_cast<std::size_t>(shards) + 1);
+  for (int s = 0; s < shards; ++s) {
+    equal[s] = distsim::ThreadPool::ShardBounds(0, w.size(), s, shards).first;
+  }
+  equal[shards] = w.size();
+  const std::vector<std::uint64_t> weighted =
+      distsim::ThreadPool::WeightedShardBounds(w, shards);
+  const ShardLoad le = LoadOf(w, equal);
+  const ShardLoad lw = LoadOf(w, weighted);
+  table.Row()
+      .Str(name)
+      .Str("equal-count")
+      .UInt(le.max)
+      .Dbl(le.mean, 1)
+      .Dbl(le.spread(), 2);
+  table.Row()
+      .Str(name)
+      .Str("weighted")
+      .UInt(lw.max)
+      .Dbl(lw.mean, 1)
+      .Dbl(lw.spread(), 2);
+}
+
+// Gossip on a skewed graph, 1-thread reference vs 8 threads with
+// degree-weighted shards rebuilt every 4 rounds — the determinism
+// contract exercised on the partition shapes balancing produces.
+int RunBalancedDeterminism(const graph::Graph& g, const char* name,
+                           int rounds) {
+  GossipStress ref(g.num_nodes());
+  distsim::Engine e1(g, 1);
+  e1.SetSeed(kMasterSeed);
+  e1.Start(ref);
+  for (int t = 0; t < rounds; ++t) e1.Step(ref);
+
+  GossipStress bal(g.num_nodes());
+  distsim::Engine e8(g, 8);
+  e8.SetSeed(kMasterSeed);
+  // Shard even below the engine's default 256-node cutoff, so the
+  // cross-check exercises the threaded path at any bench size.
+  e8.SetParallelCutoff(1);
+  e8.SetShardBalancing(true);
+  e8.SetRebalanceInterval(4);
+  e8.Start(bal);
+  for (int t = 0; t < rounds; ++t) e8.Step(bal);
+
+  const bool ok = ref.digest() == bal.digest();
+  std::printf("  %-10s balanced 8-thread vs sequential: %s\n", name,
+              ok ? "bit-identical" : "MISMATCH — BUG");
+  return ok ? 0 : 1;
+}
+
+int RunShardBalance(const graph::Graph& ba) {
+  constexpr int kShards = 8;
+  std::printf(
+      "\n[shard-balance] per-shard degree+1 load, equal-count vs weighted "
+      "partition, %d shards\n", kShards);
+  const graph::NodeId n = ba.num_nodes();
+  const graph::Graph star = graph::Star(n);
+  util::Rng rng(11);
+  const graph::Graph pl = graph::PowerLawConfiguration(
+      n, 2.1, 2, std::max<graph::NodeId>(4, n / 10), rng);
+
+  util::Table table({"graph", "partition", "max_shard_w", "mean_shard_w",
+                     "spread"});
+  ShardSpreadRows(table, "star", star, kShards);
+  ShardSpreadRows(table, "power-law", pl, kShards);
+  ShardSpreadRows(table, "ba", ba, kShards);
+  table.Print();
+
+  std::printf("\n  determinism cross-check (30 rounds of gossip):\n");
+  if (int rc = RunBalancedDeterminism(star, "star", 30)) return rc;
+  if (int rc = RunBalancedDeterminism(pl, "power-law", 30)) return rc;
+  return RunBalancedDeterminism(ba, "ba", 30);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,5 +295,6 @@ int main(int argc, char** argv) {
               g.num_edges(), gen_timer.Seconds());
 
   if (int rc = RunComputeHeavy(g)) return rc;
-  return RunCollectHeavy(g, /*rounds=*/30);
+  if (int rc = RunCollectHeavy(g, /*rounds=*/30)) return rc;
+  return RunShardBalance(g);
 }

@@ -11,7 +11,9 @@
 // Graph input: --file=PATH (edge list "u v [w]"), or a generator:
 //   --graph=ba|er|ws|powerlaw|rmat|community [--n=N] [--seed=S]
 // --threads=K runs the simulator's round scheduler on K pool workers
-// (results are bit-identical to --threads=1).
+// (results are bit-identical to --threads=1). --balance=true adds
+// degree-weighted shard balancing, which evens per-worker load on
+// heavy-tailed graphs (still bit-identical).
 //
 // Examples:
 //   kcore_tool generate --graph=ba --n=5000 --out=/tmp/ba.txt
@@ -96,6 +98,7 @@ int CmdCoreness(const Flags& flags) {
   opts.rounds = T;
   opts.lambda = flags.GetDouble("lambda", 0.0);
   opts.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  opts.balance_shards = flags.GetBool("balance", false);
   const auto res = kcore::core::RunCompactElimination(g, opts);
   const auto exact = kcore::seq::WeightedCoreness(g);
   std::vector<double> ratios;
@@ -107,7 +110,8 @@ int CmdCoreness(const Flags& flags) {
   std::printf("ratio beta/c: %s\n",
               kcore::util::Summarize(ratios).ToString().c_str());
   if (flags.GetBool("montresor")) {
-    const auto conv = kcore::core::RunToConvergence(g, -1, opts.num_threads);
+    const auto conv = kcore::core::RunToConvergence(
+        g, -1, opts.num_threads, opts.seed, opts.balance_shards);
     std::printf("run-to-exact (Montresor): %d rounds, %zu messages\n",
                 conv.last_change_round, conv.totals.messages);
   }
@@ -134,12 +138,13 @@ int CmdOrientation(const Flags& flags) {
   const Graph g = MakeGraph(flags);
   const double eps = flags.GetDouble("eps", 0.5);
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const bool balance = flags.GetBool("balance", false);
   const int T = kcore::core::RoundsForEpsilon(g.num_nodes(), eps);
   const double rho = kcore::seq::MaxDensity(g);
   const auto ours = kcore::core::RunDistributedOrientation(
       g, T, kcore::core::ConflictRule::kLowerLoad, threads);
-  const auto two_phase =
-      kcore::core::RunTwoPhaseOrientation(g, T, eps, -1, threads);
+  const auto two_phase = kcore::core::RunTwoPhaseOrientation(
+      g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
   kcore::util::Table t({"method", "max load", "load/rho*", "rounds"});

@@ -11,6 +11,11 @@
 //   * the two-phase Barenboim-Elkin-style baseline.
 //
 // Usage: p2p_orientation [--n=1500] [--eps=0.5] [--seed=3] [--threads=1]
+//                        [--balance=false]
+//
+// --balance=true turns on the engine's degree-weighted shard balancing
+// (results are bit-identical; on this heavy-tailed overlay it evens out
+// per-thread load).
 #include <cstdio>
 
 #include "core/compact.h"
@@ -43,10 +48,11 @@ int main(int argc, char** argv) {
   const double rho = kcore::seq::MaxDensity(g);
 
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const bool balance = flags.GetBool("balance", false);
   const auto ours = kcore::core::RunDistributedOrientation(
       g, T, kcore::core::ConflictRule::kLowerLoad, threads);
-  const auto two_phase =
-      kcore::core::RunTwoPhaseOrientation(g, T, eps, -1, threads);
+  const auto two_phase = kcore::core::RunTwoPhaseOrientation(
+      g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
 

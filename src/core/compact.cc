@@ -113,6 +113,8 @@ CompactResult RunCompactElimination(const graph::Graph& g,
   KCORE_CHECK_MSG(opts.rounds >= 1, "need at least one round");
   distsim::Engine engine(g, opts.num_threads);
   engine.SetSeed(opts.seed);
+  engine.SetShardBalancing(opts.balance_shards);
+  engine.SetRebalanceInterval(opts.rebalance_rounds);
   CompactElimination proto(g, opts);
   CompactResult out;
   engine.Start(proto);

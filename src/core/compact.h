@@ -40,10 +40,17 @@ struct CompactOptions {
   bool stateful_tiebreak = true;
   // Worker threads for the simulator.
   int num_threads = 1;
+  // Degree-weighted shard balancing for the round scheduler (see
+  // distsim::Engine::SetShardBalancing) — worth turning on for
+  // heavy-tailed graphs; results are bit-identical either way.
+  bool balance_shards = false;
+  // With balancing on, rebuild shard boundaries from the halted census
+  // every this many rounds (0 = partition once at Start).
+  int rebalance_rounds = 0;
   // Master seed for the engine's per-node RNG streams. Algorithm 2 itself
   // is deterministic; the seed exists so randomized protocol variants
   // layered on this path (and the engine they share) stay replayable.
-  std::uint64_t seed = 0x6b636f7265ULL;
+  std::uint64_t seed = distsim::kDefaultMasterSeed;
 };
 
 // T = ceil(log n / log(gamma/2)) for gamma > 2 (Theorem III.5).

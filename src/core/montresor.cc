@@ -5,7 +5,8 @@
 namespace kcore::core {
 
 ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
-                                   int num_threads, std::uint64_t seed) {
+                                   int num_threads, std::uint64_t seed,
+                                   bool balance_shards) {
   if (max_rounds < 0) {
     max_rounds = static_cast<int>(g.num_nodes()) + 2;
   }
@@ -16,6 +17,7 @@ ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
   CompactElimination proto(g, opts);
   distsim::Engine engine(g, num_threads);
   engine.SetSeed(seed);
+  engine.SetShardBalancing(balance_shards);
   ConvergenceResult out;
   out.rounds_executed = engine.RunUntilQuiescent(proto, max_rounds);
   out.coreness = proto.b();

@@ -29,9 +29,12 @@ struct ConvergenceResult {
 // Runs Algorithm 2 until no surviving number changes (at most max_rounds;
 // default n + 2, which always suffices: at least one node fixes per
 // elimination wave). `seed` feeds the engine's per-node RNG streams so
-// randomized gossip variants layered on this baseline stay replayable.
-ConvergenceResult RunToConvergence(const graph::Graph& g,
-                                   int max_rounds = -1, int num_threads = 1,
-                                   std::uint64_t seed = 0x6b636f7265ULL);
+// randomized gossip variants layered on this baseline stay replayable;
+// `balance_shards` enables the engine's degree-weighted shard balancing
+// (bit-identical results, better thread utilization on skewed graphs).
+ConvergenceResult RunToConvergence(
+    const graph::Graph& g, int max_rounds = -1, int num_threads = 1,
+    std::uint64_t seed = distsim::kDefaultMasterSeed,
+    bool balance_shards = false);
 
 }  // namespace kcore::core

@@ -55,12 +55,14 @@ class PeelingProtocol : public distsim::Protocol {
 
 TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
                                       double eps, int max_phase2_rounds,
-                                      int num_threads, std::uint64_t seed) {
+                                      int num_threads, std::uint64_t seed,
+                                      bool balance_shards) {
   KCORE_CHECK_MSG(eps > 0.0, "eps must be positive");
   CompactOptions copts;
   copts.rounds = phase1_rounds;
   copts.num_threads = num_threads;
   copts.seed = seed;
+  copts.balance_shards = balance_shards;
   CompactResult compact = RunCompactElimination(g, copts);
 
   TwoPhaseResult out;
@@ -86,6 +88,7 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
   PeelingProtocol peel(g, std::move(thresholds));
   distsim::Engine engine(g, num_threads);
   engine.SetSeed(seed);
+  engine.SetShardBalancing(balance_shards);
   engine.Start(peel);
   int rounds = 0;
   while (rounds < max_phase2_rounds) {

@@ -38,11 +38,13 @@ struct TwoPhaseResult {
 
 // eps > 0 controls the peeling slack. max_phase2_rounds < 0 defaults to
 // 4 * ceil(log_{1+eps/2} n) + 8. `seed` feeds both phases' engines
-// (per-node RNG streams; see distsim::Engine::SetSeed).
-TwoPhaseResult RunTwoPhaseOrientation(const graph::Graph& g,
-                                      int phase1_rounds, double eps,
-                                      int max_phase2_rounds = -1,
-                                      int num_threads = 1,
-                                      std::uint64_t seed = 0x6b636f7265ULL);
+// (per-node RNG streams; see distsim::Engine::SetSeed); `balance_shards`
+// turns on degree-weighted shard balancing in both phases (bit-identical
+// results, better thread utilization on skewed graphs).
+TwoPhaseResult RunTwoPhaseOrientation(
+    const graph::Graph& g, int phase1_rounds, double eps,
+    int max_phase2_rounds = -1, int num_threads = 1,
+    std::uint64_t seed = distsim::kDefaultMasterSeed,
+    bool balance_shards = false);
 
 }  // namespace kcore::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
+#include <span>
 #include <unordered_set>
 
 #include "distsim/thread_pool.h"
@@ -87,6 +89,59 @@ void Engine::SetSeed(std::uint64_t seed) {
   master_seed_ = seed;
 }
 
+void Engine::SetParallelCutoff(NodeId cutoff) {
+  KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
+                  "SetParallelCutoff() must precede Start()");
+  parallel_cutoff_ = cutoff;
+}
+
+void Engine::SetShardBalancing(bool enabled) {
+  KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
+                  "SetShardBalancing() must precede Start()");
+  balance_shards_ = enabled;
+}
+
+void Engine::SetRebalanceInterval(int rounds) {
+  KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
+                  "SetRebalanceInterval() must precede Start()");
+  KCORE_CHECK_MSG(rounds >= 0, "rebalance interval must be >= 0, got "
+                                   << rounds);
+  rebalance_every_ = rounds;
+}
+
+void Engine::BuildShardBounds() {
+  const NodeId n = graph_.num_nodes();
+  std::vector<std::uint64_t> weights(n);
+  for (NodeId v = 0; v < n; ++v) {
+    // One round touches a live node's slot once (the +1) and walks its
+    // incident edges in both the compute update and the collect census /
+    // broadcast fan-out (the degree). Halted nodes skip compute but are
+    // still scanned by the collect sweep, so they keep unit weight.
+    weights[v] =
+        halted_[v] ? 1 : static_cast<std::uint64_t>(graph_.Degree(v)) + 1;
+  }
+  shard_bounds_ = ThreadPool::WeightedShardBounds(weights, pool_->num_shards());
+}
+
+void Engine::ForSharded(
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& body) {
+  if (balance_shards_) {
+    pool_->ParallelFor(std::span<const std::uint64_t>(shard_bounds_), body);
+  } else {
+    pool_->ParallelFor(0, graph_.num_nodes(), body);
+  }
+}
+
+void Engine::ReduceSharded(
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& body,
+    const std::function<void(int)>& merge) {
+  if (balance_shards_) {
+    pool_->ParallelReduce(shard_bounds_, body, merge);
+  } else {
+    pool_->ParallelReduce(0, graph_.num_nodes(), body, merge);
+  }
+}
+
 void Engine::EnsureNodeRng() {
   // First draw materializes every node's stream (concurrent first draws
   // from several shards block on the flag; later draws take the atomic
@@ -104,7 +159,7 @@ void Engine::EnsureNodeRng() {
 bool Engine::UseParallelPhases() const {
   // Graphs under the cutoff stay sequential: the dispatch barrier costs
   // more than the phases themselves.
-  return num_threads_ > 1 && graph_.num_nodes() >= 256;
+  return num_threads_ > 1 && graph_.num_nodes() >= parallel_cutoff_;
 }
 
 std::size_t Engine::ComputeRange(Protocol& p, NodeId begin, NodeId end,
@@ -210,8 +265,7 @@ void Engine::CollectParallel(RoundStats& stats) {
   std::vector<CollectPartial> partials(shards);
   std::unordered_set<std::uint64_t> distinct;
   std::size_t total_p2p = 0;
-  pool_->ParallelReduce(
-      0, n,
+  ReduceSharded(
       [&](int shard, std::uint64_t b, std::uint64_t e) {
         CensusRange(static_cast<NodeId>(b), static_cast<NodeId>(e),
                     partials[shard],
@@ -234,7 +288,7 @@ void Engine::CollectParallel(RoundStats& stats) {
     // clearing. Broadcast-only protocols take this path every round and
     // skip the whole offset machinery.
     if (inboxes_dirty_) {
-      pool_->ParallelFor(0, n, [&](std::uint64_t b, std::uint64_t e) {
+      ForSharded([&](int, std::uint64_t b, std::uint64_t e) {
         for (std::uint64_t u = b; u < e; ++u) inbox_[u].clear();
       });
       inboxes_dirty_ = false;
@@ -253,8 +307,10 @@ void Engine::CollectParallel(RoundStats& stats) {
   // Offset pass, sharded by RECEIVER: turn each receiver's per-shard
   // counts column into running block offsets (shard s's messages to u
   // start after every earlier shard's) and pre-size the inbox. Clearing
-  // stale inboxes rides along.
-  pool_->ParallelFor(0, n, [&](std::uint64_t b, std::uint64_t e) {
+  // stale inboxes rides along. (Receiver sweeps are per-id independent,
+  // so ANY partition works here — sharing the sender boundaries is just
+  // uniformity.)
+  ForSharded([&](int, std::uint64_t b, std::uint64_t e) {
     for (std::uint64_t u = b; u < e; ++u) {
       std::uint32_t run = 0;
       for (int s = 0; s < shards; ++s) {
@@ -269,13 +325,15 @@ void Engine::CollectParallel(RoundStats& stats) {
     }
   });
 
-  // Pass 2, sharded by SENDER on the same boundaries as pass 1: write
-  // every message into its receiver's pre-sized slot. Within a shard
-  // senders run in ascending id order and shard blocks are laid out in
-  // shard order, so each inbox comes out sorted by sender id —
-  // bit-identical to the sequential push_back delivery. Writes to a given
-  // inbox land at disjoint indices and never reallocate: race-free.
-  pool_->ParallelFor(0, n, [&](int shard, std::uint64_t b, std::uint64_t e) {
+  // Pass 2, sharded by SENDER on the same boundaries as pass 1 (weighted
+  // or equal-count — CRITICAL either way, since the offset rows were
+  // counted per pass-1 shard): write every message into its receiver's
+  // pre-sized slot. Within a shard senders run in ascending id order and
+  // shard blocks are laid out in shard order, so each inbox comes out
+  // sorted by sender id — bit-identical to the sequential push_back
+  // delivery. Writes to a given inbox land at disjoint indices and never
+  // reallocate: race-free.
+  ForSharded([&](int shard, std::uint64_t b, std::uint64_t e) {
     std::uint32_t* cursor =
         p2p_offsets_.data() + static_cast<std::size_t>(shard) * n;
     for (std::uint64_t v = b; v < e; ++v) {
@@ -322,9 +380,17 @@ void Engine::ComputePhase(Protocol& p, int round) {
   // this is race-free and bit-identical to the sequential order. The
   // pool persists across rounds — workers are created once per engine.
   if (!pool_) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  // Degree-weighted boundaries are built on the Start() sweep and
+  // refreshed on the rebalance interval — always here, between rounds,
+  // so the compute sweep and both collect passes of a round share one
+  // fixed partition (the count/offset delivery scheme depends on it).
+  if (balance_shards_ &&
+      (shard_bounds_.empty() ||
+       (rebalance_every_ > 0 && round > 0 && round % rebalance_every_ == 0))) {
+    BuildShardBounds();
+  }
   std::vector<std::size_t> executed(pool_->num_shards(), 0);
-  pool_->ParallelReduce(
-      0, n,
+  ReduceSharded(
       [&](int shard, std::uint64_t begin, std::uint64_t end) {
         executed[shard] = ComputeRange(p, static_cast<NodeId>(begin),
                                        static_cast<NodeId>(end), round);

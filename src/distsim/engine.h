@@ -17,7 +17,15 @@
 //
 // Execution model per round t >= 1 — two phases, BOTH sharded over the
 // engine's persistent thread pool (static contiguous node-id shards;
-// sequential when num_threads <= 1 or the graph is below the cutoff):
+// sequential when num_threads <= 1 or the graph is below the parallel
+// cutoff — kDefaultParallelCutoff nodes unless SetParallelCutoff says
+// otherwise). Shards default to equal node counts; SetShardBalancing(true)
+// switches to degree-weighted boundaries (cost degree + 1 per live node,
+// built once at Start and optionally rebuilt from the halted census every
+// SetRebalanceInterval rounds), so on heavy-tailed graphs the hub shard
+// stops dominating the round. Every partition is a fixed ascending
+// contiguous split and both collect passes reuse the round's boundaries,
+// so results stay bit-identical whichever partitioner is active:
 //   1. Compute: Protocol::Round(ctx) runs for every non-halted node; it
 //      sees every neighbor's round-(t-1) broadcast plus any point-to-point
 //      payloads addressed to it, may stage a new broadcast and p2p sends
@@ -43,6 +51,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -72,6 +81,11 @@ struct RoundStats {
   std::size_t entries = 0;          // doubles staged across all messages
   std::size_t distinct_values = 0;  // distinct first-entry broadcast values
 };
+
+// Default master seed for the per-node RNG streams ("kcore" in ASCII).
+// Every driver's seed parameter defaults to this one constant so runs
+// replay by construction and the magic number lives in exactly one place.
+inline constexpr std::uint64_t kDefaultMasterSeed = 0x6b636f7265ULL;
 
 struct Totals {
   int rounds = 0;
@@ -145,10 +159,38 @@ class ThreadPool;
 
 class Engine {
  public:
+  // Graphs below this many nodes run sequentially even when num_threads >
+  // 1: the pool's dispatch barrier costs more than the phases themselves
+  // on tiny inputs. Benches and tests lower it via SetParallelCutoff to
+  // force threading on small graphs.
+  static constexpr NodeId kDefaultParallelCutoff = 256;
+
   // num_threads <= 1 means sequential; > 1 backs the compute phase of
   // every round with a persistent ThreadPool (workers live for the
   // engine's lifetime, not per round). The graph must outlive the engine.
   explicit Engine(const graph::Graph& g, int num_threads = 1);
+
+  // Overrides kDefaultParallelCutoff (0 = always shard when num_threads >
+  // 1). Must precede Start().
+  void SetParallelCutoff(NodeId cutoff);
+
+  // Degree-weighted shard balancing: instead of equal-count node-id
+  // shards, boundaries are chosen (ThreadPool::WeightedShardBounds, cost
+  // degree + 1 per node) so each shard carries about the same compute +
+  // collect work — the fix for heavy-tailed graphs where whichever shard
+  // holds the hubs otherwise does most of the round. Results are
+  // bit-identical with balancing on or off (the determinism contract
+  // holds for any contiguous ascending partition); only per-shard load
+  // changes. Must precede Start(). Default off.
+  void SetShardBalancing(bool enabled);
+  bool shard_balancing() const { return balance_shards_; }
+
+  // With balancing on, rebuild the boundaries every `rounds` rounds from
+  // the halted census (halted nodes weigh 1 — they are still scanned by
+  // the collect sweep — live nodes degree + 1), so long-running protocols
+  // that halt hubs early re-spread the surviving load. 0 (default) keeps
+  // the Start()-time boundaries for the whole run. Must precede Start().
+  void SetRebalanceInterval(int rounds);
 
   // CONGEST enforcement: once set, staging any message with more than
   // `limit` entries aborts (KCORE_CHECK). The paper's Section II protocols
@@ -217,8 +259,29 @@ class Engine {
   void CollectParallel(RoundStats& stats);
   void CollectRound(int round);
 
+  // Builds degree-weighted shard boundaries for the pool from the current
+  // halted census (see SetShardBalancing).
+  void BuildShardBounds();
+  // Every parallel sweep over node ids goes through these: they pick the
+  // weighted boundaries when balancing is on and the equal-count split
+  // otherwise, so no call site can end up on a partition that disagrees
+  // with the rest of the round.
+  void ForSharded(
+      const std::function<void(int, std::uint64_t, std::uint64_t)>& body);
+  void ReduceSharded(
+      const std::function<void(int, std::uint64_t, std::uint64_t)>& body,
+      const std::function<void(int)>& merge);
+
   const graph::Graph& graph_;
   int num_threads_;
+  NodeId parallel_cutoff_ = kDefaultParallelCutoff;
+  bool balance_shards_ = false;
+  int rebalance_every_ = 0;
+  // Active partition for the balanced path: num_shards + 1 ascending
+  // boundaries, shared by the compute sweep and BOTH collect passes of a
+  // round (the count/offset scheme needs one fixed partition per round).
+  // Rebuilt only between rounds, never mid-round.
+  std::vector<std::uint64_t> shard_bounds_;
   // Lazily created on the first parallel compute phase (Start's Init
   // sweep included) and reused for every later round; null while running
   // sequentially.
@@ -250,7 +313,7 @@ class Engine {
   // protocols that never call Rng() pay neither the O(n) forks nor the
   // per-node stream storage.
   void EnsureNodeRng();
-  std::uint64_t master_seed_ = 0x6b636f7265ULL;  // "kcore"
+  std::uint64_t master_seed_ = kDefaultMasterSeed;
   std::once_flag node_rng_once_;
   std::vector<util::Rng> node_rng_;
 

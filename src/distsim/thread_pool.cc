@@ -1,6 +1,7 @@
 #include "distsim/thread_pool.h"
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 
 #include "util/logging.h"
@@ -36,8 +37,62 @@ std::pair<std::uint64_t, std::uint64_t> ThreadPool::ShardBounds(
   return {b, e};
 }
 
+std::vector<std::uint64_t> ThreadPool::WeightedShardBounds(
+    std::span<const std::uint64_t> weights, int num_shards) {
+  KCORE_CHECK_MSG(num_shards >= 1,
+                  "WeightedShardBounds needs num_shards >= 1, got "
+                      << num_shards);
+  const std::uint64_t n = weights.size();
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(num_shards) + 1,
+                                    n);
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : weights) total += w;
+  if (total == 0) {
+    // Nothing to equalize; tile by count so every id is still covered.
+    for (int s = 0; s < num_shards; ++s) {
+      bounds[s] = ShardBounds(0, n, s, num_shards).first;
+    }
+    return bounds;
+  }
+  std::uint64_t cursor = 0;
+  std::uint64_t remaining = total;
+  for (int s = 0; s < num_shards; ++s) {
+    bounds[s] = cursor;
+    // Fair share of the weight still unassigned: ceil(remaining / shards
+    // left). A hub heavier than the share closes its shard immediately
+    // and the later shards re-split what is left.
+    const auto left = static_cast<std::uint64_t>(num_shards - s);
+    const std::uint64_t share = (remaining + left - 1) / left;
+    std::uint64_t taken = 0;
+    while (cursor < n && taken < share) {
+      const std::uint64_t w = weights[cursor];
+      // An item that overshoots the share joins this shard only if that
+      // lands closer to the fair share than stopping short does. Without
+      // this, a hub in the MIDDLE of a shard's range gets swallowed along
+      // with its whole prefix (one shard carrying prefix + hub, later
+      // shards empty — worse than no balancing); closing early leaves the
+      // hub to open the next shard, which then takes it alone.
+      if (taken > 0 && taken + w > share &&
+          taken + w - share > share - taken) {
+        break;
+      }
+      taken += w;
+      ++cursor;
+    }
+    remaining -= taken;
+  }
+  bounds[num_shards] = n;  // trailing zero-weight ids ride the last shard
+  return bounds;
+}
+
 void ThreadPool::RunShard(int shard) {
-  const auto [b, e] = ShardBounds(job_begin_, job_end_, shard, num_shards());
+  std::uint64_t b, e;
+  if (job_bounds_ != nullptr) {
+    b = job_bounds_[shard];
+    e = job_bounds_[shard + 1];
+  } else {
+    std::tie(b, e) = ShardBounds(job_begin_, job_end_, shard, num_shards());
+  }
   if (b < e) (*body_)(shard, b, e);
 }
 
@@ -69,14 +124,21 @@ void ThreadPool::WorkerLoop(int shard) {
 void ThreadPool::ParallelFor(
     std::uint64_t begin, std::uint64_t end,
     const std::function<void(std::uint64_t, std::uint64_t)>& body) {
-  Dispatch(begin, end,
+  Dispatch(begin, end, nullptr,
            [&body](int, std::uint64_t b, std::uint64_t e) { body(b, e); });
 }
 
 void ThreadPool::ParallelFor(
     std::uint64_t begin, std::uint64_t end,
     const std::function<void(int, std::uint64_t, std::uint64_t)>& body) {
-  Dispatch(begin, end, body);
+  Dispatch(begin, end, nullptr, body);
+}
+
+void ThreadPool::ParallelFor(
+    std::span<const std::uint64_t> bounds,
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& body) {
+  CheckBounds(bounds);
+  Dispatch(bounds.front(), bounds.back(), bounds.data(), body);
 }
 
 void ThreadPool::ParallelReduce(
@@ -84,14 +146,37 @@ void ThreadPool::ParallelReduce(
     const std::function<void(int, std::uint64_t, std::uint64_t)>& body,
     const std::function<void(int)>& merge) {
   if (begin >= end) return;
-  Dispatch(begin, end, body);
+  Dispatch(begin, end, nullptr, body);
   // Merge strictly in shard order on this thread: the reduction sees the
   // same partial order no matter how the shards were scheduled.
   for (int shard = 0; shard < num_shards(); ++shard) merge(shard);
 }
 
+void ThreadPool::ParallelReduce(
+    std::span<const std::uint64_t> bounds,
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& body,
+    const std::function<void(int)>& merge) {
+  CheckBounds(bounds);
+  if (bounds.front() >= bounds.back()) return;
+  Dispatch(bounds.front(), bounds.back(), bounds.data(), body);
+  for (int shard = 0; shard < num_shards(); ++shard) merge(shard);
+}
+
+void ThreadPool::CheckBounds(std::span<const std::uint64_t> bounds) const {
+  KCORE_CHECK_MSG(
+      bounds.size() == static_cast<std::size_t>(num_shards()) + 1,
+      "bounded dispatch needs num_shards + 1 = " << num_shards() + 1
+          << " boundaries, got " << bounds.size());
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    KCORE_CHECK_MSG(bounds[s] <= bounds[s + 1],
+                    "shard boundaries must be ascending; bounds["
+                        << s << "]=" << bounds[s] << " > bounds[" << s + 1
+                        << "]=" << bounds[s + 1]);
+  }
+}
+
 void ThreadPool::Dispatch(
-    std::uint64_t begin, std::uint64_t end,
+    std::uint64_t begin, std::uint64_t end, const std::uint64_t* bounds,
     const std::function<void(int, std::uint64_t, std::uint64_t)>& body) {
   if (begin >= end) return;
   const int shards = num_shards();
@@ -104,6 +189,7 @@ void ThreadPool::Dispatch(
     body_ = &body;
     job_begin_ = begin;
     job_end_ = end;
+    job_bounds_ = bounds;
     pending_ = shards - 1;
     ++generation_;
   }
@@ -115,6 +201,7 @@ void ThreadPool::Dispatch(
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [&] { return pending_ == 0; });
     body_ = nullptr;
+    job_bounds_ = nullptr;
     return std::exchange(error_, nullptr);
   };
   try {

@@ -10,7 +10,11 @@
 // Determinism contract: the shard for a given (range, shard index) is a
 // fixed contiguous id interval, independent of scheduling order. Callers
 // guarantee disjoint writes per id, so results are bit-identical to a
-// sequential sweep no matter how the OS interleaves the workers.
+// sequential sweep no matter how the OS interleaves the workers. The
+// contract holds for ANY ascending contiguous partition, not just the
+// equal-count one — the bounded ParallelFor/ParallelReduce overloads
+// accept caller-precomputed boundaries (e.g. WeightedShardBounds, which
+// equalizes per-shard cost on skewed inputs) and keep the same guarantee.
 #pragma once
 
 #include <condition_variable>
@@ -18,6 +22,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -68,6 +73,21 @@ class ThreadPool {
       const std::function<void(int, std::uint64_t, std::uint64_t)>& body,
       const std::function<void(int)>& merge);
 
+  // Bounded variants: run over a caller-precomputed partition instead of
+  // the equal-count split. `bounds` must be ascending with exactly
+  // num_shards() + 1 entries; shard s executes [bounds[s], bounds[s+1])
+  // (empty shards allowed — their body is skipped). Everything else —
+  // barrier, exception drain, merge-in-shard-order — matches the
+  // range-based overloads, so swapping partitions cannot change results,
+  // only per-shard load.
+  void ParallelFor(
+      std::span<const std::uint64_t> bounds,
+      const std::function<void(int, std::uint64_t, std::uint64_t)>& body);
+  void ParallelReduce(
+      std::span<const std::uint64_t> bounds,
+      const std::function<void(int, std::uint64_t, std::uint64_t)>& body,
+      const std::function<void(int)>& merge);
+
   // The contiguous chunk [begin, end) is split into for a given shard —
   // pure arithmetic, exposed so callers and tests can pin the static
   // partition the determinism contract rests on. Returns an empty range
@@ -75,12 +95,30 @@ class ThreadPool {
   static std::pair<std::uint64_t, std::uint64_t> ShardBounds(
       std::uint64_t begin, std::uint64_t end, int shard, int num_shards);
 
+  // Weighted partition of [0, weights.size()): boundaries (num_shards + 1
+  // entries, bounds[0] == 0, bounds.back() == weights.size(), ascending)
+  // chosen greedily so each shard carries approximately its fair share of
+  // the total weight. Each shard's target is a fair share of the weight
+  // REMAINING after the earlier shards closed, and an item that would
+  // overshoot the target joins the shard only if that lands closer to it
+  // than stopping short — so a hub whose weight dwarfs the average ends
+  // up alone in its own shard (wherever its id falls) while the later
+  // shards re-split the rest instead of coming out empty. All-zero
+  // weights fall back to the equal-count split. Feed the result to the
+  // bounded ParallelFor/ParallelReduce overloads above.
+  static std::vector<std::uint64_t> WeightedShardBounds(
+      std::span<const std::uint64_t> weights, int num_shards);
+
  private:
   // Runs body sharded over [begin, end) and blocks until the barrier;
   // rethrows the first shard failure. Shared by ParallelFor/Reduce.
+  // `bounds` (nullable) overrides the equal-count split with explicit
+  // per-shard boundaries (num_shards() + 1 entries).
   void Dispatch(
-      std::uint64_t begin, std::uint64_t end,
+      std::uint64_t begin, std::uint64_t end, const std::uint64_t* bounds,
       const std::function<void(int, std::uint64_t, std::uint64_t)>& body);
+  // KCORE_CHECKs the bounded-overload contract (size, monotonicity).
+  void CheckBounds(std::span<const std::uint64_t> bounds) const;
   void WorkerLoop(int shard);
   void RunShard(int shard);
 
@@ -102,6 +140,9 @@ class ThreadPool {
       nullptr;
   std::uint64_t job_begin_ = 0;
   std::uint64_t job_end_ = 0;
+  // Explicit per-shard boundaries for the current job (bounded
+  // overloads); null means the equal-count ShardBounds split.
+  const std::uint64_t* job_bounds_ = nullptr;
 };
 
 }  // namespace kcore::distsim

@@ -1,5 +1,7 @@
 #include "util/flags.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -43,20 +45,60 @@ std::string Flags::GetString(const std::string& name,
 std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  // strtoll with a discarded endptr silently turns garbage into 0 and
+  // accepts trailing junk ("12x" -> 12) — parse strictly instead: the
+  // whole value must be consumed and must not overflow, otherwise warn
+  // and fall back to the default.
+  const char* const s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "warning: --%s=%s is not a valid integer; using default "
+                 "%lld\n",
+                 name.c_str(), it->second.c_str(),
+                 static_cast<long long>(def));
+    return def;
+  }
+  return parsed;
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const char* const s = it->second.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(s, &end);
+  // ERANGE covers underflow too (strtod("1e-310") sets it while returning
+  // a perfectly usable subnormal); only overflow — result pinned to
+  // +/-HUGE_VAL — is actually malformed.
+  const bool overflow =
+      errno == ERANGE && (parsed == HUGE_VAL || parsed == -HUGE_VAL);
+  if (end == s || *end != '\0' || overflow) {
+    std::fprintf(stderr,
+                 "warning: --%s=%s is not a valid number; using default "
+                 "%g\n",
+                 name.c_str(), it->second.c_str(), def);
+    return def;
+  }
+  return parsed;
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
   const std::string& v = it->second;
-  return v == "true" || v == "1" || v == "yes" || v == "on";
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  // Same strictness as the numeric getters: a typo ("True", "ture") must
+  // not silently read as false.
+  std::fprintf(stderr,
+               "warning: --%s=%s is not a valid boolean "
+               "(true/false/1/0/yes/no/on/off); using default %s\n",
+               name.c_str(), v.c_str(), def ? "true" : "false");
+  return def;
 }
 
 }  // namespace kcore::util

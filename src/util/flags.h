@@ -20,6 +20,10 @@ class Flags {
 
   std::string GetString(const std::string& name,
                         const std::string& def = "") const;
+  // Numeric getters parse strictly: the whole value must be a valid
+  // number in range. Malformed input ("--n=12x", "--n=", overflow) warns
+  // on stderr and returns the default instead of silently yielding 0 or
+  // a truncated prefix.
   std::int64_t GetInt(const std::string& name, std::int64_t def = 0) const;
   double GetDouble(const std::string& name, double def = 0.0) const;
   bool GetBool(const std::string& name, bool def = false) const;

@@ -44,16 +44,28 @@ double Accumulator::variance() const {
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
+namespace {
+
+// Linear-interpolated quantile of an already-ASCENDING non-empty
+// sequence, q clamped into [0, 1]. The single implementation behind both
+// Percentile and Summarize, so the two cannot drift (Summarize used to
+// duplicate this inline — without the clamp).
+double SortedPercentile(std::span<const double> sorted, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double Percentile(std::span<const double> xs, double q) {
   if (xs.empty()) return 0.0;
   std::vector<double> s(xs.begin(), xs.end());
   std::sort(s.begin(), s.end());
-  q = std::clamp(q, 0.0, 1.0);
-  const double rank = q * static_cast<double>(s.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const auto hi = std::min(lo + 1, s.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return s[lo] * (1.0 - frac) + s[hi] * frac;
+  return SortedPercentile(s, q);
 }
 
 Summary Summarize(std::span<const double> xs) {
@@ -68,16 +80,9 @@ Summary Summarize(std::span<const double> xs) {
   out.stddev = acc.stddev();
   out.min = s.front();
   out.max = s.back();
-  const auto pct = [&s](double q) {
-    const double rank = q * static_cast<double>(s.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const auto hi = std::min(lo + 1, s.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return s[lo] * (1.0 - frac) + s[hi] * frac;
-  };
-  out.p50 = pct(0.50);
-  out.p90 = pct(0.90);
-  out.p99 = pct(0.99);
+  out.p50 = SortedPercentile(s, 0.50);
+  out.p90 = SortedPercentile(s, 0.90);
+  out.p99 = SortedPercentile(s, 0.99);
   return out;
 }
 

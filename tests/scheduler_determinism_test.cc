@@ -332,6 +332,152 @@ TEST(SchedulerDeterminism, MoreShardsThanWorkEmptyShardRegression) {
   EXPECT_EQ(f1.totals().entries, f32.totals().entries);
 }
 
+// --- Degree-weighted shard balancing -------------------------------------
+//
+// Weighted boundaries are arbitrary contiguous partitions, so they push
+// the collect offset machinery and the ParallelReduce merge order onto
+// shard shapes the equal-count split never produces (a hub alone in shard
+// 0, most ids crammed into the last shards). The bit-identical contract
+// must hold anyway, on exactly the graphs balancing exists for.
+
+graph::Graph SkewedTestGraph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::PowerLawConfiguration(3000, 2.1, 2, 300, rng);
+}
+
+TEST(SchedulerDeterminism, WeightedShardsStarOneVsEightThreads) {
+  // Star: the hub's degree is n - 1, the most extreme skew there is —
+  // the weighted partition pins the hub alone in shard 0 and fans the
+  // leaves across the rest.
+  const graph::Graph g = graph::Star(2000);
+  P2PStress p1(g.num_nodes());
+  P2PStress p2(g.num_nodes());
+  P2PStress p8(g.num_nodes());
+  Engine e1(g, 1);
+  Engine e2(g, 2);
+  Engine e8(g, 8);
+  e2.SetShardBalancing(true);
+  e8.SetShardBalancing(true);
+  RunRounds(e1, p1, 12);
+  RunRounds(e2, p2, 12);
+  RunRounds(e8, p8, 12);
+  EXPECT_EQ(p1.digest(), p2.digest());
+  EXPECT_EQ(p1.digest(), p8.digest());
+  ExpectSameHistory(e1.history(), e2.history());
+  ExpectSameHistory(e1.history(), e8.history());
+  EXPECT_EQ(e1.totals().messages, e8.totals().messages);
+  EXPECT_EQ(e1.totals().entries, e8.totals().entries);
+}
+
+TEST(SchedulerDeterminism, WeightedShardsPowerLawOneVsEightThreads) {
+  const graph::Graph g = SkewedTestGraph(201);
+  P2PStress p1(g.num_nodes());
+  P2PStress p8(g.num_nodes());
+  Engine e1(g, 1);
+  Engine e8(g, 8);
+  e8.SetShardBalancing(true);
+  RunRounds(e1, p1, 12);
+  RunRounds(e8, p8, 12);
+  EXPECT_EQ(p1.digest(), p8.digest());
+  ExpectSameHistory(e1.history(), e8.history());
+  EXPECT_EQ(e1.totals().max_entries_per_message,
+            e8.totals().max_entries_per_message);
+}
+
+TEST(SchedulerDeterminism, WeightedShardsRandomizedWithRebalance) {
+  // Rebalancing rebuilds the boundaries every 3 rounds, so successive
+  // rounds run on different partitions of the same graph — per-node RNG
+  // streams and the collect scheme must not care.
+  const graph::Graph g = SkewedTestGraph(202);
+  RandomGossip p1(g.num_nodes());
+  RandomGossip p8(g.num_nodes());
+  Engine e1(g, 1);
+  Engine e8(g, 8);
+  e1.SetSeed(4242);
+  e8.SetSeed(4242);
+  e8.SetShardBalancing(true);
+  e8.SetRebalanceInterval(3);
+  RunRounds(e1, p1, 15);
+  RunRounds(e8, p8, 15);
+  EXPECT_EQ(p1.value(), p8.value());
+  ExpectSameHistory(e1.history(), e8.history());
+}
+
+TEST(SchedulerDeterminism, BalancedAgreesWithUnbalancedAtEightThreads) {
+  // Same thread count, different partitioners: still bit-identical.
+  const graph::Graph g = graph::Star(2000);
+  RandomGossip pa(g.num_nodes());
+  RandomGossip pb(g.num_nodes());
+  Engine ea(g, 8);
+  Engine eb(g, 8);
+  ea.SetSeed(99);
+  eb.SetSeed(99);
+  eb.SetShardBalancing(true);
+  eb.SetRebalanceInterval(2);
+  RunRounds(ea, pa, 10);
+  RunRounds(eb, pb, 10);
+  EXPECT_EQ(pa.value(), pb.value());
+  ExpectSameHistory(ea.history(), eb.history());
+}
+
+TEST(SchedulerDeterminism, WeightedShardsBelowDefaultCutoff) {
+  // A 100-node star sits under kDefaultParallelCutoff, so an 8-thread
+  // engine would silently run sequentially — SetParallelCutoff(1) forces
+  // the threaded path, putting weighted shards on a graph where the hub
+  // outweighs whole shards and several shards end up empty.
+  const graph::Graph g = graph::Star(100);
+  P2PStress p1(g.num_nodes());
+  P2PStress p8(g.num_nodes());
+  Engine e1(g, 1);
+  Engine e8(g, 8);
+  e8.SetParallelCutoff(1);
+  e8.SetShardBalancing(true);
+  EXPECT_FALSE(e1.shard_balancing());
+  EXPECT_TRUE(e8.shard_balancing());
+  RunRounds(e1, p1, 10);
+  RunRounds(e8, p8, 10);
+  EXPECT_EQ(p1.digest(), p8.digest());
+  ExpectSameHistory(e1.history(), e8.history());
+}
+
+TEST(SchedulerDeterminism, CompactBalancedOneVsEightThreads) {
+  // The CompactOptions knob: Algorithm 2 on a skewed graph with balancing
+  // and periodic rebalancing on.
+  const graph::Graph g = SkewedTestGraph(203);
+  core::CompactOptions o1;
+  o1.rounds = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  core::CompactOptions o8 = o1;
+  o1.num_threads = 1;
+  o8.num_threads = 8;
+  o8.balance_shards = true;
+  o8.rebalance_rounds = 2;
+  const core::CompactResult r1 = core::RunCompactElimination(g, o1);
+  const core::CompactResult r8 = core::RunCompactElimination(g, o8);
+  EXPECT_EQ(r1.b, r8.b);
+  ExpectSameHistory(r1.history, r8.history);
+}
+
+TEST(SchedulerDeterminism, MontresorAndTwoPhaseBalanced) {
+  // The driver-level knobs: run-to-convergence and both phases of the
+  // two-phase orientation (whose peeling halts nodes as it goes) under
+  // weighted shards vs the sequential reference.
+  const graph::Graph g = SkewedTestGraph(204);
+  const core::ConvergenceResult c1 = core::RunToConvergence(g, -1, 1);
+  const core::ConvergenceResult c8 = core::RunToConvergence(
+      g, -1, 8, distsim::kDefaultMasterSeed, /*balance_shards=*/true);
+  EXPECT_EQ(c1.coreness, c8.coreness);
+  EXPECT_EQ(c1.rounds_executed, c8.rounds_executed);
+
+  const int T = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  const core::TwoPhaseResult t1 =
+      core::RunTwoPhaseOrientation(g, T, 0.5, -1, 1);
+  const core::TwoPhaseResult t8 = core::RunTwoPhaseOrientation(
+      g, T, 0.5, -1, 8, distsim::kDefaultMasterSeed, /*balance_shards=*/true);
+  EXPECT_EQ(t1.b, t8.b);
+  EXPECT_EQ(t1.orientation.owner, t8.orientation.owner);
+  EXPECT_EQ(t1.phase2_rounds, t8.phase2_rounds);
+}
+
 TEST(SchedulerDeterminism, MasterSeedActuallyFeedsTheStreams) {
   // Different master seeds must produce different randomized runs —
   // otherwise the determinism tests above would pass vacuously.

@@ -6,11 +6,13 @@
 // generations, and the reduce merge order.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "distsim/thread_pool.h"
@@ -190,6 +192,183 @@ TEST(ThreadPool, SingleThreadDegeneratesToPlainLoop) {
       },
       [&](int) { total += partial; });
   EXPECT_EQ(total, 4950u);
+}
+
+// Every weighted partition must tile [0, n): size num_shards + 1, pinned
+// endpoints, monotone boundaries — for uniform, skewed, zero, and
+// hub-dominated weights, including more shards than items.
+TEST(ThreadPool, WeightedShardBoundsInvariants) {
+  std::vector<std::vector<std::uint64_t>> weight_sets;
+  weight_sets.push_back({});                          // empty range
+  weight_sets.push_back(std::vector<std::uint64_t>(100, 1));  // uniform
+  weight_sets.push_back(std::vector<std::uint64_t>(57, 0));   // all zero
+  {
+    std::vector<std::uint64_t> hub_first(801, 1);
+    hub_first[0] = 100000;  // single hub at the front
+    weight_sets.push_back(std::move(hub_first));
+  }
+  {
+    std::vector<std::uint64_t> hub_last(801, 1);
+    hub_last.back() = 100000;  // single hub at the back
+    weight_sets.push_back(std::move(hub_last));
+  }
+  {
+    std::vector<std::uint64_t> ramp(301);
+    for (std::size_t i = 0; i < ramp.size(); ++i) {
+      ramp[i] = (i * 2654435761u) % 97;  // arbitrary mix incl. zeros
+    }
+    weight_sets.push_back(std::move(ramp));
+  }
+  weight_sets.push_back({5, 1, 1});  // fewer items than shards
+
+  for (const auto& w : weight_sets) {
+    for (int shards : {1, 2, 3, 7, 8, 32}) {
+      const std::vector<std::uint64_t> bounds =
+          ThreadPool::WeightedShardBounds(w, shards);
+      ASSERT_EQ(bounds.size(), static_cast<std::size_t>(shards) + 1)
+          << "n=" << w.size() << " shards=" << shards;
+      EXPECT_EQ(bounds.front(), 0u);
+      EXPECT_EQ(bounds.back(), w.size());
+      for (int s = 0; s < shards; ++s) {
+        EXPECT_LE(bounds[s], bounds[s + 1])
+            << "n=" << w.size() << " shards=" << shards << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, WeightedShardBoundsIsolateAHub) {
+  // Star-shaped weights: one id carries more weight than everything else
+  // combined. The equal-count split dumps the hub plus 1/8 of the leaves
+  // on shard 0; the weighted split must give the hub its own shard and
+  // spread the leaves over the rest, strictly shrinking the max load.
+  std::vector<std::uint64_t> w(801, 1);
+  w[0] = 1000;
+  const int shards = 8;
+  const auto shard_weight = [&w](std::uint64_t b, std::uint64_t e) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = b; i < e; ++i) sum += w[i];
+    return sum;
+  };
+  std::uint64_t equal_max = 0, weighted_max = 0;
+  const std::vector<std::uint64_t> bounds =
+      ThreadPool::WeightedShardBounds(w, shards);
+  for (int s = 0; s < shards; ++s) {
+    const auto [eb, ee] = ThreadPool::ShardBounds(0, w.size(), s, shards);
+    equal_max = std::max(equal_max, shard_weight(eb, ee));
+    weighted_max =
+        std::max(weighted_max, shard_weight(bounds[s], bounds[s + 1]));
+  }
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[1], 1u);  // the hub closes shard 0 by itself
+  EXPECT_EQ(weighted_max, 1000u);
+  EXPECT_GT(equal_max, weighted_max);
+}
+
+TEST(ThreadPool, WeightedShardBoundsIsolateAMidRangeHub) {
+  // Regression: a hub whose id falls in the MIDDLE of a shard's range
+  // must not be swallowed along with its prefix. 250 unit ids followed by
+  // a 1000-weight hub at id 250, 4 shards: a greedy that always takes the
+  // crossing item puts all 1250 weight in shard 0 and leaves shards 1-3
+  // empty — strictly worse than not balancing. Closing early instead
+  // yields {prefix} {hub alone} and max load 1000 (the optimum).
+  std::vector<std::uint64_t> w(251, 1);
+  w[250] = 1000;
+  const std::vector<std::uint64_t> bounds =
+      ThreadPool::WeightedShardBounds(w, 4);
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[1], 250u);  // the ones, closed short of the hub
+  EXPECT_EQ(bounds[2], 251u);  // the hub alone
+  std::uint64_t max_load = 0;
+  for (int s = 0; s < 4; ++s) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = bounds[s]; i < bounds[s + 1]; ++i) sum += w[i];
+    max_load = std::max(max_load, sum);
+  }
+  EXPECT_EQ(max_load, 1000u);
+}
+
+TEST(ThreadPool, WeightedShardBoundsZeroWeightsFallBackToEqualCount) {
+  const std::vector<std::uint64_t> w(100, 0);
+  for (int shards : {1, 4, 8}) {
+    const std::vector<std::uint64_t> bounds =
+        ThreadPool::WeightedShardBounds(w, shards);
+    for (int s = 0; s < shards; ++s) {
+      const auto [b, e] = ThreadPool::ShardBounds(0, w.size(), s, shards);
+      EXPECT_EQ(bounds[s], b) << "shard " << s;
+      EXPECT_EQ(bounds[s + 1], e) << "shard " << s;
+    }
+  }
+}
+
+TEST(ThreadPool, BoundedParallelForRunsExactlyTheGivenPartition) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.num_shards(), 4);
+  // Deliberately lopsided, with one empty shard in the middle.
+  const std::vector<std::uint64_t> bounds{0, 10, 10, 500, 1003};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen(
+      pool.num_shards(), {1, 0});  // sentinel: body did not run
+  std::vector<int> hits(1003, 0);
+  pool.ParallelFor(bounds,
+                   [&](int shard, std::uint64_t b, std::uint64_t e) {
+                     seen[shard] = {b, e};
+                     for (std::uint64_t i = b; i < e; ++i) hits[i] += 1;
+                   });
+  EXPECT_EQ(seen[0], (std::pair<std::uint64_t, std::uint64_t>{0, 10}));
+  EXPECT_EQ(seen[1], (std::pair<std::uint64_t, std::uint64_t>{1, 0}))
+      << "empty shard body must be skipped";
+  EXPECT_EQ(seen[2], (std::pair<std::uint64_t, std::uint64_t>{10, 500}));
+  EXPECT_EQ(seen[3], (std::pair<std::uint64_t, std::uint64_t>{500, 1003}));
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, BoundedParallelReduceMergesInShardOrder) {
+  ThreadPool pool(4);
+  const std::vector<std::uint64_t> bounds{0, 1, 1, 900, 1000};
+  std::vector<std::uint64_t> partial(pool.num_shards(), 0);
+  std::vector<int> merge_order;
+  std::uint64_t total = 0;
+  pool.ParallelReduce(
+      bounds,
+      [&](int shard, std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) partial[shard] += i;
+      },
+      [&](int shard) {
+        merge_order.push_back(shard);
+        total += partial[shard];
+      });
+  EXPECT_EQ(total, 1000u * 999u / 2u);
+  ASSERT_EQ(merge_order.size(), static_cast<std::size_t>(pool.num_shards()));
+  for (int s = 0; s < pool.num_shards(); ++s) EXPECT_EQ(merge_order[s], s);
+}
+
+TEST(ThreadPool, BoundedEmptyRangeSkipsBodyAndMerge) {
+  ThreadPool pool(4);
+  const std::vector<std::uint64_t> bounds{5, 5, 5, 5, 5};
+  int calls = 0, merges = 0;
+  pool.ParallelFor(bounds,
+                   [&](int, std::uint64_t, std::uint64_t) { ++calls; });
+  pool.ParallelReduce(
+      bounds, [&](int, std::uint64_t, std::uint64_t) { ++calls; },
+      [&](int) { ++merges; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(merges, 0);
+}
+
+TEST(ThreadPool, BoundedMatchesWeightedShardBoundsEndToEnd) {
+  // The intended composition: WeightedShardBounds output drives a bounded
+  // sweep; every id is visited exactly once regardless of skew.
+  ThreadPool pool(8);
+  std::vector<std::uint64_t> w(2000, 1);
+  w[0] = 50000;
+  w[777] = 10000;
+  const std::vector<std::uint64_t> bounds =
+      ThreadPool::WeightedShardBounds(w, pool.num_shards());
+  std::vector<int> hits(w.size(), 0);
+  pool.ParallelFor(bounds, [&](int, std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(ThreadPool, ManyConcurrentReducesStayIndependent) {

@@ -198,6 +198,19 @@ TEST(Stats, PercentileEdgeCases) {
   EXPECT_DOUBLE_EQ(util::Percentile(one, 1.0), 7.0);
   const std::vector<double> two{1.0, 3.0};
   EXPECT_DOUBLE_EQ(util::Percentile(two, 0.5), 2.0);
+  // Out-of-range quantiles clamp instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(util::Percentile(two, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(util::Percentile(two, 2.0), 3.0);
+}
+
+TEST(Stats, SummarizeMatchesPercentile) {
+  // Summarize must route through the same quantile implementation as
+  // Percentile — pin them against each other on unsorted input.
+  const std::vector<double> xs{9.0, 1.0, 4.0, 25.0, 16.0, 36.0, 0.0};
+  const util::Summary s = util::Summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p50, util::Percentile(xs, 0.50));
+  EXPECT_DOUBLE_EQ(s.p90, util::Percentile(xs, 0.90));
+  EXPECT_DOUBLE_EQ(s.p99, util::Percentile(xs, 0.99));
 }
 
 TEST(Table, TextCsvMarkdown) {
@@ -240,6 +253,49 @@ TEST(Flags, ParsesForms) {
   ASSERT_EQ(f.positional().size(), 1u);
   EXPECT_EQ(f.positional()[0], "pos1");
   EXPECT_EQ(f.GetInt("missing", -7), -7);
+}
+
+TEST(Flags, MalformedNumbersFallBackToDefault) {
+  // Regression: strtoll/strtod with a discarded endptr silently turned
+  // garbage into 0 and accepted trailing junk ("--n=12x" -> 12). Strict
+  // parsing must reject all of these and surface the default instead.
+  const char* argv[] = {"prog",
+                        "--junk=abc",
+                        "--trail=12x",
+                        "--empty=",
+                        "--huge=999999999999999999999999",
+                        "--fjunk=1.5ghz",
+                        "--fhuge=1e999",
+                        "--ok=42",
+                        "--fok=-3.25",
+                        "--ftiny=1e-310"};
+  util::Flags f;
+  ASSERT_TRUE(f.Parse(10, argv));
+  EXPECT_EQ(f.GetInt("junk", -7), -7);
+  EXPECT_EQ(f.GetInt("trail", -7), -7);
+  EXPECT_EQ(f.GetInt("empty", -7), -7);
+  EXPECT_EQ(f.GetInt("huge", -7), -7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("fjunk", 2.5), 2.5);
+  EXPECT_DOUBLE_EQ(f.GetDouble("fhuge", 2.5), 2.5);
+  // Well-formed values still parse — including subnormals, where strtod
+  // reports ERANGE underflow yet returns a usable value.
+  EXPECT_EQ(f.GetInt("ok", -7), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("fok", 2.5), -3.25);
+  EXPECT_DOUBLE_EQ(f.GetDouble("ftiny", 2.5), 1e-310);
+  // A bare boolean switch stores "true": numeric reads reject it too.
+  const char* bargv[] = {"prog", "--verbose", "--n", "8",
+                         "--cap=True", "--off=off"};
+  util::Flags b;
+  ASSERT_TRUE(b.Parse(6, bargv));
+  EXPECT_EQ(b.GetInt("verbose", 3), 3);
+  EXPECT_EQ(b.GetInt("n", 3), 8);
+  // Booleans are strict too: a typo falls back to the default (either
+  // way) instead of silently reading as false, and the explicit negative
+  // forms parse.
+  EXPECT_TRUE(b.GetBool("cap", true));
+  EXPECT_FALSE(b.GetBool("cap", false));
+  EXPECT_FALSE(b.GetBool("off", true));
+  EXPECT_TRUE(b.GetBool("verbose", false));
 }
 
 TEST(RoundDownToPower, Basics) {
