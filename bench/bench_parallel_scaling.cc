@@ -25,17 +25,21 @@
 // any machine — on a star the equal-count split leaves shard 0 carrying
 // nearly everything and the weighted split flattens it. A balanced
 // gossip run (1-thread vs 8-thread weighted, rebalancing every 4 rounds)
-// rides along as a determinism cross-check on exactly these graphs.
+// rides along as a determinism cross-check on exactly these graphs —
+// with both the shared-memory and the serialized (alltoallv-style)
+// transports, reporting the serialized rows' real wire volume.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/compact.h"
 #include "distsim/engine.h"
 #include "distsim/thread_pool.h"
+#include "distsim/transport.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -227,7 +231,10 @@ void ShardSpreadRows(util::Table& table, const char* name,
 
 // Gossip on a skewed graph, 1-thread reference vs 8 threads with
 // degree-weighted shards rebuilt every 4 rounds — the determinism
-// contract exercised on the partition shapes balancing produces.
+// contract exercised on the partition shapes balancing produces, for
+// BOTH transports. The serialized row also reports the wire volume it
+// packed (bytes_sent must equal bytes_received, and be independent of
+// the thread count — cross-checked against a 1-thread serialized run).
 int RunBalancedDeterminism(const graph::Graph& g, const char* name,
                            int rounds) {
   GossipStress ref(g.num_nodes());
@@ -236,21 +243,48 @@ int RunBalancedDeterminism(const graph::Graph& g, const char* name,
   e1.Start(ref);
   for (int t = 0; t < rounds; ++t) e1.Step(ref);
 
-  GossipStress bal(g.num_nodes());
-  distsim::Engine e8(g, 8);
-  e8.SetSeed(kMasterSeed);
-  // Shard even below the engine's default 256-node cutoff, so the
-  // cross-check exercises the threaded path at any bench size.
-  e8.SetParallelCutoff(1);
-  e8.SetShardBalancing(true);
-  e8.SetRebalanceInterval(4);
-  e8.Start(bal);
-  for (int t = 0; t < rounds; ++t) e8.Step(bal);
+  const auto run_threaded = [&](GossipStress& proto,
+                                distsim::TransportKind kind) {
+    auto engine = std::make_unique<distsim::Engine>(g, 8);
+    engine->SetSeed(kMasterSeed);
+    // Shard even below the engine's default 256-node cutoff, so the
+    // cross-check exercises the threaded path at any bench size.
+    engine->SetParallelCutoff(1);
+    engine->SetShardBalancing(true);
+    engine->SetRebalanceInterval(4);
+    engine->SetTransport(distsim::MakeTransport(kind));
+    engine->Start(proto);
+    for (int t = 0; t < rounds; ++t) engine->Step(proto);
+    return engine;
+  };
 
-  const bool ok = ref.digest() == bal.digest();
-  std::printf("  %-10s balanced 8-thread vs sequential: %s\n", name,
-              ok ? "bit-identical" : "MISMATCH — BUG");
-  return ok ? 0 : 1;
+  GossipStress bal(g.num_nodes());
+  const auto e8 = run_threaded(bal, distsim::TransportKind::kSharedMemory);
+  const bool shm_ok = ref.digest() == bal.digest();
+  std::printf("  %-10s balanced 8-thread shared:     %s (bytes_sent=%zu)\n",
+              name, shm_ok ? "bit-identical" : "MISMATCH — BUG",
+              e8->totals().bytes_sent);
+
+  GossipStress ser(g.num_nodes());
+  const auto es = run_threaded(ser, distsim::TransportKind::kSerialized);
+  const distsim::Totals st = es->totals();
+  // A 1-thread serialized run pins the byte counts' partition
+  // independence.
+  GossipStress ser1(g.num_nodes());
+  distsim::Engine es1(g, 1);
+  es1.SetSeed(kMasterSeed);
+  es1.SetTransport(
+      distsim::MakeTransport(distsim::TransportKind::kSerialized));
+  es1.Start(ser1);
+  for (int t = 0; t < rounds; ++t) es1.Step(ser1);
+  const bool ser_ok = ref.digest() == ser.digest() &&
+                      st.bytes_sent == st.bytes_received &&
+                      st.bytes_sent == es1.totals().bytes_sent &&
+                      st.bytes_sent > 0;
+  std::printf("  %-10s balanced 8-thread serialized: %s (bytes_sent=%zu)\n",
+              name, ser_ok ? "bit-identical" : "MISMATCH — BUG",
+              st.bytes_sent);
+  return shm_ok && ser_ok ? 0 : 1;
 }
 
 int RunShardBalance(const graph::Graph& ba) {

@@ -14,6 +14,10 @@
 // (results are bit-identical to --threads=1). --balance=true adds
 // degree-weighted shard balancing, which evens per-worker load on
 // heavy-tailed graphs (still bit-identical).
+// --transport={shared,serialized} picks the simulator's message
+// transport: the zero-copy shared-memory path (default) or the
+// serialized pack/alltoallv/unpack path that reports real wire bytes
+// (still bit-identical).
 //
 // Examples:
 //   kcore_tool generate --graph=ba --n=5000 --out=/tmp/ba.txt
@@ -37,6 +41,7 @@
 #include "seq/local_density.h"
 #include "seq/orientation_exact.h"
 #include "seq/streaming.h"
+#include "transport_flag.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -99,6 +104,7 @@ int CmdCoreness(const Flags& flags) {
   opts.lambda = flags.GetDouble("lambda", 0.0);
   opts.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   opts.balance_shards = flags.GetBool("balance", false);
+  opts.transport = kcore::examples::TransportFromFlags(flags);
   const auto res = kcore::core::RunCompactElimination(g, opts);
   const auto exact = kcore::seq::WeightedCoreness(g);
   std::vector<double> ratios;
@@ -111,7 +117,8 @@ int CmdCoreness(const Flags& flags) {
               kcore::util::Summarize(ratios).ToString().c_str());
   if (flags.GetBool("montresor")) {
     const auto conv = kcore::core::RunToConvergence(
-        g, -1, opts.num_threads, opts.seed, opts.balance_shards);
+        g, -1, opts.num_threads, opts.seed, opts.balance_shards,
+        opts.transport);
     std::printf("run-to-exact (Montresor): %d rounds, %zu messages\n",
                 conv.last_change_round, conv.totals.messages);
   }
@@ -139,12 +146,14 @@ int CmdOrientation(const Flags& flags) {
   const double eps = flags.GetDouble("eps", 0.5);
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
   const bool balance = flags.GetBool("balance", false);
+  const auto transport = kcore::examples::TransportFromFlags(flags);
   const int T = kcore::core::RoundsForEpsilon(g.num_nodes(), eps);
   const double rho = kcore::seq::MaxDensity(g);
   const auto ours = kcore::core::RunDistributedOrientation(
       g, T, kcore::core::ConflictRule::kLowerLoad, threads);
   const auto two_phase = kcore::core::RunTwoPhaseOrientation(
-      g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance);
+      g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance,
+      transport);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
   kcore::util::Table t({"method", "max load", "load/rho*", "rounds"});

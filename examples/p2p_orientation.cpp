@@ -11,16 +11,19 @@
 //   * the two-phase Barenboim-Elkin-style baseline.
 //
 // Usage: p2p_orientation [--n=1500] [--eps=0.5] [--seed=3] [--threads=1]
-//                        [--balance=false]
+//                        [--balance=false] [--transport=shared|serialized]
 //
 // --balance=true turns on the engine's degree-weighted shard balancing
 // (results are bit-identical; on this heavy-tailed overlay it evens out
-// per-thread load).
+// per-thread load). --transport=serialized routes the simulator's p2p
+// traffic through the serialized pack/alltoallv/unpack transport
+// (bit-identical results; reports real wire bytes).
 #include <cstdio>
 
 #include "core/compact.h"
 #include "core/orientation.h"
 #include "core/two_phase.h"
+#include "transport_flag.h"
 #include "graph/generators.h"
 #include "seq/densest_exact.h"
 #include "seq/orientation_exact.h"
@@ -49,10 +52,12 @@ int main(int argc, char** argv) {
 
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
   const bool balance = flags.GetBool("balance", false);
+  const auto transport = kcore::examples::TransportFromFlags(flags);
   const auto ours = kcore::core::RunDistributedOrientation(
       g, T, kcore::core::ConflictRule::kLowerLoad, threads);
   const auto two_phase = kcore::core::RunTwoPhaseOrientation(
-      g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance);
+      g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance,
+      transport);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
 

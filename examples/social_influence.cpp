@@ -10,16 +10,20 @@
 //
 // Usage: social_influence [--n=2000] [--eps=0.5] [--seed=7] [--topk=25]
 //                         [--threads=1] [--balance=false]
+//                         [--transport=shared|serialized]
 //
 // --balance=true enables degree-weighted shard balancing in the round
 // scheduler (bit-identical results; evens per-thread load on this
-// heavy-tailed graph).
+// heavy-tailed graph). --transport=serialized routes the simulator's p2p
+// traffic through the serialized pack/alltoallv/unpack transport
+// (bit-identical results; reports real wire bytes).
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
 #include <vector>
 
 #include "core/compact.h"
+#include "transport_flag.h"
 #include "graph/generators.h"
 #include "seq/kcore.h"
 #include "util/flags.h"
@@ -101,6 +105,7 @@ int main(int argc, char** argv) {
   // BA graphs are heavy-tailed, so the hub shard otherwise dominates the
   // round when threading; bit-identical results either way.
   opts.balance_shards = flags.GetBool("balance", false);
+  opts.transport = kcore::examples::TransportFromFlags(flags);
   const auto res = kcore::core::RunCompactElimination(g, opts);
   std::printf("distributed coreness estimate: %d rounds, %zu messages\n", T,
               res.totals.messages);

@@ -1,0 +1,28 @@
+// Shared --transport flag handling for the example binaries: parses
+// --transport={shared,serialized} (default shared) and exits with a
+// usage error on anything else, so all examples reject junk the same
+// way.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "distsim/transport.h"
+#include "util/flags.h"
+
+namespace kcore::examples {
+
+inline distsim::TransportKind TransportFromFlags(const util::Flags& flags) {
+  const std::string name = flags.GetString("transport", "shared");
+  distsim::TransportKind kind = distsim::TransportKind::kSharedMemory;
+  if (!distsim::ParseTransportKind(name, &kind)) {
+    std::fprintf(stderr,
+                 "error: unknown --transport=%s (want shared|serialized)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return kind;
+}
+
+}  // namespace kcore::examples

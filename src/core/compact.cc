@@ -115,6 +115,7 @@ CompactResult RunCompactElimination(const graph::Graph& g,
   engine.SetSeed(opts.seed);
   engine.SetShardBalancing(opts.balance_shards);
   engine.SetRebalanceInterval(opts.rebalance_rounds);
+  engine.SetTransport(distsim::MakeTransport(opts.transport));
   CompactElimination proto(g, opts);
   CompactResult out;
   engine.Start(proto);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "distsim/engine.h"
+#include "distsim/transport.h"
 #include "graph/graph.h"
 
 namespace kcore::core {
@@ -47,6 +48,11 @@ struct CompactOptions {
   // With balancing on, rebuild shard boundaries from the halted census
   // every this many rounds (0 = partition once at Start).
   int rebalance_rounds = 0;
+  // Message transport for the simulator's collect phase (see
+  // distsim/transport.h): the zero-copy shared-memory path, or the
+  // serialized pack/alltoallv/unpack path that reports real wire volume.
+  // Results are bit-identical either way.
+  distsim::TransportKind transport = distsim::TransportKind::kSharedMemory;
   // Master seed for the engine's per-node RNG streams. Algorithm 2 itself
   // is deterministic; the seed exists so randomized protocol variants
   // layered on this path (and the engine they share) stay replayable.

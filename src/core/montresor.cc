@@ -6,7 +6,8 @@ namespace kcore::core {
 
 ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
                                    int num_threads, std::uint64_t seed,
-                                   bool balance_shards) {
+                                   bool balance_shards,
+                                   distsim::TransportKind transport) {
   if (max_rounds < 0) {
     max_rounds = static_cast<int>(g.num_nodes()) + 2;
   }
@@ -14,13 +15,16 @@ ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
   opts.rounds = max_rounds;  // upper bound; engine stops at quiescence
   opts.num_threads = num_threads;
   opts.seed = seed;
+  opts.transport = transport;
   CompactElimination proto(g, opts);
   distsim::Engine engine(g, num_threads);
   engine.SetSeed(seed);
   engine.SetShardBalancing(balance_shards);
+  engine.SetTransport(distsim::MakeTransport(transport));
   ConvergenceResult out;
   out.rounds_executed = engine.RunUntilQuiescent(proto, max_rounds);
   out.coreness = proto.b();
+  out.history = engine.history();
   out.totals = engine.totals();
   out.last_change_round = 0;
   for (int r : proto.last_change_round()) {

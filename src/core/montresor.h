@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/compact.h"
+#include "distsim/transport.h"
 #include "graph/graph.h"
 
 namespace kcore::core {
@@ -23,6 +24,9 @@ struct ConvergenceResult {
   int rounds_executed = 0;
   // The last round in which some node's value actually changed.
   int last_change_round = 0;
+  // Per-round engine stats (round 0 = Init's broadcasts), incl. the
+  // transport's wire-volume counters.
+  std::vector<distsim::RoundStats> history;
   distsim::Totals totals;
 };
 
@@ -31,10 +35,13 @@ struct ConvergenceResult {
 // elimination wave). `seed` feeds the engine's per-node RNG streams so
 // randomized gossip variants layered on this baseline stay replayable;
 // `balance_shards` enables the engine's degree-weighted shard balancing
-// (bit-identical results, better thread utilization on skewed graphs).
+// (bit-identical results, better thread utilization on skewed graphs);
+// `transport` picks the simulator's message transport (bit-identical
+// results for every transport — only the wire accounting differs).
 ConvergenceResult RunToConvergence(
     const graph::Graph& g, int max_rounds = -1, int num_threads = 1,
     std::uint64_t seed = distsim::kDefaultMasterSeed,
-    bool balance_shards = false);
+    bool balance_shards = false,
+    distsim::TransportKind transport = distsim::TransportKind::kSharedMemory);
 
 }  // namespace kcore::core

@@ -56,18 +56,21 @@ class PeelingProtocol : public distsim::Protocol {
 TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
                                       double eps, int max_phase2_rounds,
                                       int num_threads, std::uint64_t seed,
-                                      bool balance_shards) {
+                                      bool balance_shards,
+                                      distsim::TransportKind transport) {
   KCORE_CHECK_MSG(eps > 0.0, "eps must be positive");
   CompactOptions copts;
   copts.rounds = phase1_rounds;
   copts.num_threads = num_threads;
   copts.seed = seed;
   copts.balance_shards = balance_shards;
+  copts.transport = transport;
   CompactResult compact = RunCompactElimination(g, copts);
 
   TwoPhaseResult out;
   out.b = compact.b;
   out.phase1_rounds = phase1_rounds;
+  out.phase1_history = std::move(compact.history);
   out.totals = compact.totals;
 
   if (max_phase2_rounds < 0) {
@@ -89,6 +92,7 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
   distsim::Engine engine(g, num_threads);
   engine.SetSeed(seed);
   engine.SetShardBalancing(balance_shards);
+  engine.SetTransport(distsim::MakeTransport(transport));
   engine.Start(peel);
   int rounds = 0;
   while (rounds < max_phase2_rounds) {
@@ -97,11 +101,14 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
     if (engine.num_halted() == g.num_nodes()) break;
   }
   out.phase2_rounds = rounds;
+  out.phase2_history = engine.history();
   {
     const distsim::Totals t = engine.totals();
     out.totals.rounds += t.rounds;
     out.totals.messages += t.messages;
     out.totals.entries += t.entries;
+    out.totals.bytes_sent += t.bytes_sent;
+    out.totals.bytes_received += t.bytes_received;
   }
 
   // Edge assignment from peel rounds: first peeler takes the edge; same

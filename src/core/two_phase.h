@@ -22,6 +22,7 @@
 
 #include "core/compact.h"
 #include "distsim/engine.h"
+#include "distsim/transport.h"
 #include "graph/graph.h"
 #include "seq/orientation_exact.h"
 
@@ -33,6 +34,9 @@ struct TwoPhaseResult {
   int phase1_rounds = 0;
   int phase2_rounds = 0;     // rounds actually used by the peeling
   std::size_t forced_edges = 0;  // assigned by the fallback rule
+  // Per-round engine stats of each phase (round 0 = the phase's Init).
+  std::vector<distsim::RoundStats> phase1_history;
+  std::vector<distsim::RoundStats> phase2_history;
   distsim::Totals totals;
 };
 
@@ -40,11 +44,14 @@ struct TwoPhaseResult {
 // 4 * ceil(log_{1+eps/2} n) + 8. `seed` feeds both phases' engines
 // (per-node RNG streams; see distsim::Engine::SetSeed); `balance_shards`
 // turns on degree-weighted shard balancing in both phases (bit-identical
-// results, better thread utilization on skewed graphs).
+// results, better thread utilization on skewed graphs); `transport`
+// picks both phases' message transport (bit-identical results for every
+// transport — only the wire accounting differs).
 TwoPhaseResult RunTwoPhaseOrientation(
     const graph::Graph& g, int phase1_rounds, double eps,
     int max_phase2_rounds = -1, int num_threads = 1,
     std::uint64_t seed = distsim::kDefaultMasterSeed,
-    bool balance_shards = false);
+    bool balance_shards = false,
+    distsim::TransportKind transport = distsim::TransportKind::kSharedMemory);
 
 }  // namespace kcore::core

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "distsim/thread_pool.h"
+#include "distsim/transport.h"
 #include "util/logging.h"
 
 namespace kcore::distsim {
@@ -58,8 +59,7 @@ void NodeContext::Send(NodeId neighbor, Payload p) {
                         << " entries exceeds the limit "
                         << engine_->payload_limit_);
   }
-  engine_->outbox_[id_].push_back(
-      Engine::OutMessage{neighbor, std::move(p)});
+  engine_->outbox_[id_].push_back(OutMessage{neighbor, std::move(p)});
 }
 
 util::Rng& NodeContext::Rng() {
@@ -70,7 +70,9 @@ util::Rng& NodeContext::Rng() {
 void NodeContext::Halt() { engine_->halted_[id_] = 1; }
 
 Engine::Engine(const graph::Graph& g, int num_threads)
-    : graph_(g), num_threads_(std::max(1, num_threads)) {
+    : graph_(g),
+      num_threads_(std::max(1, num_threads)),
+      transport_(std::make_unique<SharedMemoryTransport>()) {
   const NodeId n = g.num_nodes();
   prev_bcast_.resize(n);
   next_bcast_.resize(n);
@@ -109,6 +111,13 @@ void Engine::SetRebalanceInterval(int rounds) {
   rebalance_every_ = rounds;
 }
 
+void Engine::SetTransport(std::unique_ptr<Transport> transport) {
+  KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
+                  "SetTransport() must precede Start()");
+  KCORE_CHECK_MSG(transport != nullptr, "SetTransport() needs a transport");
+  transport_ = std::move(transport);
+}
+
 void Engine::BuildShardBounds() {
   const NodeId n = graph_.num_nodes();
   std::vector<std::uint64_t> weights(n);
@@ -123,23 +132,36 @@ void Engine::BuildShardBounds() {
   shard_bounds_ = ThreadPool::WeightedShardBounds(weights, pool_->num_shards());
 }
 
+std::span<const std::uint64_t> Engine::ActiveBounds() {
+  if (UseParallelPhases()) {
+    if (balance_shards_) return shard_bounds_;
+    if (equal_bounds_.empty()) {
+      const int shards = pool_->num_shards();
+      const NodeId n = graph_.num_nodes();
+      equal_bounds_.resize(static_cast<std::size_t>(shards) + 1);
+      for (int s = 0; s < shards; ++s) {
+        equal_bounds_[s] = ThreadPool::ShardBounds(0, n, s, shards).first;
+      }
+      equal_bounds_[shards] = n;
+    }
+    return equal_bounds_;
+  }
+  // Sequential: the whole range is one shard.
+  if (equal_bounds_.empty()) {
+    equal_bounds_ = {0, graph_.num_nodes()};
+  }
+  return equal_bounds_;
+}
+
 void Engine::ForSharded(
     const std::function<void(int, std::uint64_t, std::uint64_t)>& body) {
-  if (balance_shards_) {
-    pool_->ParallelFor(std::span<const std::uint64_t>(shard_bounds_), body);
-  } else {
-    pool_->ParallelFor(0, graph_.num_nodes(), body);
-  }
+  pool_->ParallelFor(ActiveBounds(), body);
 }
 
 void Engine::ReduceSharded(
     const std::function<void(int, std::uint64_t, std::uint64_t)>& body,
     const std::function<void(int)>& merge) {
-  if (balance_shards_) {
-    pool_->ParallelReduce(shard_bounds_, body, merge);
-  } else {
-    pool_->ParallelReduce(0, graph_.num_nodes(), body, merge);
-  }
+  pool_->ParallelReduce(ActiveBounds(), body, merge);
 }
 
 void Engine::EnsureNodeRng() {
@@ -231,7 +253,7 @@ void Engine::CensusRange(NodeId begin, NodeId end, CollectPartial& part,
   }
 }
 
-void Engine::CollectSequential(RoundStats& stats) {
+std::size_t Engine::CensusSequential(RoundStats& stats) {
   const NodeId n = graph_.num_nodes();
   CollectPartial part;
   CensusRange(0, n, part, nullptr);
@@ -240,28 +262,18 @@ void Engine::CollectSequential(RoundStats& stats) {
   stats.distinct_values = part.distinct.size();
   max_entries_per_message_ =
       std::max(max_entries_per_message_, part.max_entries);
-  inboxes_dirty_ = part.p2p_messages > 0;
-
-  // Deliver point-to-point messages: iterate senders in id order so each
-  // inbox ends up sorted by sender id (deterministic).
-  for (auto& ib : inbox_) ib.clear();
-  for (NodeId v = 0; v < n; ++v) {
-    for (OutMessage& m : outbox_[v]) {
-      inbox_[m.to].push_back(InMessage{v, std::move(m.payload)});
-    }
-    outbox_[v].clear();
-  }
+  return part.p2p_messages;
 }
 
-void Engine::CollectParallel(RoundStats& stats) {
+std::size_t Engine::CensusParallel(RoundStats& stats) {
   const NodeId n = graph_.num_nodes();
   const int shards = pool_->num_shards();
   p2p_offsets_.resize(static_cast<std::size_t>(shards) * n);
 
-  // Pass 1, sharded by SENDER: per-shard stats partials + per-(shard,
-  // receiver) p2p counts. Partials merge in shard order on this thread,
-  // so every accumulated quantity (sums, maxes, the distinct-value set)
-  // is independent of how the OS scheduled the shards.
+  // Sharded by SENDER: per-shard stats partials + per-(shard, receiver)
+  // p2p counts. Partials merge in shard order on this thread, so every
+  // accumulated quantity (sums, maxes, the distinct-value set) is
+  // independent of how the OS scheduled the shards.
   std::vector<CollectPartial> partials(shards);
   std::unordered_set<std::uint64_t> distinct;
   std::size_t total_p2p = 0;
@@ -283,68 +295,14 @@ void Engine::CollectParallel(RoundStats& stats) {
       });
   stats.distinct_values = distinct.size();
 
-  if (total_p2p == 0) {
-    // No traffic staged this round: at most, last round's deliveries need
-    // clearing. Broadcast-only protocols take this path every round and
-    // skip the whole offset machinery.
-    if (inboxes_dirty_) {
-      ForSharded([&](int, std::uint64_t b, std::uint64_t e) {
-        for (std::uint64_t u = b; u < e; ++u) inbox_[u].clear();
-      });
-      inboxes_dirty_ = false;
-    }
-    return;
-  }
-  inboxes_dirty_ = true;
-
   // Only rows of shards that staged p2p were (re)zeroed and counted this
-  // round; everything else in p2p_offsets_ is stale and must be skipped.
-  std::vector<char> shard_sent(shards, 0);
+  // round; everything else in p2p_offsets_ is stale scratch — the mask
+  // the transport skips stale rows by.
+  shard_sent_.assign(shards, 0);
   for (int s = 0; s < shards; ++s) {
-    shard_sent[s] = partials[s].p2p_messages > 0 ? 1 : 0;
+    shard_sent_[s] = partials[s].p2p_messages > 0 ? 1 : 0;
   }
-
-  // Offset pass, sharded by RECEIVER: turn each receiver's per-shard
-  // counts column into running block offsets (shard s's messages to u
-  // start after every earlier shard's) and pre-size the inbox. Clearing
-  // stale inboxes rides along. (Receiver sweeps are per-id independent,
-  // so ANY partition works here — sharing the sender boundaries is just
-  // uniformity.)
-  ForSharded([&](int, std::uint64_t b, std::uint64_t e) {
-    for (std::uint64_t u = b; u < e; ++u) {
-      std::uint32_t run = 0;
-      for (int s = 0; s < shards; ++s) {
-        if (!shard_sent[s]) continue;
-        std::uint32_t& c = p2p_offsets_[static_cast<std::size_t>(s) * n + u];
-        const std::uint32_t count = c;
-        c = run;
-        run += count;
-      }
-      inbox_[u].clear();
-      inbox_[u].resize(run);
-    }
-  });
-
-  // Pass 2, sharded by SENDER on the same boundaries as pass 1 (weighted
-  // or equal-count — CRITICAL either way, since the offset rows were
-  // counted per pass-1 shard): write every message into its receiver's
-  // pre-sized slot. Within a shard senders run in ascending id order and
-  // shard blocks are laid out in shard order, so each inbox comes out
-  // sorted by sender id — bit-identical to the sequential push_back
-  // delivery. Writes to a given inbox land at disjoint indices and never
-  // reallocate: race-free.
-  ForSharded([&](int shard, std::uint64_t b, std::uint64_t e) {
-    std::uint32_t* cursor =
-        p2p_offsets_.data() + static_cast<std::size_t>(shard) * n;
-    for (std::uint64_t v = b; v < e; ++v) {
-      for (OutMessage& m : outbox_[v]) {
-        InMessage& slot = inbox_[m.to][cursor[m.to]++];
-        slot.from = static_cast<NodeId>(v);
-        slot.payload = std::move(m.payload);
-      }
-      outbox_[v].clear();
-    }
-  });
+  return total_p2p;
 }
 
 void Engine::CollectRound(int round) {
@@ -355,10 +313,42 @@ void Engine::CollectRound(int round) {
   // halted in).
   stats.active_nodes = active_this_round_;
 
-  if (UseParallelPhases()) {
-    CollectParallel(stats);
+  const bool parallel = UseParallelPhases();
+  const std::size_t total_p2p =
+      parallel ? CensusParallel(stats) : CensusSequential(stats);
+
+  if (total_p2p == 0) {
+    // No traffic staged this round: at most, last round's deliveries need
+    // clearing. Broadcast-only protocols take this path every round and
+    // never touch the transport.
+    if (inboxes_dirty_) {
+      if (parallel) {
+        ForSharded([&](int, std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t u = b; u < e; ++u) inbox_[u].clear();
+        });
+      } else {
+        for (auto& ib : inbox_) ib.clear();
+      }
+      inboxes_dirty_ = false;
+    }
   } else {
-    CollectSequential(stats);
+    // Hand the staged traffic to the transport. Both census passes and
+    // the exchange share the round's partition (ActiveBounds), which the
+    // count/offset contract depends on.
+    const std::span<const std::uint64_t> bounds = ActiveBounds();
+    ExchangeContext ctx;
+    ctx.n = graph_.num_nodes();
+    ctx.num_shards = static_cast<int>(bounds.size()) - 1;
+    ctx.bounds = bounds.data();
+    ctx.pool = parallel ? pool_.get() : nullptr;
+    ctx.outbox = &outbox_;
+    ctx.inbox = &inbox_;
+    ctx.counts = parallel ? p2p_offsets_.data() : nullptr;
+    ctx.shard_sent = parallel ? shard_sent_.data() : nullptr;
+    const WireVolume wire = transport_->Exchange(ctx);
+    stats.bytes_sent = wire.bytes_sent;
+    stats.bytes_received = wire.bytes_received;
+    inboxes_dirty_ = true;
   }
 
   // Publish broadcasts for the next round.
@@ -456,6 +446,8 @@ Totals Engine::totals() const {
   for (const RoundStats& r : history_) {
     t.messages += r.messages;
     t.entries += r.entries;
+    t.bytes_sent += r.bytes_sent;
+    t.bytes_received += r.bytes_received;
   }
   t.max_entries_per_message = max_entries_per_message_;
   return t;

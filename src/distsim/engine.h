@@ -33,13 +33,35 @@
 //      Per-node writes are disjoint by the Protocol contract.
 //   2. Collect: the round census (message/entry counts, max message size,
 //      distinct broadcast values, active nodes) is accumulated as
-//      per-shard partials merged in shard order, and staged p2p traffic is
-//      delivered by a two-pass scheme — pass 1 counts per-(shard,
-//      receiver) in-degrees while censusing senders, pass 2 writes each
-//      InMessage into a pre-sized, offset-indexed inbox slot. Shard
-//      blocks land in sender-shard order and senders run in ascending id
-//      order within a shard, so every inbox ends up sorted by sender id,
-//      bit-identical to the sequential delivery at any thread count.
+//      per-shard partials merged in shard order — pass 1 also counts
+//      per-(shard, receiver) p2p in-degrees while censusing senders. The
+//      staged p2p traffic is then handed to the engine's Transport
+//      (SetTransport; transport.h), which moves every OutMessage into its
+//      receiver's inbox sorted by sender id:
+//        * SharedMemoryTransport (default): zero-copy two-pass delivery —
+//          an offset pass turns the census count rows into running block
+//          offsets and pre-sizes inboxes, then a write pass (sharded by
+//          sender, same boundaries as pass 1) moves each payload into its
+//          precomputed slot. Shard blocks land in sender-shard order and
+//          senders run in ascending id order within a shard, so every
+//          inbox ends up sorted by sender id, bit-identical to the
+//          sequential delivery at any thread count.
+//        * SerializedTransport: the MPI-shaped path — each src shard
+//          measures per-dst-shard byte counts (count row), prefix-sums
+//          them into displacements, packs its messages into contiguous
+//          per-(src-shard, dst-shard) byte buffers (util::Wire varints +
+//          fixed64 payload entries), the buffers are exchanged
+//          alltoallv-style into one contiguous receive buffer per dst
+//          shard, and each dst shard deserializes its segments in
+//          src-shard order — the same sender-id-sorted inboxes, through
+//          exactly the counts/displacements/pack/unpack contract an
+//          MPI_Alltoallv backend needs, at any thread count. RoundStats
+//          reports the packed bytes as bytes_sent / bytes_received.
+//      Broadcasts stay in the engine's double-buffered shared arrays
+//      under either transport (an MPI process backend would additionally
+//      fan each broadcast out once per neighbor-owning rank; that is the
+//      remaining piece, see ROADMAP). Rounds that stage no p2p traffic
+//      never invoke the transport at all.
 // Protocol::Init(ctx) stages the round-0 broadcasts.
 //
 // Randomness: NodeContext::Rng() hands each node its own util::Rng stream,
@@ -74,12 +96,26 @@ struct InMessage {
   Payload payload;
 };
 
+// A staged point-to-point send, sitting in the sender's outbox until the
+// round's transport exchange delivers it (transport.h).
+struct OutMessage {
+  NodeId to = 0;
+  Payload payload;
+};
+
 struct RoundStats {
   int round = 0;
   std::size_t active_nodes = 0;     // nodes that executed Compute
   std::size_t messages = 0;         // (sender, receiver) deliveries staged
   std::size_t entries = 0;          // doubles staged across all messages
   std::size_t distinct_values = 0;  // distinct first-entry broadcast values
+  // Wire volume of this round's p2p exchange as reported by the engine's
+  // Transport: bytes packed onto / decoded off the wire. Zero for the
+  // zero-copy SharedMemoryTransport (nothing is serialized) and for
+  // rounds with no p2p traffic; equal to each other — and independent of
+  // thread count — for SerializedTransport.
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
 };
 
 // Default master seed for the per-node RNG streams ("kcore" in ASCII).
@@ -92,6 +128,9 @@ struct Totals {
   std::size_t messages = 0;
   std::size_t entries = 0;
   std::size_t max_entries_per_message = 0;
+  // Summed per-round transport wire volume (see RoundStats::bytes_sent).
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
 };
 
 class Engine;
@@ -156,6 +195,7 @@ class Protocol {
 };
 
 class ThreadPool;
+class Transport;
 
 class Engine {
  public:
@@ -191,6 +231,16 @@ class Engine {
   // that halt hubs early re-spread the surviving load. 0 (default) keeps
   // the Start()-time boundaries for the whole run. Must precede Start().
   void SetRebalanceInterval(int rounds);
+
+  // Replaces the transport that delivers staged p2p traffic each round
+  // (default: SharedMemoryTransport — the zero-copy in-place path). Use
+  // MakeTransport(TransportKind) from transport.h, or hand in a custom
+  // implementation. Must precede Start(); the transport must not be null.
+  // Results are bit-identical for every conforming transport — only the
+  // wire accounting (RoundStats::bytes_*) and the exchange mechanics
+  // differ.
+  void SetTransport(std::unique_ptr<Transport> transport);
+  const Transport& transport() const { return *transport_; }
 
   // CONGEST enforcement: once set, staging any message with more than
   // `limit` entries aborts (KCORE_CHECK). The paper's Section II protocols
@@ -231,13 +281,14 @@ class Engine {
   bool halted(NodeId v) const { return halted_[v] != 0; }
   std::size_t num_halted() const;
 
+  // The p2p messages delivered to v this round, sorted by sender id —
+  // the same span NodeContext::Messages() hands the protocol, exposed so
+  // conformance tests can compare transports' inboxes bit for bit.
+  std::span<const InMessage> inbox(NodeId v) const { return inbox_[v]; }
+
  private:
   friend class NodeContext;
 
-  struct OutMessage {
-    NodeId to;
-    Payload payload;
-  };
   // Per-shard census accumulator (defined in engine.cc).
   struct CollectPartial;
 
@@ -255,9 +306,16 @@ class Engine {
   // also tallies this shard's per-receiver p2p in-degrees into it.
   void CensusRange(NodeId begin, NodeId end, CollectPartial& part,
                    std::uint32_t* counts_row);
-  void CollectSequential(RoundStats& stats);
-  void CollectParallel(RoundStats& stats);
+  // Round census (stats + count rows when parallel); returns the number
+  // of staged p2p messages. Delivery is the transport's job.
+  std::size_t CensusSequential(RoundStats& stats);
+  std::size_t CensusParallel(RoundStats& stats);
   void CollectRound(int round);
+  // The node-id partition active this round: shard_bounds_ when balancing
+  // is on, the cached equal-count split (or the trivial single-shard
+  // partition when sequential) otherwise. Census, transport exchange, and
+  // the compute sweep all run on these SAME boundaries within a round.
+  std::span<const std::uint64_t> ActiveBounds();
 
   // Builds degree-weighted shard boundaries for the pool from the current
   // halted census (see SetShardBalancing).
@@ -282,10 +340,16 @@ class Engine {
   // round (the count/offset scheme needs one fixed partition per round).
   // Rebuilt only between rounds, never mid-round.
   std::vector<std::uint64_t> shard_bounds_;
+  // Equal-count partition cache for ActiveBounds(): built once (n and the
+  // shard count are fixed per engine) — {0, n} when sequential.
+  std::vector<std::uint64_t> equal_bounds_;
   // Lazily created on the first parallel compute phase (Start's Init
   // sweep included) and reused for every later round; null while running
   // sequentially.
   std::unique_ptr<ThreadPool> pool_;
+  // Delivers staged p2p traffic each round (SharedMemoryTransport unless
+  // SetTransport overrides).
+  std::unique_ptr<Transport> transport_;
   int round_ = 0;
 
   // Double-buffered broadcasts: prev_ visible to readers, next_ written by
@@ -318,10 +382,15 @@ class Engine {
   std::vector<util::Rng> node_rng_;
 
   // Parallel-collect scratch: num_shards rows of n per-receiver counts;
-  // pass 1 fills the rows of shards that staged p2p (others stay stale
-  // and are masked out), the offset pass turns each live column into
-  // running block offsets, pass 2 consumes them as write cursors.
+  // the census fills the rows of shards that staged p2p (others stay
+  // stale and are masked out via shard_sent_), and the transport consumes
+  // them — the shared-memory path turns each live column into running
+  // block offsets and then write cursors; the serialized path reads the
+  // column sums to pre-size inboxes.
   std::vector<std::uint32_t> p2p_offsets_;
+  // Per-shard "staged any p2p this round" flags from the census — the
+  // stale-row mask for p2p_offsets_.
+  std::vector<char> shard_sent_;
   // Whether last round's parallel collect delivered anything — i.e.
   // whether inboxes need clearing before the next delivery.
   bool inboxes_dirty_ = false;

@@ -1,0 +1,133 @@
+// Pluggable message-transport layer for the round scheduler's collect
+// phase.
+//
+// The engine's collect phase splits into a census (stats + per-(shard,
+// receiver) in-degree counts, always run by the engine) and an exchange:
+// moving every staged OutMessage from its sender's outbox into its
+// receiver's inbox, sorted by sender id. The exchange is the part a
+// message-passing cluster would actually put on the wire, so it lives
+// behind this interface:
+//
+//   * SharedMemoryTransport — today's in-process fast path. Sequentially
+//     it is the plain ascending-sender push_back delivery; sharded it is
+//     the zero-copy two-pass scheme (offset pass turns the census count
+//     rows into running block offsets and pre-sizes inboxes; a write pass
+//     sharded by sender moves each payload into its precomputed slot).
+//     Nothing is copied or encoded: payloads std::move from outbox to
+//     inbox, and the reported wire volume is zero.
+//
+//   * SerializedTransport — the MPI-shaped path, run in-process at any
+//     thread count. Each src shard measures exact per-dst-shard byte
+//     counts (count row), prefix-sums them into a displacement row, and
+//     packs its messages — walking senders in ascending id order — into
+//     one contiguous send buffer per src shard using util::Wire (varint
+//     sender / receiver / payload length, fixed64 payload entries). The
+//     exchange step gathers every (src, dst) segment into one contiguous
+//     receive buffer per dst shard (exactly MPI_Alltoallv's
+//     counts/displacements contract), and each dst shard deserializes its
+//     segments in src-shard order, appending per receiver — which yields
+//     the same sender-id-sorted inboxes as the shared-memory path, bit
+//     for bit. Wire volume (bytes packed / decoded) is reported per
+//     round; per-message encodings are partition-independent, so the
+//     byte counts are identical at any thread count too.
+//
+// Conformance contract for any implementation: given the same staged
+// outboxes, Exchange must leave (a) every outbox empty, (b) every inbox
+// holding exactly the messages addressed to it, ordered by sender id with
+// ties (several sends from one sender to one receiver) in staging order,
+// with payloads bit-identical to what the sender staged. The
+// transport_conformance_test battery pins this against the sequential
+// baseline for every registered transport.
+//
+// Transports may keep scratch state across rounds (buffers are reused);
+// an Engine owns exactly one transport and calls Exchange at most once
+// per round, never concurrently. Rounds with no staged p2p traffic skip
+// the exchange entirely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "distsim/engine.h"
+
+namespace kcore::distsim {
+
+class ThreadPool;
+
+// The built-in transports, for flag parsing and option structs.
+enum class TransportKind {
+  kSharedMemory,  // zero-copy in-place delivery (default)
+  kSerialized,    // pack / alltoallv-exchange / unpack via util::Wire
+};
+
+// "shared" / "serialized".
+const char* TransportKindName(TransportKind kind);
+// Parses the names above; returns false (leaving *out untouched) for
+// anything else.
+bool ParseTransportKind(std::string_view name, TransportKind* out);
+
+// Bytes a round's exchange put on (and took off) the wire. Zero/zero for
+// transports that move payloads in place.
+struct WireVolume {
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+};
+
+// Everything one round's exchange may touch. The partition is the
+// engine's active shard partition for the round: `bounds` has
+// num_shards + 1 ascending entries and shard s owns node ids
+// [bounds[s], bounds[s+1]) — as SENDER for outboxes and as RECEIVER for
+// inboxes (one partition serves both roles, like ranks in MPI).
+struct ExchangeContext {
+  graph::NodeId n = 0;               // number of nodes
+  int num_shards = 1;                // >= 1
+  const std::uint64_t* bounds = nullptr;  // num_shards + 1 ascending ids
+  // Runs shard bodies concurrently when non-null; null means execute the
+  // shards inline on the caller (the engine's sequential mode).
+  ThreadPool* pool = nullptr;
+  std::vector<std::vector<OutMessage>>* outbox = nullptr;  // [n], consumed
+  std::vector<std::vector<InMessage>>* inbox = nullptr;    // [n], rewritten
+  // Census count rows: counts[s * n + u] = messages shard s staged for
+  // receiver u — but ONLY for shards with shard_sent[s] != 0 (other rows
+  // are stale scratch). Null when the engine censused sequentially. The
+  // transport may consume the live rows as cursors.
+  std::uint32_t* counts = nullptr;
+  const char* shard_sent = nullptr;  // [num_shards], null iff counts is
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual const char* name() const = 0;
+  // Delivers every staged message (see the conformance contract above).
+  virtual WireVolume Exchange(const ExchangeContext& ctx) = 0;
+};
+
+// Zero-copy in-place delivery; the default.
+class SharedMemoryTransport final : public Transport {
+ public:
+  const char* name() const override { return "shared"; }
+  WireVolume Exchange(const ExchangeContext& ctx) override;
+};
+
+// Pack / alltoallv-style exchange / unpack through util::Wire buffers.
+class SerializedTransport final : public Transport {
+ public:
+  const char* name() const override { return "serialized"; }
+  WireVolume Exchange(const ExchangeContext& ctx) override;
+
+ private:
+  // All scratch persists across rounds so steady-state rounds reallocate
+  // nothing (vectors only grow).
+  std::vector<std::uint64_t> seg_bytes_;   // [src * S + dst] byte counts
+  std::vector<std::uint64_t> send_displ_;  // [src * (S+1)] prefix sums
+  std::vector<std::vector<std::uint8_t>> send_buf_;  // one per src shard
+  std::vector<std::vector<std::uint8_t>> recv_buf_;  // one per dst shard
+  std::vector<std::uint64_t> recv_bytes_;  // per-dst decoded byte counts
+};
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind);
+
+}  // namespace kcore::distsim

@@ -1,0 +1,87 @@
+// Wire encoding for message-passing transports: LEB128-style varints plus
+// fixed-width 64-bit fields, over caller-owned byte buffers.
+//
+// The serialized transport (distsim/transport.h) packs every staged
+// message into contiguous per-(src-shard, dst-shard) buffers before the
+// alltoallv-style exchange; this header is the codec it packs with. The
+// format is deliberately boring and portable:
+//
+//   * Varint: unsigned little-endian base-128 (7 payload bits per byte,
+//     MSB = continuation), at most kMaxVarintBytes bytes. The decoder
+//     rejects truncated input and encodings that overflow 64 bits, so a
+//     corrupted buffer surfaces as an error instead of a wrong value.
+//   * Fixed64 / Double: exactly 8 bytes, little-endian byte order
+//     regardless of host endianness — two machines exchanging buffers
+//     decode identical bit patterns, which the simulator's bit-determinism
+//     contract requires.
+//
+// Writers operate on a pre-sized region (the transport computes exact
+// byte counts in its census pass, so encoding never reallocates);
+// overrunning the region is a KCORE_CHECK failure, not a silent
+// corruption. Readers come in checked (KCORE_CHECK on malformed input —
+// for internal buffers where corruption is a bug) and Try* (bool-return —
+// for callers that can recover) flavors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kcore::util {
+
+// Longest valid varint: ceil(64 / 7) bytes.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+// Exact number of bytes Varint(x) occupies on the wire (1..10).
+std::size_t VarintSize(std::uint64_t x);
+
+// Encodes into the caller-provided region [begin, end). Every Put checks
+// the region has room; written() reports the cursor for callers that
+// interleave several writers over one buffer.
+class WireWriter {
+ public:
+  WireWriter(std::uint8_t* begin, std::uint8_t* end)
+      : begin_(begin), p_(begin), end_(end) {}
+
+  void Varint(std::uint64_t x);
+  void Fixed64(std::uint64_t bits);
+  // Fixed64 of the IEEE-754 bit pattern (8 bytes, little-endian).
+  void Double(double d);
+
+  std::size_t written() const { return static_cast<std::size_t>(p_ - begin_); }
+  std::size_t capacity() const {
+    return static_cast<std::size_t>(end_ - begin_);
+  }
+
+ private:
+  std::uint8_t* begin_;
+  std::uint8_t* p_;
+  std::uint8_t* end_;
+};
+
+// Decodes from [data, data + size). Try* getters return false — and mark
+// the reader failed — on truncated or overlong input without touching
+// *out; the checked getters KCORE_CHECK instead (internal buffers only).
+// Once failed, every later read fails too, so a decode loop can check
+// failed() once at the end instead of after every field.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  bool TryVarint(std::uint64_t* out);
+  bool TryFixed64(std::uint64_t* out);
+  bool TryDouble(double* out);
+
+  std::uint64_t Varint();
+  double Double();
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool failed() const { return failed_; }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  bool failed_ = false;
+};
+
+}  // namespace kcore::util

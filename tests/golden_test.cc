@@ -1,0 +1,308 @@
+// Golden-file regression tests: fixed-seed end-to-end outputs of the
+// three coreness drivers (Compact / Montresor / TwoPhase) on three
+// generator graphs, checked in under tests/golden/. Each golden pins the
+// full observable result — coreness vector (exact doubles), per-round
+// RoundStats INCLUDING the transport byte counters, and run totals — so
+// any change to the protocols, the round scheduler, the transports, or
+// the stats accounting shows up as a one-line diff instead of a silent
+// drift across PRs.
+//
+// Every golden is rendered twice per test: from the canonical sequential
+// shared-memory run (which is what the file pins) and from an 8-thread
+// serialized-transport run with degree-weighted balancing — the two must
+// render identically, so the golden also re-proves the transport and
+// scheduler determinism contracts on every graph.
+//
+// The graphs use unit edge weights ON PURPOSE: every surviving-number
+// update is then integer-valued sums and comparisons, which are
+// bit-exact at any optimization level, so one golden serves Debug, ASan,
+// and Release builds alike.
+//
+// Regenerating (after an INTENDED behavior change — see tests/README.md):
+//   ./build/tests/golden_test --regenerate
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/compact.h"
+#include "core/montresor.h"
+#include "core/two_phase.h"
+#include "distsim/engine.h"
+#include "distsim/transport.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+// Set by main() below; file-scope so the custom main outside the kcore
+// namespace can reach it.
+static bool g_regenerate = false;
+
+namespace kcore {
+namespace {
+
+using distsim::RoundStats;
+using distsim::Totals;
+using distsim::TransportKind;
+using graph::Graph;
+using graph::NodeId;
+
+constexpr double kEps = 0.5;
+
+// Run configuration a golden render is produced under.
+struct RunConfig {
+  int threads = 1;
+  bool balance = false;
+  TransportKind transport = TransportKind::kSharedMemory;
+};
+
+constexpr RunConfig kCanonical{1, false, TransportKind::kSharedMemory};
+// The cross-check config: every parallel/transport axis flipped on.
+constexpr RunConfig kThreaded{8, true, TransportKind::kSerialized};
+
+struct GoldenGraph {
+  const char* name;
+  Graph g;
+};
+
+// Three fixed-seed generator graphs, all >= the engine's 256-node
+// parallel cutoff so the threaded cross-check really shards. Unit
+// weights (see the file comment).
+std::vector<GoldenGraph> MakeGoldenGraphs() {
+  std::vector<GoldenGraph> out;
+  {
+    util::Rng rng(1311);
+    out.push_back({"ba", graph::BarabasiAlbert(300, 3, rng)});
+  }
+  {
+    util::Rng rng(1312);
+    out.push_back({"er", graph::ErdosRenyiGnm(300, 900, rng)});
+  }
+  {
+    util::Rng rng(1313);
+    out.push_back({"powerlaw",
+                   graph::PowerLawConfiguration(300, 2.1, 2, 40, rng)});
+  }
+  return out;
+}
+
+std::string Fmt(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+void AppendDoubles(std::string& out, const char* label,
+                   const std::vector<double>& v) {
+  out += label;
+  out += ' ';
+  out += std::to_string(v.size());
+  out += '\n';
+  for (double d : v) {
+    out += Fmt(d);
+    out += '\n';
+  }
+}
+
+void AppendHistory(std::string& out, const char* label,
+                   const std::vector<RoundStats>& h) {
+  out += label;
+  out += ' ';
+  out += std::to_string(h.size());
+  out += '\n';
+  out += "# round active messages entries distinct bytes_sent bytes_recv\n";
+  for (const RoundStats& r : h) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%d %zu %zu %zu %zu %zu %zu\n",
+                  r.round, r.active_nodes, r.messages, r.entries,
+                  r.distinct_values, r.bytes_sent, r.bytes_received);
+    out += line;
+  }
+}
+
+void AppendTotals(std::string& out, const Totals& t) {
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "totals rounds=%d messages=%zu entries=%zu max_entries=%zu "
+                "bytes_sent=%zu bytes_recv=%zu\n",
+                t.rounds, t.messages, t.entries, t.max_entries_per_message,
+                t.bytes_sent, t.bytes_received);
+  out += line;
+}
+
+std::string Header(const char* algo, const GoldenGraph& gg) {
+  std::string out = "kcore golden v1\n";
+  out += "algo ";
+  out += algo;
+  out += "\ngraph ";
+  out += gg.name;
+  out += " n=" + std::to_string(gg.g.num_nodes()) +
+         " m=" + std::to_string(gg.g.num_edges()) + "\n";
+  return out;
+}
+
+// Order-sensitive FNV fold for vectors too bulky to list line by line
+// (the two-phase edge-owner assignment).
+std::uint64_t HashU32s(const std::vector<NodeId>& xs) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (NodeId x : xs) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string RenderCompact(const GoldenGraph& gg, const RunConfig& cfg) {
+  core::CompactOptions opts;
+  opts.rounds = core::RoundsForEpsilon(gg.g.num_nodes(), kEps);
+  opts.num_threads = cfg.threads;
+  opts.balance_shards = cfg.balance;
+  opts.transport = cfg.transport;
+  const core::CompactResult res = core::RunCompactElimination(gg.g, opts);
+
+  std::string out = Header("compact", gg);
+  out += "rounds " + std::to_string(res.rounds) + "\n";
+  AppendDoubles(out, "coreness", res.b);
+  AppendHistory(out, "history", res.history);
+  AppendTotals(out, res.totals);
+  return out;
+}
+
+std::string RenderMontresor(const GoldenGraph& gg, const RunConfig& cfg) {
+  const core::ConvergenceResult res = core::RunToConvergence(
+      gg.g, -1, cfg.threads, distsim::kDefaultMasterSeed, cfg.balance,
+      cfg.transport);
+
+  std::string out = Header("montresor", gg);
+  out += "rounds_executed " + std::to_string(res.rounds_executed) + "\n";
+  out += "last_change_round " + std::to_string(res.last_change_round) + "\n";
+  AppendDoubles(out, "coreness", res.coreness);
+  AppendHistory(out, "history", res.history);
+  AppendTotals(out, res.totals);
+  return out;
+}
+
+std::string RenderTwoPhase(const GoldenGraph& gg, const RunConfig& cfg) {
+  const int T = core::RoundsForEpsilon(gg.g.num_nodes(), kEps);
+  const core::TwoPhaseResult res = core::RunTwoPhaseOrientation(
+      gg.g, T, kEps, -1, cfg.threads, distsim::kDefaultMasterSeed,
+      cfg.balance, cfg.transport);
+
+  std::string out = Header("twophase", gg);
+  out += "phase1_rounds " + std::to_string(res.phase1_rounds) + "\n";
+  out += "phase2_rounds " + std::to_string(res.phase2_rounds) + "\n";
+  out += "forced_edges " + std::to_string(res.forced_edges) + "\n";
+  out += "max_load " + Fmt(res.orientation.max_load) + "\n";
+  char owner[64];
+  std::snprintf(owner, sizeof(owner), "owner_hash %016llx\n",
+                static_cast<unsigned long long>(
+                    HashU32s(res.orientation.owner)));
+  out += owner;
+  AppendDoubles(out, "coreness", res.b);
+  AppendHistory(out, "phase1_history", res.phase1_history);
+  AppendHistory(out, "phase2_history", res.phase2_history);
+  AppendTotals(out, res.totals);
+  return out;
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(KCORE_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+// Compares `rendered` against the checked-in golden (or rewrites it under
+// --regenerate), with a first-differing-line diagnostic on mismatch.
+void CheckGolden(const std::string& name, const std::string& rendered) {
+  const std::string path = GoldenPath(name);
+  if (g_regenerate) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(f.good()) << "cannot write " << path;
+    f << rendered;
+    ASSERT_TRUE(f.good()) << "short write to " << path;
+    std::printf("  regenerated %s (%zu bytes)\n", path.c_str(),
+                rendered.size());
+    return;
+  }
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good()) << "missing golden file " << path
+                        << " — run ./tests/golden_test --regenerate "
+                           "(see tests/README.md)";
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string want = ss.str();
+  if (want == rendered) return;
+
+  // Locate the first differing line for a readable failure.
+  std::istringstream a(want), b(rendered);
+  std::string la, lb;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    if (!ga && !gb) break;
+    if (!ga || !gb || la != lb) {
+      FAIL() << name << " diverges from " << path << " at line " << line
+             << "\n  golden: " << (ga ? la : "<eof>")
+             << "\n  actual: " << (gb ? lb : "<eof>")
+             << "\nIf this change is intended, regenerate with "
+                "./build/tests/golden_test --regenerate (tests/README.md).";
+    }
+  }
+  FAIL() << name << " differs from " << path
+         << " (no line-level difference found — trailing bytes?)";
+}
+
+// One test per algorithm, each covering all three graphs: the canonical
+// sequential shared-memory render is pinned against the golden file, and
+// the threaded serialized-balanced render is pinned against the
+// canonical one.
+TEST(Golden, CompactElimination) {
+  for (const GoldenGraph& gg : MakeGoldenGraphs()) {
+    SCOPED_TRACE(gg.name);
+    const std::string canonical = RenderCompact(gg, kCanonical);
+    EXPECT_EQ(RenderCompact(gg, kThreaded), canonical)
+        << "threaded serialized run diverged from the sequential render";
+    CheckGolden(std::string("compact_") + gg.name, canonical);
+  }
+}
+
+TEST(Golden, MontresorConvergence) {
+  for (const GoldenGraph& gg : MakeGoldenGraphs()) {
+    SCOPED_TRACE(gg.name);
+    const std::string canonical = RenderMontresor(gg, kCanonical);
+    EXPECT_EQ(RenderMontresor(gg, kThreaded), canonical)
+        << "threaded serialized run diverged from the sequential render";
+    CheckGolden(std::string("montresor_") + gg.name, canonical);
+  }
+}
+
+TEST(Golden, TwoPhaseOrientation) {
+  for (const GoldenGraph& gg : MakeGoldenGraphs()) {
+    SCOPED_TRACE(gg.name);
+    const std::string canonical = RenderTwoPhase(gg, kCanonical);
+    EXPECT_EQ(RenderTwoPhase(gg, kThreaded), canonical)
+        << "threaded serialized run diverged from the sequential render";
+    CheckGolden(std::string("twophase_") + gg.name, canonical);
+  }
+}
+
+}  // namespace
+}  // namespace kcore
+
+// Custom main: gtest first (strips --gtest_* flags), then our one flag.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--regenerate") {
+      g_regenerate = true;
+    } else {
+      std::fprintf(stderr, "golden_test: unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

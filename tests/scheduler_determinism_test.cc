@@ -18,6 +18,7 @@
 #include "core/montresor.h"
 #include "core/two_phase.h"
 #include "distsim/engine.h"
+#include "distsim/transport.h"
 #include "graph/generators.h"
 #include "util/rng.h"
 
@@ -476,6 +477,54 @@ TEST(SchedulerDeterminism, MontresorAndTwoPhaseBalanced) {
   EXPECT_EQ(t1.b, t8.b);
   EXPECT_EQ(t1.orientation.owner, t8.orientation.owner);
   EXPECT_EQ(t1.phase2_rounds, t8.phase2_rounds);
+}
+
+TEST(SchedulerDeterminism, WeightedShardsSharedVsSerializedTransport) {
+  // The balancing and transport axes together: weighted shards rebuilt
+  // mid-run put the serialized pack/unpack on partitions the equal-count
+  // split never produces, and the shared-memory run at the same thread
+  // count must agree with it bit for bit — as must a sequential
+  // serialized run, including the wire byte counters (per-message
+  // encodings are absolute, so byte totals are partition-independent).
+  const graph::Graph g = SkewedTestGraph(205);
+  P2PStress p1(g.num_nodes());
+  P2PStress pshm(g.num_nodes());
+  P2PStress pser(g.num_nodes());
+  P2PStress pser1(g.num_nodes());
+  Engine e1(g, 1);
+  Engine eshm(g, 8);
+  Engine eser(g, 8);
+  Engine eser1(g, 1);
+  for (Engine* e : {&eshm, &eser}) {
+    e->SetShardBalancing(true);
+    e->SetRebalanceInterval(3);
+  }
+  eser.SetTransport(distsim::MakeTransport(
+      distsim::TransportKind::kSerialized));
+  eser1.SetTransport(distsim::MakeTransport(
+      distsim::TransportKind::kSerialized));
+  RunRounds(e1, p1, 12);
+  RunRounds(eshm, pshm, 12);
+  RunRounds(eser, pser, 12);
+  RunRounds(eser1, pser1, 12);
+  EXPECT_EQ(p1.digest(), pshm.digest());
+  EXPECT_EQ(p1.digest(), pser.digest());
+  EXPECT_EQ(p1.digest(), pser1.digest());
+  ExpectSameHistory(e1.history(), eshm.history());
+  ExpectSameHistory(e1.history(), eser.history());
+  // Wire accounting: the zero-copy paths never serialize; the serialized
+  // runs agree with each other byte for byte at 1 vs 8 threads.
+  ASSERT_EQ(eser.history().size(), eser1.history().size());
+  for (std::size_t i = 0; i < eser.history().size(); ++i) {
+    EXPECT_EQ(e1.history()[i].bytes_sent, 0u) << "round " << i;
+    EXPECT_EQ(eshm.history()[i].bytes_sent, 0u) << "round " << i;
+    EXPECT_EQ(eser.history()[i].bytes_sent,
+              eser.history()[i].bytes_received)
+        << "round " << i;
+    EXPECT_EQ(eser.history()[i].bytes_sent, eser1.history()[i].bytes_sent)
+        << "round " << i;
+  }
+  EXPECT_GT(eser.totals().bytes_sent, 0u);
 }
 
 TEST(SchedulerDeterminism, MasterSeedActuallyFeedsTheStreams) {

@@ -1,0 +1,488 @@
+// Conformance battery for distsim::Transport implementations.
+//
+// Every transport must be observationally identical to the sequential
+// shared-memory baseline: same inboxes (same messages, same sender-id
+// order, bit-identical payloads), same history() (logical fields), same
+// protocol results — on p2p-heavy, broadcast-only, bursty-silent, star,
+// and rebalanced power-law workloads, at 1, 2, and 8 threads. The suite
+// is parameterized over TransportKind, so registering a new transport in
+// MakeTransport and adding it to the INSTANTIATE list below runs the
+// whole battery against it.
+//
+// Wire accounting is pinned per kind: the shared-memory transport never
+// serializes (bytes == 0 everywhere); the serialized transport reports
+// bytes_sent == bytes_received, nonzero exactly on rounds that delivered
+// p2p traffic, and — because per-message encodings are absolute, not
+// partition-relative — byte-identical counts at every thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compact.h"
+#include "core/montresor.h"
+#include "distsim/engine.h"
+#include "distsim/transport.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace kcore {
+namespace {
+
+using distsim::Engine;
+using distsim::InMessage;
+using distsim::MakeTransport;
+using distsim::NodeContext;
+using distsim::Payload;
+using distsim::RoundStats;
+using distsim::TransportKind;
+using graph::NodeId;
+
+// Order-sensitive FNV-style fold: two digests agree only if the same
+// values arrived in the same order.
+std::uint64_t Mix(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * 0x100000001b3ULL;
+}
+
+std::uint64_t MixDouble(std::uint64_t h, double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(double));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return Mix(h, bits);
+}
+
+// Folds the node's whole inbox — sender ids, payload lengths, payload
+// BITS (so -0.0 vs 0.0 or a denormal mangled in transit flips it) — into
+// the per-node digest. Every protocol below calls this each round.
+void FoldInbox(NodeContext& ctx, std::uint64_t& h) {
+  for (const InMessage& m : ctx.Messages()) {
+    h = Mix(h, m.from);
+    h = Mix(h, m.payload.size());
+    for (double x : m.payload) h = MixDouble(h, x);
+  }
+}
+
+// The logical (transport-independent) RoundStats fields.
+void ExpectSameLogicalHistory(const std::vector<RoundStats>& got,
+                              const std::vector<RoundStats>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].round, want[i].round) << "round " << i;
+    EXPECT_EQ(got[i].active_nodes, want[i].active_nodes) << "round " << i;
+    EXPECT_EQ(got[i].messages, want[i].messages) << "round " << i;
+    EXPECT_EQ(got[i].entries, want[i].entries) << "round " << i;
+    EXPECT_EQ(got[i].distinct_values, want[i].distinct_values)
+        << "round " << i;
+  }
+}
+
+// Literal final-inbox comparison via Engine::inbox — sender ids, sizes,
+// and payload bits.
+void ExpectSameInboxes(const Engine& got, const Engine& want) {
+  const NodeId n = want.graph().num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const auto a = got.inbox(v);
+    const auto b = want.inbox(v);
+    ASSERT_EQ(a.size(), b.size()) << "inbox size of node " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].from, b[i].from) << "node " << v << " slot " << i;
+      ASSERT_EQ(a[i].payload.size(), b[i].payload.size())
+          << "node " << v << " slot " << i;
+      for (std::size_t k = 0; k < a[i].payload.size(); ++k) {
+        std::uint64_t ba = 0, bb = 0;
+        __builtin_memcpy(&ba, &a[i].payload[k], sizeof(ba));
+        __builtin_memcpy(&bb, &b[i].payload[k], sizeof(bb));
+        EXPECT_EQ(ba, bb) << "payload bits: node " << v << " slot " << i
+                          << " entry " << k;
+      }
+    }
+  }
+}
+
+// Per-kind wire-accounting invariants.
+void ExpectWireAccounting(const Engine& e, TransportKind kind) {
+  for (const RoundStats& r : e.history()) {
+    if (kind == TransportKind::kSharedMemory) {
+      EXPECT_EQ(r.bytes_sent, 0u) << "round " << r.round;
+      EXPECT_EQ(r.bytes_received, 0u) << "round " << r.round;
+    } else {
+      EXPECT_EQ(r.bytes_sent, r.bytes_received) << "round " << r.round;
+    }
+  }
+}
+
+std::vector<std::size_t> BytesPerRound(const Engine& e) {
+  std::vector<std::size_t> out;
+  for (const RoundStats& r : e.history()) out.push_back(r.bytes_sent);
+  return out;
+}
+
+// P2P-heavy: variable-size payloads (including EMPTY ones and bit-tricky
+// doubles: -0.0, a denormal, a huge magnitude) to round-dependent
+// neighbor subsets.
+class P2PWave : public distsim::Protocol {
+ public:
+  explicit P2PWave(NodeId n) : digest_(n, 0xcbf29ce484222325ULL) {}
+
+  void Init(NodeContext& ctx) override { SendWave(ctx); }
+
+  void Round(NodeContext& ctx) override {
+    FoldInbox(ctx, digest_[ctx.id()]);
+    SendWave(ctx);
+  }
+
+  const std::vector<std::uint64_t>& digest() const { return digest_; }
+
+ private:
+  void SendWave(NodeContext& ctx) {
+    const auto nbrs = ctx.neighbors();
+    const NodeId v = ctx.id();
+    const auto r = static_cast<std::size_t>(ctx.round());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if ((i + v + r) % 3 != 0) continue;
+      Payload p;
+      switch ((v + i + r) % 5) {
+        case 0:
+          break;  // empty payload: varint-length-0 on the wire
+        case 1:
+          p = {-0.0};
+          break;
+        case 2:
+          p = {1e-310, static_cast<double>(v)};  // denormal survives?
+          break;
+        case 3:
+          p = {-1.7e308, static_cast<double>(r)};
+          break;
+        default:
+          p = {static_cast<double>(v * 1000 + r * 10),
+               static_cast<double>(i), 0.5};
+          break;
+      }
+      ctx.Send(nbrs[i].to, std::move(p));
+    }
+  }
+
+  std::vector<std::uint64_t> digest_;
+};
+
+// Broadcast-only: the transport must never be invoked (no p2p staged).
+class BroadcastOnly : public distsim::Protocol {
+ public:
+  explicit BroadcastOnly(NodeId n) : digest_(n, 0x84222325cbf29ce4ULL) {}
+
+  void Init(NodeContext& ctx) override { Shout(ctx); }
+
+  void Round(NodeContext& ctx) override {
+    std::uint64_t& h = digest_[ctx.id()];
+    for (std::size_t i = 0; i < ctx.neighbors().size(); ++i) {
+      const Payload* p = ctx.NeighborBroadcast(i);
+      if (p == nullptr) {
+        h = Mix(h, 0xdeadULL);
+        continue;
+      }
+      for (double x : *p) h = MixDouble(h, x);
+    }
+    FoldInbox(ctx, h);  // must fold nothing, every round
+    Shout(ctx);
+  }
+
+  const std::vector<std::uint64_t>& digest() const { return digest_; }
+
+ private:
+  void Shout(NodeContext& ctx) {
+    const NodeId v = ctx.id();
+    const auto r = static_cast<std::size_t>(ctx.round());
+    if ((v + r) % 7 == 0) return;
+    Payload p{static_cast<double>((v + r) % 17)};
+    for (std::size_t k = 1; k < 1 + v % 3; ++k) {
+      p.push_back(static_cast<double>(k));
+    }
+    ctx.Broadcast(std::move(p));
+  }
+
+  std::vector<std::uint64_t> digest_;
+};
+
+// Bursty: p2p only every fourth round, TOTAL silence otherwise (no
+// broadcasts either). Quiet rounds exercise the no-traffic path and the
+// stale-inbox clearing after a delivery round — a transport that leaves
+// last round's inboxes behind flips the digest.
+class BurstySilence : public distsim::Protocol {
+ public:
+  explicit BurstySilence(NodeId n) : digest_(n, 0x100000001b3ULL) {}
+
+  void Init(NodeContext& ctx) override { MaybeBurst(ctx); }
+
+  void Round(NodeContext& ctx) override {
+    std::uint64_t& h = digest_[ctx.id()];
+    h = Mix(h, ctx.Messages().size());
+    FoldInbox(ctx, h);
+    MaybeBurst(ctx);
+  }
+
+  const std::vector<std::uint64_t>& digest() const { return digest_; }
+
+ private:
+  void MaybeBurst(NodeContext& ctx) {
+    if (ctx.round() % 4 != 1) return;
+    const auto nbrs = ctx.neighbors();
+    const NodeId v = ctx.id();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if ((v + i) % 2 != 0) continue;
+      ctx.Send(nbrs[i].to, {static_cast<double>(v), 2.0});
+    }
+  }
+
+  std::vector<std::uint64_t> digest_;
+};
+
+// Star funnel: every leaf sends the hub one message per round (the hub's
+// inbox concentrates n - 1 sender-sorted messages — the worst case for
+// per-receiver offset/order bookkeeping); the hub answers a rotating
+// leaf.
+class StarFunnel : public distsim::Protocol {
+ public:
+  explicit StarFunnel(NodeId n) : digest_(n, 0x9e3779b97f4a7c15ULL) {}
+
+  void Init(NodeContext& ctx) override { Send(ctx); }
+
+  void Round(NodeContext& ctx) override {
+    FoldInbox(ctx, digest_[ctx.id()]);
+    Send(ctx);
+  }
+
+  const std::vector<std::uint64_t>& digest() const { return digest_; }
+
+ private:
+  void Send(NodeContext& ctx) {
+    const auto nbrs = ctx.neighbors();
+    const NodeId v = ctx.id();
+    const auto r = static_cast<std::size_t>(ctx.round());
+    if (nbrs.size() == 1) {
+      // Leaf: funnel into the hub.
+      ctx.Send(nbrs[0].to, {static_cast<double>(v), static_cast<double>(r)});
+    } else if (!nbrs.empty()) {
+      // Hub: answer one leaf, rotating.
+      ctx.Send(nbrs[r % nbrs.size()].to, {static_cast<double>(r)});
+    }
+  }
+
+  std::vector<std::uint64_t> digest_;
+};
+
+// Randomized gossip through per-node RNG streams (see
+// scheduler_determinism_test) — used for the power-law + rebalancing
+// case, where the partition changes mid-run.
+class SeededGossip : public distsim::Protocol {
+ public:
+  explicit SeededGossip(NodeId n) : value_(n, 0.0) {}
+
+  void Init(NodeContext& ctx) override {
+    value_[ctx.id()] = ctx.Rng().NextDouble();
+    ctx.Broadcast({value_[ctx.id()]});
+  }
+
+  void Round(NodeContext& ctx) override {
+    const NodeId v = ctx.id();
+    double& x = value_[v];
+    for (const InMessage& m : ctx.Messages()) x += m.payload[0];
+    const auto nbrs = ctx.neighbors();
+    if (!nbrs.empty()) {
+      const std::size_t pick = ctx.Rng().NextBounded(nbrs.size());
+      ctx.Send(nbrs[pick].to, {x + ctx.Rng().NextDouble()});
+    }
+    if (ctx.Rng().NextBool(0.5)) ctx.Broadcast({x});
+  }
+
+  const std::vector<double>& value() const { return value_; }
+
+ private:
+  std::vector<double> value_;
+};
+
+template <typename Proto>
+void RunRounds(Engine& engine, Proto& proto, int rounds) {
+  engine.Start(proto);
+  for (int t = 0; t < rounds; ++t) engine.Step(proto);
+}
+
+class TransportConformance : public ::testing::TestWithParam<TransportKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, TransportConformance,
+    ::testing::Values(TransportKind::kSharedMemory,
+                      TransportKind::kSerialized),
+    [](const ::testing::TestParamInfo<TransportKind>& info) {
+      return distsim::TransportKindName(info.param);
+    });
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+TEST_P(TransportConformance, P2PHeavyMatchesSequentialBaseline) {
+  util::Rng rng(301);
+  const graph::Graph g = graph::BarabasiAlbert(1200, 4, rng);
+  P2PWave base(g.num_nodes());
+  Engine eb(g, 1);
+  RunRounds(eb, base, 12);
+
+  std::vector<std::size_t> reference_bytes;
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    P2PWave p(g.num_nodes());
+    Engine e(g, threads);
+    e.SetParallelCutoff(1);  // force real sharding even at small n
+    e.SetTransport(MakeTransport(GetParam()));
+    RunRounds(e, p, 12);
+    EXPECT_EQ(p.digest(), base.digest());
+    ExpectSameLogicalHistory(e.history(), eb.history());
+    ExpectSameInboxes(e, eb);
+    ExpectWireAccounting(e, GetParam());
+    if (GetParam() == TransportKind::kSerialized) {
+      // Every round staged p2p, so every round has wire traffic...
+      for (const RoundStats& r : e.history()) {
+        EXPECT_GT(r.bytes_sent, 0u) << "round " << r.round;
+      }
+      // ...and the byte counts are partition-independent: identical at
+      // every thread count.
+      if (reference_bytes.empty()) {
+        reference_bytes = BytesPerRound(e);
+      } else {
+        EXPECT_EQ(BytesPerRound(e), reference_bytes);
+      }
+    }
+  }
+}
+
+TEST_P(TransportConformance, BroadcastOnlyNeverTouchesTheWire) {
+  util::Rng rng(302);
+  const graph::Graph g = graph::BarabasiAlbert(1000, 3, rng);
+  BroadcastOnly base(g.num_nodes());
+  Engine eb(g, 1);
+  RunRounds(eb, base, 10);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    BroadcastOnly p(g.num_nodes());
+    Engine e(g, threads);
+    e.SetParallelCutoff(1);
+    e.SetTransport(MakeTransport(GetParam()));
+    RunRounds(e, p, 10);
+    EXPECT_EQ(p.digest(), base.digest());
+    ExpectSameLogicalHistory(e.history(), eb.history());
+    // No p2p staged => the transport is never invoked: zero wire volume
+    // for EVERY kind, serialized included.
+    for (const RoundStats& r : e.history()) {
+      EXPECT_EQ(r.bytes_sent, 0u) << "round " << r.round;
+      EXPECT_EQ(r.bytes_received, 0u) << "round " << r.round;
+    }
+  }
+}
+
+TEST_P(TransportConformance, EmptyRoundsClearStaleInboxes) {
+  util::Rng rng(303);
+  const graph::Graph g = graph::BarabasiAlbert(900, 3, rng);
+  BurstySilence base(g.num_nodes());
+  Engine eb(g, 1);
+  RunRounds(eb, base, 14);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    BurstySilence p(g.num_nodes());
+    Engine e(g, threads);
+    e.SetParallelCutoff(1);
+    e.SetTransport(MakeTransport(GetParam()));
+    RunRounds(e, p, 14);
+    EXPECT_EQ(p.digest(), base.digest());
+    ExpectSameLogicalHistory(e.history(), eb.history());
+    ExpectSameInboxes(e, eb);
+    ExpectWireAccounting(e, GetParam());
+  }
+}
+
+TEST_P(TransportConformance, SelfLoopFreeStarFunnel) {
+  const graph::Graph g = graph::Star(600);
+  ASSERT_FALSE(g.has_self_loops());
+  StarFunnel base(g.num_nodes());
+  Engine eb(g, 1);
+  RunRounds(eb, base, 12);
+  // The hub really concentrates the traffic.
+  ASSERT_EQ(eb.inbox(0).size(), 599u);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    StarFunnel p(g.num_nodes());
+    Engine e(g, threads);
+    e.SetParallelCutoff(1);
+    e.SetTransport(MakeTransport(GetParam()));
+    RunRounds(e, p, 12);
+    EXPECT_EQ(p.digest(), base.digest());
+    ExpectSameLogicalHistory(e.history(), eb.history());
+    ExpectSameInboxes(e, eb);
+    ExpectWireAccounting(e, GetParam());
+  }
+}
+
+TEST_P(TransportConformance, PowerLawWithRebalancingGossip) {
+  util::Rng rng(304);
+  const graph::Graph g = graph::PowerLawConfiguration(1500, 2.1, 2, 150, rng);
+  SeededGossip base(g.num_nodes());
+  Engine eb(g, 1);
+  eb.SetSeed(777);
+  RunRounds(eb, base, 15);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    SeededGossip p(g.num_nodes());
+    Engine e(g, threads);
+    e.SetSeed(777);
+    e.SetParallelCutoff(1);
+    // Weighted shards rebuilt every 3 rounds: the serialized pack/unpack
+    // partition changes mid-run; results must not care.
+    e.SetShardBalancing(true);
+    e.SetRebalanceInterval(3);
+    e.SetTransport(MakeTransport(GetParam()));
+    RunRounds(e, p, 15);
+    EXPECT_EQ(p.value(), base.value());
+    ExpectSameLogicalHistory(e.history(), eb.history());
+    ExpectSameInboxes(e, eb);
+    ExpectWireAccounting(e, GetParam());
+  }
+}
+
+TEST_P(TransportConformance, CompactCorenessAcrossThreadCounts) {
+  util::Rng rng(305);
+  const graph::Graph g = graph::BarabasiAlbert(800, 4, rng);
+  core::CompactOptions base_opts;
+  base_opts.rounds = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  const core::CompactResult base = core::RunCompactElimination(g, base_opts);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    core::CompactOptions opts = base_opts;
+    opts.num_threads = threads;
+    opts.transport = GetParam();
+    const core::CompactResult res = core::RunCompactElimination(g, opts);
+    EXPECT_EQ(res.b, base.b);
+    ExpectSameLogicalHistory(res.history, base.history);
+  }
+}
+
+TEST_P(TransportConformance, MontresorCorenessAcrossThreadCounts) {
+  util::Rng rng(306);
+  const graph::Graph g = graph::BarabasiAlbert(800, 3, rng);
+  const core::ConvergenceResult base = core::RunToConvergence(g, -1, 1);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    const core::ConvergenceResult res = core::RunToConvergence(
+        g, -1, threads, distsim::kDefaultMasterSeed, /*balance_shards=*/false,
+        GetParam());
+    EXPECT_EQ(res.coreness, base.coreness);
+    EXPECT_EQ(res.rounds_executed, base.rounds_executed);
+    ExpectSameLogicalHistory(res.history, base.history);
+  }
+}
+
+}  // namespace
+}  // namespace kcore

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -10,6 +13,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/wire.h"
 
 namespace kcore {
 namespace {
@@ -296,6 +300,177 @@ TEST(Flags, MalformedNumbersFallBackToDefault) {
   EXPECT_FALSE(b.GetBool("cap", false));
   EXPECT_FALSE(b.GetBool("off", true));
   EXPECT_TRUE(b.GetBool("verbose", false));
+}
+
+// --- util::Wire (varint codec behind the serialized transport) ----------
+
+// Round-trips x through a buffer sized by VarintSize and checks the
+// written length matches the prediction.
+void RoundTripVarint(std::uint64_t x, std::size_t expected_bytes) {
+  ASSERT_EQ(util::VarintSize(x), expected_bytes) << "x=" << x;
+  std::vector<std::uint8_t> buf(expected_bytes);
+  util::WireWriter w(buf.data(), buf.data() + buf.size());
+  w.Varint(x);
+  ASSERT_EQ(w.written(), expected_bytes) << "x=" << x;
+  util::WireReader r(buf.data(), buf.size());
+  std::uint64_t back = 0;
+  ASSERT_TRUE(r.TryVarint(&back)) << "x=" << x;
+  EXPECT_EQ(back, x);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(Wire, VarintBoundaries) {
+  // Group boundaries: 7-bit, 14-bit, 32-bit edges, and the 64-bit max.
+  RoundTripVarint(0, 1);
+  RoundTripVarint(1, 1);
+  RoundTripVarint((1ull << 7) - 1, 1);  // 127: last 1-byte value
+  RoundTripVarint(1ull << 7, 2);        // 128: first 2-byte value
+  RoundTripVarint((1ull << 7) + 1, 2);
+  RoundTripVarint((1ull << 14) - 1, 2);
+  RoundTripVarint(1ull << 14, 3);
+  RoundTripVarint((1ull << 14) + 1, 3);
+  RoundTripVarint((1ull << 32) - 1, 5);
+  RoundTripVarint(1ull << 32, 5);
+  RoundTripVarint((1ull << 32) + 1, 5);
+  RoundTripVarint(std::numeric_limits<std::uint64_t>::max(),
+                  util::kMaxVarintBytes);
+}
+
+TEST(Wire, VarintRandomRoundTrips) {
+  // Fixed-seed fuzz across all magnitudes: mask a random word down to a
+  // random bit width so every encoded length is exercised.
+  util::Rng rng(41);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t width = 1 + rng.NextBounded(64);
+    const std::uint64_t x =
+        rng.Next() & (width == 64 ? ~0ull : (1ull << width) - 1);
+    RoundTripVarint(x, util::VarintSize(x));
+  }
+}
+
+TEST(Wire, TruncatedVarintFailsWithoutDeath) {
+  // Every strict prefix of a maximal varint must TryVarint -> false (and
+  // latch the failed flag), never decode to a wrong value.
+  std::vector<std::uint8_t> buf(util::kMaxVarintBytes);
+  util::WireWriter w(buf.data(), buf.data() + buf.size());
+  w.Varint(std::numeric_limits<std::uint64_t>::max());
+  ASSERT_EQ(w.written(), util::kMaxVarintBytes);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    util::WireReader r(buf.data(), len);
+    std::uint64_t x = 0;
+    EXPECT_FALSE(r.TryVarint(&x)) << "prefix length " << len;
+    EXPECT_TRUE(r.failed()) << "prefix length " << len;
+    // Once failed, everything else fails too (the decode-loop contract).
+    double d = 0.0;
+    EXPECT_FALSE(r.TryDouble(&d));
+  }
+}
+
+TEST(Wire, OverlongVarintRejected) {
+  // Ten continuation bytes would need bits past 2^64 — reject, never wrap.
+  std::vector<std::uint8_t> buf(util::kMaxVarintBytes + 1, 0x80);
+  buf.back() = 0x00;
+  util::WireReader r(buf.data(), buf.size());
+  std::uint64_t x = 0;
+  EXPECT_FALSE(r.TryVarint(&x));
+  EXPECT_TRUE(r.failed());
+  // A 10th byte carrying bits beyond bit 63 is likewise malformed.
+  std::vector<std::uint8_t> high(util::kMaxVarintBytes, 0x80);
+  high.back() = 0x02;  // bit 64
+  util::WireReader r2(high.data(), high.size());
+  EXPECT_FALSE(r2.TryVarint(&x));
+}
+
+TEST(Wire, CheckedReadsDieOnMalformedBuffers) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const std::uint8_t truncated[] = {0x80, 0x80};  // continuation, no end
+  EXPECT_DEATH(
+      {
+        util::WireReader r(truncated, sizeof(truncated));
+        (void)r.Varint();
+      },
+      "truncated or overlong varint");
+  const std::uint8_t short_fixed[] = {1, 2, 3};
+  EXPECT_DEATH(
+      {
+        util::WireReader r(short_fixed, sizeof(short_fixed));
+        (void)r.Double();
+      },
+      "truncated fixed64");
+}
+
+TEST(Wire, WriterDiesOnOverflow) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        std::uint8_t buf[1];
+        util::WireWriter w(buf, buf + sizeof(buf));
+        w.Varint(1ull << 7);  // needs 2 bytes
+      },
+      "WireWriter overflow");
+}
+
+TEST(Wire, DoubleBitsRoundTripExactly) {
+  // Bit patterns, not values: -0.0, denormals, infinities, and NaN all
+  // come back with identical bits (the transport's determinism needs
+  // this, and NaN != NaN would hide a value-level comparison bug).
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.5,
+                          -1.0 / 3.0,
+                          1e-310,  // denormal
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::max()};
+  for (double d : cases) {
+    std::vector<std::uint8_t> buf(8);
+    util::WireWriter w(buf.data(), buf.data() + buf.size());
+    w.Double(d);
+    util::WireReader r(buf.data(), buf.size());
+    double back = 0.0;
+    ASSERT_TRUE(r.TryDouble(&back));
+    std::uint64_t want = 0, got = 0;
+    std::memcpy(&want, &d, sizeof(want));
+    std::memcpy(&got, &back, sizeof(got));
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(Wire, RandomPayloadRoundTrips) {
+  // Message-shaped round trips from a fixed-seed Rng: varint header
+  // fields plus a fixed64 payload, written back to back the way the
+  // serialized transport packs a segment.
+  util::Rng rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = rng.NextBounded(6);
+    const std::uint64_t from = rng.NextBounded(1u << 20);
+    const std::uint64_t to = rng.NextBounded(1u << 20);
+    std::vector<double> payload(len);
+    for (double& x : payload) x = rng.NextDouble(-1e6, 1e6);
+
+    const std::size_t bytes = util::VarintSize(from) + util::VarintSize(to) +
+                              util::VarintSize(len) + 8 * len;
+    std::vector<std::uint8_t> buf(bytes);
+    util::WireWriter w(buf.data(), buf.data() + buf.size());
+    w.Varint(from);
+    w.Varint(to);
+    w.Varint(len);
+    for (double x : payload) w.Double(x);
+    ASSERT_EQ(w.written(), bytes);
+
+    util::WireReader r(buf.data(), buf.size());
+    EXPECT_EQ(r.Varint(), from);
+    EXPECT_EQ(r.Varint(), to);
+    const std::uint64_t got_len = r.Varint();
+    ASSERT_EQ(got_len, len);
+    for (std::size_t k = 0; k < len; ++k) {
+      EXPECT_EQ(r.Double(), payload[k]);
+    }
+    EXPECT_EQ(r.remaining(), 0u);
+    EXPECT_FALSE(r.failed());
+  }
 }
 
 TEST(RoundDownToPower, Basics) {
