@@ -284,7 +284,26 @@ int RunBalancedDeterminism(const graph::Graph& g, const char* name,
   std::printf("  %-10s balanced 8-thread serialized: %s (bytes_sent=%zu)\n",
               name, ser_ok ? "bit-identical" : "MISMATCH — BUG",
               st.bytes_sent);
-  return shm_ok && ser_ok ? 0 : 1;
+
+  // The multi-process backend: 4 forked worker ranks under a sequential
+  // engine (ranks are orthogonal to threads), every staged byte crossing
+  // real process boundaries over socketpairs. Byte accounting must match
+  // the serialized run exactly — the segment encoding is shared.
+  GossipStress proc(g.num_nodes());
+  distsim::Engine ep(g, 1);
+  ep.SetSeed(kMasterSeed);
+  ep.SetTransport(distsim::MakeTransport(distsim::TransportKind::kProcess));
+  ep.SetRankCount(4);
+  ep.Start(proc);
+  for (int t = 0; t < rounds; ++t) ep.Step(proc);
+  const distsim::Totals pt = ep.totals();
+  const bool proc_ok = ref.digest() == proc.digest() &&
+                       pt.bytes_sent == pt.bytes_received &&
+                       pt.bytes_sent == st.bytes_sent;
+  std::printf("  %-10s 4-rank process exchange:      %s (bytes_sent=%zu)\n",
+              name, proc_ok ? "bit-identical" : "MISMATCH — BUG",
+              pt.bytes_sent);
+  return shm_ok && ser_ok && proc_ok ? 0 : 1;
 }
 
 int RunShardBalance(const graph::Graph& ba) {

@@ -14,10 +14,12 @@
 // (results are bit-identical to --threads=1). --balance=true adds
 // degree-weighted shard balancing, which evens per-worker load on
 // heavy-tailed graphs (still bit-identical).
-// --transport={shared,serialized} picks the simulator's message
-// transport: the zero-copy shared-memory path (default) or the
-// serialized pack/alltoallv/unpack path that reports real wire bytes
-// (still bit-identical).
+// --transport={shared,serialized,process} picks the simulator's message
+// transport: the zero-copy shared-memory path (default), the serialized
+// pack/alltoallv/unpack path that reports real wire bytes, or the
+// multi-process backend that forks --ranks worker processes and
+// exchanges over Unix-domain socketpairs (all bit-identical; see
+// docs/TRANSPORTS.md).
 //
 // Examples:
 //   kcore_tool generate --graph=ba --n=5000 --out=/tmp/ba.txt
@@ -105,6 +107,7 @@ int CmdCoreness(const Flags& flags) {
   opts.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   opts.balance_shards = flags.GetBool("balance", false);
   opts.transport = kcore::examples::TransportFromFlags(flags);
+  opts.ranks = kcore::examples::RanksFromFlags(flags);
   const auto res = kcore::core::RunCompactElimination(g, opts);
   const auto exact = kcore::seq::WeightedCoreness(g);
   std::vector<double> ratios;
@@ -118,7 +121,7 @@ int CmdCoreness(const Flags& flags) {
   if (flags.GetBool("montresor")) {
     const auto conv = kcore::core::RunToConvergence(
         g, -1, opts.num_threads, opts.seed, opts.balance_shards,
-        opts.transport);
+        opts.transport, opts.ranks);
     std::printf("run-to-exact (Montresor): %d rounds, %zu messages\n",
                 conv.last_change_round, conv.totals.messages);
   }
@@ -147,13 +150,14 @@ int CmdOrientation(const Flags& flags) {
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
   const bool balance = flags.GetBool("balance", false);
   const auto transport = kcore::examples::TransportFromFlags(flags);
+  const int ranks = kcore::examples::RanksFromFlags(flags);
   const int T = kcore::core::RoundsForEpsilon(g.num_nodes(), eps);
   const double rho = kcore::seq::MaxDensity(g);
   const auto ours = kcore::core::RunDistributedOrientation(
       g, T, kcore::core::ConflictRule::kLowerLoad, threads);
   const auto two_phase = kcore::core::RunTwoPhaseOrientation(
       g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance,
-      transport);
+      transport, ranks);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
   kcore::util::Table t({"method", "max load", "load/rho*", "rounds"});
@@ -232,18 +236,44 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
-void Usage() {
-  std::fprintf(
-      stderr,
-      "usage: kcore_tool <coreness|orientation|densest|decompose|stats|"
-      "generate> [--file=PATH | --graph=KIND --n=N --seed=S] [options]\n");
-}
+constexpr const char kUsage[] =
+    "usage: kcore_tool <coreness|orientation|densest|decompose|stats|"
+    "generate>\n"
+    "                  [--file=PATH | --graph=KIND --n=N --seed=S] "
+    "[options]\n"
+    "\n"
+    "Graph input:\n"
+    "  --file=PATH     edge list \"u v [w]\"\n"
+    "  --graph=KIND    ba|er|ws|powerlaw|rmat|community  [--n=N] "
+    "[--seed=S]\n"
+    "\n"
+    "Simulator options (coreness / orientation):\n"
+    "  --eps=E         approximation slack (default 0.5)\n"
+    "  --lambda=L      Lambda-discretization parameter (coreness)\n"
+    "  --threads=K     round-scheduler pool workers (bit-identical "
+    "results)\n"
+    "  --balance=BOOL  degree-weighted shard balancing\n"
+    "  --transport=T   shared|serialized|process message transport\n"
+    "  --ranks=R       worker processes for --transport=process "
+    "(default 1)\n"
+    "  --montresor     also run the run-to-convergence baseline "
+    "(coreness)\n"
+    "  --out=PATH      write per-node results (coreness) / generated "
+    "graph (generate)\n"
+    "  --gamma=G       density slack (densest)\n"
+    "  --help          this text\n";
+
+void Usage() { std::fputs(kUsage, stderr); }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
   flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   if (flags.positional().empty()) {
     Usage();
     return 2;

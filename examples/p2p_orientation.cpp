@@ -11,13 +11,17 @@
 //   * the two-phase Barenboim-Elkin-style baseline.
 //
 // Usage: p2p_orientation [--n=1500] [--eps=0.5] [--seed=3] [--threads=1]
-//                        [--balance=false] [--transport=shared|serialized]
+//                        [--balance=false]
+//                        [--transport=shared|serialized|process]
+//                        [--ranks=1]
 //
 // --balance=true turns on the engine's degree-weighted shard balancing
 // (results are bit-identical; on this heavy-tailed overlay it evens out
 // per-thread load). --transport=serialized routes the simulator's p2p
 // traffic through the serialized pack/alltoallv/unpack transport
-// (bit-identical results; reports real wire bytes).
+// (bit-identical results; reports real wire bytes);
+// --transport=process forks --ranks worker processes and exchanges over
+// Unix-domain socketpairs (see docs/TRANSPORTS.md).
 #include <cstdio>
 
 #include "core/compact.h"
@@ -34,6 +38,15 @@
 int main(int argc, char** argv) {
   kcore::util::Flags flags;
   flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(
+        "usage: p2p_orientation [--n=1500] [--eps=0.5] [--seed=3]\n"
+        "                       [--threads=1] [--balance=false]\n"
+        "                       [--transport=shared|serialized|process]\n"
+        "                       [--ranks=1] [--help]\n",
+        stdout);
+    return 0;
+  }
   const auto n = static_cast<kcore::graph::NodeId>(flags.GetInt("n", 1500));
   const double eps = flags.GetDouble("eps", 0.5);
   kcore::util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 3)));
@@ -53,11 +66,12 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
   const bool balance = flags.GetBool("balance", false);
   const auto transport = kcore::examples::TransportFromFlags(flags);
+  const int ranks = kcore::examples::RanksFromFlags(flags);
   const auto ours = kcore::core::RunDistributedOrientation(
       g, T, kcore::core::ConflictRule::kLowerLoad, threads);
   const auto two_phase = kcore::core::RunTwoPhaseOrientation(
       g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance,
-      transport);
+      transport, ranks);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
 

@@ -10,13 +10,16 @@
 //
 // Usage: social_influence [--n=2000] [--eps=0.5] [--seed=7] [--topk=25]
 //                         [--threads=1] [--balance=false]
-//                         [--transport=shared|serialized]
+//                         [--transport=shared|serialized|process]
+//                         [--ranks=1]
 //
 // --balance=true enables degree-weighted shard balancing in the round
 // scheduler (bit-identical results; evens per-thread load on this
 // heavy-tailed graph). --transport=serialized routes the simulator's p2p
 // traffic through the serialized pack/alltoallv/unpack transport
-// (bit-identical results; reports real wire bytes).
+// (bit-identical results; reports real wire bytes);
+// --transport=process forks --ranks worker processes and exchanges over
+// Unix-domain socketpairs (see docs/TRANSPORTS.md).
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
@@ -86,6 +89,16 @@ double MeanCascadeOf(const Graph& g, const std::vector<NodeId>& seeds,
 int main(int argc, char** argv) {
   kcore::util::Flags flags;
   flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(
+        "usage: social_influence [--n=2000] [--eps=0.5] [--seed=7]\n"
+        "                        [--topk=25] [--threads=1] "
+        "[--balance=false]\n"
+        "                        [--transport=shared|serialized|process]\n"
+        "                        [--ranks=1] [--help]\n",
+        stdout);
+    return 0;
+  }
   const auto n = static_cast<NodeId>(flags.GetInt("n", 2000));
   const double eps = flags.GetDouble("eps", 0.5);
   const int topk = static_cast<int>(flags.GetInt("topk", 25));
@@ -106,6 +119,7 @@ int main(int argc, char** argv) {
   // round when threading; bit-identical results either way.
   opts.balance_shards = flags.GetBool("balance", false);
   opts.transport = kcore::examples::TransportFromFlags(flags);
+  opts.ranks = kcore::examples::RanksFromFlags(flags);
   const auto res = kcore::core::RunCompactElimination(g, opts);
   std::printf("distributed coreness estimate: %d rounds, %zu messages\n", T,
               res.totals.messages);

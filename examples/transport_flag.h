@@ -1,7 +1,8 @@
-// Shared --transport flag handling for the example binaries: parses
-// --transport={shared,serialized} (default shared) and exits with a
-// usage error on anything else, so all examples reject junk the same
-// way.
+// Shared --transport / --ranks flag handling for the example binaries:
+// parses --transport={shared,serialized,process} (default shared) and
+// --ranks=N (default 1, the worker-process count for the process
+// transport), exiting with a usage error on anything else, so all
+// examples reject junk the same way.
 #pragma once
 
 #include <cstdio>
@@ -17,12 +18,31 @@ inline distsim::TransportKind TransportFromFlags(const util::Flags& flags) {
   const std::string name = flags.GetString("transport", "shared");
   distsim::TransportKind kind = distsim::TransportKind::kSharedMemory;
   if (!distsim::ParseTransportKind(name, &kind)) {
-    std::fprintf(stderr,
-                 "error: unknown --transport=%s (want shared|serialized)\n",
-                 name.c_str());
+    std::fprintf(
+        stderr,
+        "error: unknown --transport=%s (want shared|serialized|process)\n",
+        name.c_str());
     std::exit(2);
   }
   return kind;
+}
+
+// Rank topology for multi-process transports (distsim ::
+// Engine::SetRankCount): how many worker processes --transport=process
+// forks. Ignored by the in-process transports. The cap keeps the
+// socketpair topology inside common descriptor limits: R ranks need one
+// process each plus R(R-1)/2 peer socketpairs, so the parent briefly
+// holds ~R^2 descriptors while forking — 16 ranks is ~270 fds, safely
+// under the usual 1024 RLIMIT_NOFILE (ProcessTransport::Start also
+// checks the actual rlimit up front).
+inline int RanksFromFlags(const util::Flags& flags) {
+  const std::int64_t ranks = flags.GetInt("ranks", 1);
+  if (ranks < 1 || ranks > 16) {
+    std::fprintf(stderr, "error: --ranks=%lld out of range [1, 16]\n",
+                 static_cast<long long>(ranks));
+    std::exit(2);
+  }
+  return static_cast<int>(ranks);
 }
 
 }  // namespace kcore::examples

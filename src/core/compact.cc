@@ -116,6 +116,7 @@ CompactResult RunCompactElimination(const graph::Graph& g,
   engine.SetShardBalancing(opts.balance_shards);
   engine.SetRebalanceInterval(opts.rebalance_rounds);
   engine.SetTransport(distsim::MakeTransport(opts.transport));
+  engine.SetRankCount(opts.ranks);
   CompactElimination proto(g, opts);
   CompactResult out;
   engine.Start(proto);

@@ -53,6 +53,12 @@ struct CompactOptions {
   // serialized pack/alltoallv/unpack path that reports real wire volume.
   // Results are bit-identical either way.
   distsim::TransportKind transport = distsim::TransportKind::kSharedMemory;
+  // Rank topology for multi-process transports (see
+  // distsim::Engine::SetRankCount): the number of worker processes the
+  // process transport forks / node-ownership ranges the exchange is
+  // segmented by. In-process transports ignore it; results are
+  // bit-identical at any rank count.
+  int ranks = 1;
   // Master seed for the engine's per-node RNG streams. Algorithm 2 itself
   // is deterministic; the seed exists so randomized protocol variants
   // layered on this path (and the engine they share) stay replayable.

@@ -7,7 +7,8 @@ namespace kcore::core {
 ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
                                    int num_threads, std::uint64_t seed,
                                    bool balance_shards,
-                                   distsim::TransportKind transport) {
+                                   distsim::TransportKind transport,
+                                   int ranks) {
   if (max_rounds < 0) {
     max_rounds = static_cast<int>(g.num_nodes()) + 2;
   }
@@ -21,6 +22,7 @@ ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
   engine.SetSeed(seed);
   engine.SetShardBalancing(balance_shards);
   engine.SetTransport(distsim::MakeTransport(transport));
+  engine.SetRankCount(ranks);
   ConvergenceResult out;
   out.rounds_executed = engine.RunUntilQuiescent(proto, max_rounds);
   out.coreness = proto.b();

@@ -37,11 +37,14 @@ struct ConvergenceResult {
 // `balance_shards` enables the engine's degree-weighted shard balancing
 // (bit-identical results, better thread utilization on skewed graphs);
 // `transport` picks the simulator's message transport (bit-identical
-// results for every transport — only the wire accounting differs).
+// results for every transport — only the wire accounting differs);
+// `ranks` sets the rank topology for multi-process transports (see
+// distsim::Engine::SetRankCount — ignored by in-process transports).
 ConvergenceResult RunToConvergence(
     const graph::Graph& g, int max_rounds = -1, int num_threads = 1,
     std::uint64_t seed = distsim::kDefaultMasterSeed,
     bool balance_shards = false,
-    distsim::TransportKind transport = distsim::TransportKind::kSharedMemory);
+    distsim::TransportKind transport = distsim::TransportKind::kSharedMemory,
+    int ranks = 1);
 
 }  // namespace kcore::core

@@ -57,7 +57,8 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
                                       double eps, int max_phase2_rounds,
                                       int num_threads, std::uint64_t seed,
                                       bool balance_shards,
-                                      distsim::TransportKind transport) {
+                                      distsim::TransportKind transport,
+                                      int ranks) {
   KCORE_CHECK_MSG(eps > 0.0, "eps must be positive");
   CompactOptions copts;
   copts.rounds = phase1_rounds;
@@ -65,6 +66,7 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
   copts.seed = seed;
   copts.balance_shards = balance_shards;
   copts.transport = transport;
+  copts.ranks = ranks;
   CompactResult compact = RunCompactElimination(g, copts);
 
   TwoPhaseResult out;
@@ -93,6 +95,7 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
   engine.SetSeed(seed);
   engine.SetShardBalancing(balance_shards);
   engine.SetTransport(distsim::MakeTransport(transport));
+  engine.SetRankCount(ranks);
   engine.Start(peel);
   int rounds = 0;
   while (rounds < max_phase2_rounds) {

@@ -46,12 +46,15 @@ struct TwoPhaseResult {
 // turns on degree-weighted shard balancing in both phases (bit-identical
 // results, better thread utilization on skewed graphs); `transport`
 // picks both phases' message transport (bit-identical results for every
-// transport — only the wire accounting differs).
+// transport — only the wire accounting differs); `ranks` sets the rank
+// topology for multi-process transports in both phases (see
+// distsim::Engine::SetRankCount — ignored by in-process transports).
 TwoPhaseResult RunTwoPhaseOrientation(
     const graph::Graph& g, int phase1_rounds, double eps,
     int max_phase2_rounds = -1, int num_threads = 1,
     std::uint64_t seed = distsim::kDefaultMasterSeed,
     bool balance_shards = false,
-    distsim::TransportKind transport = distsim::TransportKind::kSharedMemory);
+    distsim::TransportKind transport = distsim::TransportKind::kSharedMemory,
+    int ranks = 1);
 
 }  // namespace kcore::core

@@ -118,6 +118,13 @@ void Engine::SetTransport(std::unique_ptr<Transport> transport) {
   transport_ = std::move(transport);
 }
 
+void Engine::SetRankCount(int ranks) {
+  KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
+                  "SetRankCount() must precede Start()");
+  KCORE_CHECK_MSG(ranks >= 1, "rank count must be >= 1, got " << ranks);
+  num_ranks_ = ranks;
+}
+
 void Engine::BuildShardBounds() {
   const NodeId n = graph_.num_nodes();
   std::vector<std::uint64_t> weights(n);
@@ -345,6 +352,8 @@ void Engine::CollectRound(int round) {
     ctx.inbox = &inbox_;
     ctx.counts = parallel ? p2p_offsets_.data() : nullptr;
     ctx.shard_sent = parallel ? shard_sent_.data() : nullptr;
+    ctx.num_ranks = num_ranks_;
+    ctx.rank_bounds = rank_bounds_.data();
     const WireVolume wire = transport_->Exchange(ctx);
     stats.bytes_sent = wire.bytes_sent;
     stats.bytes_received = wire.bytes_received;
@@ -391,6 +400,19 @@ void Engine::ComputePhase(Protocol& p, int round) {
 void Engine::Start(Protocol& p) {
   KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
                   "Start() must be the first call");
+  // Rank topology: the equal-count ownership split, mirroring
+  // ActiveBounds' equal-count construction but fixed for the whole run.
+  // The transport's Start() hook runs BEFORE the first compute phase —
+  // and therefore before the engine lazily creates its thread pool — so
+  // a forking backend (ProcessTransport) forks while this engine has
+  // spawned no threads.
+  const NodeId n = graph_.num_nodes();
+  rank_bounds_.resize(static_cast<std::size_t>(num_ranks_) + 1);
+  for (int r = 0; r < num_ranks_; ++r) {
+    rank_bounds_[r] = ThreadPool::ShardBounds(0, n, r, num_ranks_).first;
+  }
+  rank_bounds_[num_ranks_] = n;
+  transport_->Start(n, num_ranks_, rank_bounds_.data());
   ComputePhase(p, 0);
   CollectRound(0);
 }

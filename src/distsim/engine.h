@@ -57,11 +57,16 @@
 //          exactly the counts/displacements/pack/unpack contract an
 //          MPI_Alltoallv backend needs, at any thread count. RoundStats
 //          reports the packed bytes as bytes_sent / bytes_received.
+//        * ProcessTransport (process_transport.h): the same contract
+//          with the address-space boundary made real — worker processes
+//          forked per rank (SetRankCount) exchange the packed segments
+//          over Unix-domain socketpairs; see docs/ARCHITECTURE.md and
+//          docs/TRANSPORTS.md for the rank topology and frame layout.
 //      Broadcasts stay in the engine's double-buffered shared arrays
-//      under either transport (an MPI process backend would additionally
-//      fan each broadcast out once per neighbor-owning rank; that is the
-//      remaining piece, see ROADMAP). Rounds that stage no p2p traffic
-//      never invoke the transport at all.
+//      under every transport (a fully distributed engine would
+//      additionally fan each broadcast out once per neighbor-owning
+//      rank; that is the remaining piece, see ROADMAP). Rounds that
+//      stage no p2p traffic never invoke the transport at all.
 // Protocol::Init(ctx) stages the round-0 broadcasts.
 //
 // Randomness: NodeContext::Rng() hands each node its own util::Rng stream,
@@ -242,6 +247,22 @@ class Engine {
   void SetTransport(std::unique_ptr<Transport> transport);
   const Transport& transport() const { return *transport_; }
 
+  // Rank topology for multi-process transports: node ids are split into
+  // `ranks` equal contiguous ownership ranges (the same arithmetic as
+  // the equal-count thread shards, but FIXED for the whole run and
+  // independent of the per-round partition — an 8-thread engine can run
+  // 2 ranks, a sequential engine 8). Engine::Start() hands the topology
+  // to the transport's Start() hook and every ExchangeContext carries
+  // it; in-process transports ignore it, so results are bit-identical
+  // at any rank count by the same contract that covers thread counts.
+  // Must precede Start(). Default 1.
+  void SetRankCount(int ranks);
+  int num_ranks() const { return num_ranks_; }
+  // The node→rank ownership map: num_ranks() + 1 ascending boundaries,
+  // rank r owns [rank_bounds()[r], rank_bounds()[r+1]). Built at
+  // Start(); empty before.
+  std::span<const std::uint64_t> rank_bounds() const { return rank_bounds_; }
+
   // CONGEST enforcement: once set, staging any message with more than
   // `limit` entries aborts (KCORE_CHECK). The paper's Section II protocols
   // use O(1) reals per message; tests arm this to PROVE compliance rather
@@ -350,6 +371,10 @@ class Engine {
   // Delivers staged p2p traffic each round (SharedMemoryTransport unless
   // SetTransport overrides).
   std::unique_ptr<Transport> transport_;
+  // Rank topology (SetRankCount): equal-count node→rank ownership
+  // boundaries, built at Start(), fixed for the run.
+  int num_ranks_ = 1;
+  std::vector<std::uint64_t> rank_bounds_;
   int round_ = 0;
 
   // Double-buffered broadcasts: prev_ visible to readers, next_ written by

@@ -1,0 +1,566 @@
+#include "distsim/process_transport.h"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/fdio.h"
+#include "util/logging.h"
+#include "util/wire.h"
+
+namespace kcore::distsim {
+
+namespace {
+
+using graph::NodeId;
+
+// Frame opcodes (fixed64, arbitrary distinct tags). A parent->worker
+// frame is: opcode, then for kOpRound the count row (R fixed64: bytes
+// this rank sends to each dst rank), the displacement row (R + 1
+// fixed64 prefix sums — redundant given the counts, and verified by the
+// worker, exactly like an MPI_Alltoallv sdispls array must agree with
+// its sendcounts), then displ[R] contiguous payload bytes.
+constexpr std::uint64_t kOpRound = 0x444e554f52ULL;     // "ROUND"
+constexpr std::uint64_t kOpShutdown = 0x504f5453ULL;    // "STOP"
+
+// ---------------------------------------------------------------------
+// Worker side. Everything below runs in a forked child whose only links
+// to the world are its parent socketpair and one socketpair per peer
+// rank; it inherits the parent's memory copy-on-write but must never
+// rely on it — all data it handles arrives over the sockets. Errors
+// _exit(3) after a one-line stderr note; the parent then sees EOF/EPIPE
+// and reports the rank. Workers never return into the parent's stack:
+// they leave via _exit, skipping destructors and stdio flushes that
+// belong to the parent.
+// ---------------------------------------------------------------------
+
+[[noreturn]] void WorkerDie(int rank, const char* what) {
+  std::fprintf(stderr, "kcore process-transport worker %d: %s (errno=%d)\n",
+               rank, what, errno);
+  _exit(3);
+}
+
+// Per-peer duplex state for the nonblocking alltoallv: each direction is
+// an 8-byte fixed64 length header followed by the raw segment bytes.
+struct PeerIo {
+  int fd = -1;
+  // Outgoing: header + segment, driven by one cursor over both parts.
+  std::uint8_t out_hdr[8];
+  const std::uint8_t* out_body = nullptr;
+  std::size_t out_len = 0;  // body length
+  std::size_t out_off = 0;  // cursor over header + body
+  bool out_done = false;
+  // Incoming: header first, then the body into `in`.
+  std::uint8_t in_hdr[8];
+  std::size_t in_hdr_off = 0;
+  std::vector<std::uint8_t>* in = nullptr;
+  std::size_t in_off = 0;
+  bool in_sized = false;
+  bool in_done = false;
+};
+
+// The peer exchange: every (this rank -> d) segment goes out and every
+// (d -> this rank) segment comes in, all peers concurrently over
+// nonblocking sockets driven by poll. Concurrency is what makes this
+// deadlock-free without a global send/receive schedule: two ranks
+// pushing large segments at each other both drain their receive side
+// while their send side is flow-controlled, so neither blocks forever —
+// the same reason real MPI_Alltoallv implementations progress sends and
+// receives together.
+void ExchangeWithPeers(int rank, int num_ranks, const std::vector<int>& peer,
+                       const std::vector<std::uint8_t>& send_buf,
+                       const std::vector<std::uint64_t>& counts,
+                       const std::vector<std::uint64_t>& displ,
+                       std::vector<std::vector<std::uint8_t>>& recv_seg) {
+  std::vector<PeerIo> io(num_ranks);
+  std::size_t open = 0;
+  for (int d = 0; d < num_ranks; ++d) {
+    if (d == rank) continue;
+    PeerIo& p = io[d];
+    p.fd = peer[d];
+    util::WireWriter w(p.out_hdr, p.out_hdr + 8);
+    w.Fixed64(counts[d]);
+    p.out_body = send_buf.data() + displ[d];
+    p.out_len = counts[d];
+    p.in = &recv_seg[d];
+    ++open;
+  }
+
+  std::vector<struct pollfd> pfds;
+  while (open > 0) {
+    pfds.clear();
+    for (int d = 0; d < num_ranks; ++d) {
+      PeerIo& p = io[d];
+      if (p.fd < 0 || (p.out_done && p.in_done)) continue;
+      short events = 0;
+      if (!p.out_done) events |= POLLOUT;
+      if (!p.in_done) events |= POLLIN;
+      pfds.push_back({p.fd, events, 0});
+    }
+    if (util::PollRetry(pfds.data(), pfds.size(), -1) < 0) {
+      WorkerDie(rank, "poll failed during peer exchange");
+    }
+    for (const struct pollfd& pf : pfds) {
+      // Find the peer this fd belongs to (R is small; linear is fine).
+      int d = 0;
+      while (io[d].fd != pf.fd) ++d;
+      PeerIo& p = io[d];
+
+      // Drain the incoming side first: a peer that hung up (POLLHUP) may
+      // still have bytes queued, and read() distinguishes data from EOF.
+      if (!p.in_done && (pf.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        for (;;) {
+          long got;
+          if (!p.in_sized) {
+            got = util::ReadSome(p.fd, p.in_hdr + p.in_hdr_off,
+                                 8 - p.in_hdr_off);
+            if (got > 0) {
+              p.in_hdr_off += static_cast<std::size_t>(got);
+              if (p.in_hdr_off == 8) {
+                util::WireReader r(p.in_hdr, 8);
+                p.in->resize(r.Fixed64());
+                p.in_sized = true;
+                if (p.in->empty()) {
+                  p.in_done = true;
+                  break;
+                }
+              }
+              continue;
+            }
+          } else {
+            got = util::ReadSome(p.fd, p.in->data() + p.in_off,
+                                 p.in->size() - p.in_off);
+            if (got > 0) {
+              p.in_off += static_cast<std::size_t>(got);
+              if (p.in_off == p.in->size()) {
+                p.in_done = true;
+                break;
+              }
+              continue;
+            }
+          }
+          if (got == 0) break;  // EAGAIN: poll again later
+          WorkerDie(rank, got == util::kReadEof
+                              ? "peer rank died mid-exchange"
+                              : "peer read failed");
+        }
+      }
+
+      if (!p.out_done && (pf.revents & POLLOUT) != 0) {
+        for (;;) {
+          const std::uint8_t* src;
+          std::size_t left;
+          if (p.out_off < 8) {
+            src = p.out_hdr + p.out_off;
+            left = 8 - p.out_off;
+          } else {
+            src = p.out_body + (p.out_off - 8);
+            left = p.out_len - (p.out_off - 8);
+          }
+          const long put = util::WriteSome(p.fd, src, left);
+          if (put < 0) WorkerDie(rank, "peer rank died mid-exchange (write)");
+          if (put == 0) break;  // flow-controlled: poll again later
+          p.out_off += static_cast<std::size_t>(put);
+          if (p.out_off == 8 + p.out_len) {
+            p.out_done = true;
+            break;
+          }
+        }
+      }
+
+      if (p.out_done && p.in_done) --open;
+    }
+  }
+}
+
+// A worker rank's whole life: read a framed send buffer from the
+// parent, run the peer alltoallv, return the segments addressed to this
+// rank (ascending src order) — until a shutdown frame or parent EOF.
+[[noreturn]] void WorkerMain(int rank, int num_ranks, int parent_fd,
+                             const std::vector<int>& peer) {
+  for (int d = 0; d < num_ranks; ++d) {
+    if (d != rank && !util::SetNonBlocking(peer[d], true)) {
+      WorkerDie(rank, "cannot make peer socket nonblocking");
+    }
+  }
+
+  const int R = num_ranks;
+  std::vector<std::uint8_t> rows(static_cast<std::size_t>(R + R + 1) * 8);
+  std::vector<std::uint64_t> counts(R), displ(R + 1);
+  std::vector<std::uint8_t> send_buf, reply_hdr(static_cast<std::size_t>(R) * 8);
+  std::vector<std::vector<std::uint8_t>> recv_seg(R);
+
+  for (;;) {
+    std::uint8_t op8[8];
+    if (!util::ReadFully(parent_fd, op8, 8)) _exit(0);  // parent gone
+    const std::uint64_t op = util::WireReader(op8, 8).Fixed64();
+    if (op == kOpShutdown) _exit(0);
+    if (op != kOpRound) WorkerDie(rank, "bad opcode from parent");
+
+    // Count row + displacement row, then the contiguous send buffer.
+    if (!util::ReadFully(parent_fd, rows.data(), rows.size())) {
+      WorkerDie(rank, "truncated round frame (rows)");
+    }
+    util::WireReader rr(rows.data(), rows.size());
+    for (int d = 0; d < R; ++d) counts[d] = rr.Fixed64();
+    for (int d = 0; d <= R; ++d) displ[d] = rr.Fixed64();
+    if (displ[0] != 0) WorkerDie(rank, "bad frame: displ[0] != 0");
+    for (int d = 0; d < R; ++d) {
+      if (displ[d + 1] - displ[d] != counts[d]) {
+        WorkerDie(rank, "bad frame: displacements disagree with counts");
+      }
+    }
+    send_buf.resize(displ[R]);
+    if (!send_buf.empty() &&
+        !util::ReadFully(parent_fd, send_buf.data(), send_buf.size())) {
+      WorkerDie(rank, "truncated round frame (payload)");
+    }
+
+    // This rank's own segment still makes the full socket round trip
+    // (parent -> here -> parent); only the peer legs are skipped, as
+    // they would be for the local rank under MPI.
+    recv_seg[rank].assign(send_buf.begin() + static_cast<long>(displ[rank]),
+                          send_buf.begin() +
+                              static_cast<long>(displ[rank] + counts[rank]));
+
+    ExchangeWithPeers(rank, R, peer, send_buf, counts, displ, recv_seg);
+
+    // Reply: per-src received-byte row, then the segments in ascending
+    // src-rank order — the contiguous receive buffer of the alltoallv.
+    util::WireWriter w(reply_hdr.data(), reply_hdr.data() + reply_hdr.size());
+    for (int s = 0; s < R; ++s) w.Fixed64(recv_seg[s].size());
+    if (!util::WriteFully(parent_fd, reply_hdr.data(), reply_hdr.size())) {
+      WorkerDie(rank, "parent died (reply header)");
+    }
+    for (int s = 0; s < R; ++s) {
+      if (!recv_seg[s].empty() &&
+          !util::WriteFully(parent_fd, recv_seg[s].data(),
+                            recv_seg[s].size())) {
+        WorkerDie(rank, "parent died (reply payload)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Parent side.
+// ---------------------------------------------------------------------
+
+std::uint64_t PackRankBuffers(
+    const std::uint64_t* rank_bounds, int num_ranks,
+    std::vector<std::vector<OutMessage>>& outbox,
+    std::vector<std::uint64_t>& seg_bytes,
+    std::vector<std::uint64_t>& send_displ,
+    std::vector<std::vector<std::uint8_t>>& send_buf) {
+  const int R = num_ranks;
+  const std::uint64_t* rb = rank_bounds;
+
+  // Count pass by src rank: exact wire bytes per (src, dst) segment.
+  seg_bytes.assign(static_cast<std::size_t>(R) * R, 0);
+  for (int s = 0; s < R; ++s) {
+    CountSegmentBytes(rb, R, outbox, rb[s], rb[s + 1],
+                      seg_bytes.data() + static_cast<std::size_t>(s) * R);
+  }
+
+  // Displacement rows + send-buffer sizing (MPI_Alltoallv's sdispls).
+  send_displ.assign(static_cast<std::size_t>(R) * (R + 1), 0);
+  send_buf.resize(R);
+  std::uint64_t total_bytes = 0;
+  for (int s = 0; s < R; ++s) {
+    std::uint64_t run = 0;
+    for (int d = 0; d < R; ++d) {
+      send_displ[static_cast<std::size_t>(s) * (R + 1) + d] = run;
+      run += seg_bytes[static_cast<std::size_t>(s) * R + d];
+    }
+    send_displ[static_cast<std::size_t>(s) * (R + 1) + R] = run;
+    send_buf[s].resize(run);
+    total_bytes += run;
+  }
+
+  // Pack pass by src rank — the shared codec, so the segment encoding
+  // (and thus byte accounting) is identical to SerializedTransport's.
+  // Outboxes are consumed here.
+  for (int s = 0; s < R; ++s) {
+    std::vector<util::WireWriter> seg;
+    seg.reserve(R);
+    for (int d = 0; d < R; ++d) {
+      std::uint8_t* base =
+          send_buf[s].data() +
+          send_displ[static_cast<std::size_t>(s) * (R + 1) + d];
+      seg.emplace_back(base,
+                       base + seg_bytes[static_cast<std::size_t>(s) * R + d]);
+    }
+    PackSegments(rb, R, outbox, rb[s], rb[s + 1], seg.data());
+  }
+  return total_bytes;
+}
+
+std::uint64_t UnpackRankBuffers(
+    const std::uint64_t* rank_bounds, int num_ranks,
+    const std::vector<std::uint64_t>& seg_bytes,
+    const std::vector<std::vector<std::uint8_t>>& recv_buf,
+    std::vector<std::vector<InMessage>>& inbox) {
+  const int R = num_ranks;
+  std::uint64_t received = 0;
+  for (int r = 0; r < R; ++r) {
+    std::uint64_t off = 0;
+    for (int s = 0; s < R; ++s) {
+      const std::uint64_t len = seg_bytes[static_cast<std::size_t>(s) * R + r];
+      DecodeSegment(recv_buf[r].data() + off, len, rank_bounds[r],
+                    rank_bounds[r + 1], inbox);
+      off += len;
+    }
+    received += off;
+  }
+  return received;
+}
+
+ProcessTransport::~ProcessTransport() { Shutdown(); }
+
+void ProcessTransport::Start(NodeId n, int num_ranks,
+                             const std::uint64_t* rank_bounds) {
+  KCORE_CHECK_MSG(!started_, "ProcessTransport::Start() called twice");
+  KCORE_CHECK_MSG(num_ranks >= 1, "ProcessTransport needs >= 1 rank, got "
+                                      << num_ranks);
+  n_ = n;
+  num_ranks_ = num_ranks;
+  rank_bounds_.assign(rank_bounds, rank_bounds + num_ranks + 1);
+
+  const int R = num_ranks_;
+  // Fail up front, with an actionable message, rather than mid-topology
+  // with EMFILE: while forking, the parent briefly holds both ends of
+  // every pair — 2R parent<->worker fds plus R(R-1) peer fds.
+  struct rlimit nofile{};
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0) {
+    const std::uint64_t need =
+        2ULL * R + static_cast<std::uint64_t>(R) * (R - 1) + 64;  // headroom
+    KCORE_CHECK_MSG(need <= nofile.rlim_cur,
+                    "ProcessTransport with " << R << " ranks needs ~" << need
+                        << " file descriptors but RLIMIT_NOFILE is "
+                        << nofile.rlim_cur
+                        << " — lower the rank count or raise ulimit -n");
+  }
+  // All socketpairs are created before the first fork so every worker
+  // sees the complete topology and can close exactly what it does not
+  // own. pc[r] = parent<->worker r; pp[i][j] (i < j) = worker i <->
+  // worker j, end [0] for the lower rank.
+  std::vector<std::array<int, 2>> pc(R);
+  std::vector<std::vector<std::array<int, 2>>> pp(R);
+  for (int r = 0; r < R; ++r) {
+    KCORE_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, pc[r].data()) == 0,
+                    "socketpair(parent, rank " << r << ") failed, errno "
+                        << errno);
+    pp[r].assign(R, {-1, -1});
+  }
+  for (int i = 0; i < R; ++i) {
+    for (int j = i + 1; j < R; ++j) {
+      KCORE_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0,
+                                   pp[i][j].data()) == 0,
+                      "socketpair(rank " << i << ", rank " << j
+                                         << ") failed, errno " << errno);
+    }
+  }
+
+  pids_.assign(R, -1);
+  parent_fd_.assign(R, -1);
+  for (int r = 0; r < R; ++r) {
+    const pid_t pid = ::fork();
+    KCORE_CHECK_MSG(pid >= 0, "fork of rank " << r << " failed, errno "
+                                              << errno);
+    if (pid == 0) {
+      // Worker r: keep its parent-pair end and its peer ends, close the
+      // rest (including every other worker's fds, inherited because all
+      // pairs predate every fork).
+      std::vector<int> peer(R, -1);
+      for (int q = 0; q < R; ++q) {
+        ::close(pc[q][0]);
+        if (q != r) ::close(pc[q][1]);
+      }
+      for (int i = 0; i < R; ++i) {
+        for (int j = i + 1; j < R; ++j) {
+          if (i == r) {
+            peer[j] = pp[i][j][0];
+            ::close(pp[i][j][1]);
+          } else if (j == r) {
+            peer[i] = pp[i][j][1];
+            ::close(pp[i][j][0]);
+          } else {
+            ::close(pp[i][j][0]);
+            ::close(pp[i][j][1]);
+          }
+        }
+      }
+      WorkerMain(r, R, pc[r][1], peer);  // never returns
+    }
+    pids_[r] = pid;
+  }
+
+  // Parent keeps only its end of each worker pair; the peer pairs belong
+  // to the workers alone (so a dead worker surfaces as EOF to its peers,
+  // not as a silently-open descriptor here).
+  for (int r = 0; r < R; ++r) {
+    ::close(pc[r][1]);
+    parent_fd_[r] = pc[r][0];
+  }
+  for (int i = 0; i < R; ++i) {
+    for (int j = i + 1; j < R; ++j) {
+      ::close(pp[i][j][0]);
+      ::close(pp[i][j][1]);
+    }
+  }
+  started_ = true;
+}
+
+void ProcessTransport::ReportDeadWorker(int rank, const char* stage) {
+  int status = 0;
+  const pid_t got = ::waitpid(pids_[rank], &status, WNOHANG);
+  std::string detail = "still running (socket error)";
+  if (got == pids_[rank]) {
+    pids_[rank] = -1;  // reaped here; Shutdown must not wait again
+    if (WIFEXITED(status)) {
+      detail = "exited with status " + std::to_string(WEXITSTATUS(status));
+    } else if (WIFSIGNALED(status)) {
+      detail = "killed by signal " + std::to_string(WTERMSIG(status));
+    }
+  } else if (got < 0) {
+    detail = "already reaped";
+  }
+  KCORE_CHECK_MSG(false, "process transport rank " << rank << " died while "
+                             << stage << ": " << detail);
+  ::abort();  // silence "noreturn function returns": the macro hides
+              // CheckFailed's [[noreturn]] behind a conditional
+}
+
+WireVolume ProcessTransport::Exchange(const ExchangeContext& ctx) {
+  KCORE_CHECK_MSG(started_ && !shutdown_,
+                  "ProcessTransport::Exchange outside Start()..Shutdown()");
+  KCORE_CHECK_MSG(ctx.num_ranks == num_ranks_,
+                  "rank topology changed mid-run: Start() saw "
+                      << num_ranks_ << " ranks, Exchange sees "
+                      << ctx.num_ranks);
+  auto& outbox = *ctx.outbox;
+  auto& inbox = *ctx.inbox;
+  const int R = num_ranks_;
+  const std::uint64_t* rb = rank_bounds_.data();
+
+  // Count + pack (shared with the MPI flavor). Runs on the caller — the
+  // parent is the data's home; the per-rank parallelism of this backend
+  // lives in the worker processes.
+  const std::uint64_t total_bytes =
+      PackRankBuffers(rb, R, outbox, seg_bytes_, send_displ_, send_buf_);
+  recv_buf_.resize(R);
+
+  // Ship every src rank its framed send buffer: opcode, count row,
+  // displacement row, contiguous payload.
+  frame_.resize(static_cast<std::size_t>(1 + R + R + 1) * 8);
+  for (int r = 0; r < R; ++r) {
+    util::WireWriter w(frame_.data(), frame_.data() + frame_.size());
+    w.Fixed64(kOpRound);
+    for (int d = 0; d < R; ++d) {
+      w.Fixed64(seg_bytes_[static_cast<std::size_t>(r) * R + d]);
+    }
+    for (int d = 0; d <= R; ++d) {
+      w.Fixed64(send_displ_[static_cast<std::size_t>(r) * (R + 1) + d]);
+    }
+    if (!util::WriteFully(parent_fd_[r], frame_.data(), frame_.size()) ||
+        (!send_buf_[r].empty() &&
+         !util::WriteFully(parent_fd_[r], send_buf_[r].data(),
+                           send_buf_[r].size()))) {
+      ReportDeadWorker(r, "sending its round frame");
+    }
+  }
+
+  // Read every dst rank's combined receive buffer back: per-src count
+  // row (verified against this side's seg_bytes column — the row made
+  // TWO socket hops to get back here), then the concatenated segments.
+  reply_rows_.resize(static_cast<std::size_t>(R) * 8);
+  for (int r = 0; r < R; ++r) {
+    if (!util::ReadFully(parent_fd_[r], reply_rows_.data(),
+                         reply_rows_.size())) {
+      ReportDeadWorker(r, "returning its exchanged segments");
+    }
+    util::WireReader hr(reply_rows_.data(), reply_rows_.size());
+    std::uint64_t total = 0;
+    for (int s = 0; s < R; ++s) {
+      const std::uint64_t got = hr.Fixed64();
+      const std::uint64_t want =
+          seg_bytes_[static_cast<std::size_t>(s) * R + r];
+      KCORE_CHECK_MSG(got == want,
+                      "rank " << r << " returned " << got
+                              << " bytes from src rank " << s << ", expected "
+                              << want << " — segment corrupted in transit");
+      total += got;
+    }
+    recv_buf_[r].resize(total);
+    if (!recv_buf_[r].empty() &&
+        !util::ReadFully(parent_fd_[r], recv_buf_[r].data(),
+                         recv_buf_[r].size())) {
+      ReportDeadWorker(r, "returning its exchanged segments");
+    }
+  }
+
+  // Unpack: inboxes are rebuilt EXCLUSIVELY from the bytes that came
+  // back off the sockets. Clear (and pre-size, when the census ran
+  // parallel) every inbox first, then decode each dst rank's buffer in
+  // ascending src-rank order — ascending src rank x ascending sender id
+  // within a segment = sender-id-sorted inboxes, the conformance
+  // contract.
+  ClearAndReserveInboxes(ctx, 0, n_);
+  UnpackRankBuffers(rb, R, seg_bytes_, recv_buf_, inbox);
+
+  // bytes_received = what actually arrived over the parent sockets. The
+  // per-segment audit already happened above (the reply rows, verified
+  // against this side's seg_bytes columns after two socket hops), and
+  // DecodeSegment checked every segment's structure — so this sum
+  // equals total_bytes by construction rather than by a redundant check.
+  std::uint64_t received = 0;
+  for (int r = 0; r < R; ++r) received += recv_buf_[r].size();
+  return WireVolume{static_cast<std::size_t>(total_bytes),
+                    static_cast<std::size_t>(received)};
+}
+
+bool ProcessTransport::Shutdown() {
+  if (!started_ || shutdown_) return clean_shutdown_;
+  shutdown_ = true;
+  clean_shutdown_ = true;
+  std::uint8_t op8[8];
+  util::WireWriter w(op8, op8 + 8);
+  w.Fixed64(kOpShutdown);
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (parent_fd_[r] >= 0) {
+      // Best-effort: a dead worker just means EPIPE here, which the
+      // reaping below turns into a non-clean status.
+      (void)util::WriteFully(parent_fd_[r], op8, 8);
+      ::close(parent_fd_[r]);
+      parent_fd_[r] = -1;
+    }
+  }
+  for (int r = 0; r < num_ranks_; ++r) {
+    if (pids_[r] < 0) {
+      clean_shutdown_ = false;  // died (and was reaped) mid-run
+      continue;
+    }
+    int status = 0;
+    pid_t got;
+    do {
+      got = ::waitpid(pids_[r], &status, 0);
+    } while (got < 0 && errno == EINTR);
+    if (got != pids_[r] || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      clean_shutdown_ = false;
+    }
+    pids_[r] = -1;
+  }
+  return clean_shutdown_;
+}
+
+}  // namespace kcore::distsim

@@ -15,6 +15,9 @@
 // equal-count one — the bounded ParallelFor/ParallelReduce overloads
 // accept caller-precomputed boundaries (e.g. WeightedShardBounds, which
 // equalizes per-shard cost on skewed inputs) and keep the same guarantee.
+// How the pool slots into the engine's round pipeline (and how thread
+// shards relate to the transport layer's rank partition) is mapped in
+// docs/ARCHITECTURE.md.
 #pragma once
 
 #include <condition_variable>

@@ -5,6 +5,7 @@
 #include <functional>
 #include <span>
 
+#include "distsim/process_transport.h"
 #include "distsim/thread_pool.h"
 #include "util/logging.h"
 #include "util/wire.h"
@@ -34,23 +35,88 @@ void RunSharded(
   }
 }
 
-// Shard owning node u: the s with bounds[s] <= u < bounds[s+1]. (Empty
-// shards [b, b) can never own anything — upper_bound steps past them.)
-int OwnerShard(const ExchangeContext& ctx, NodeId u) {
-  const std::uint64_t* end = ctx.bounds + ctx.num_shards + 1;
-  return static_cast<int>(
-             std::upper_bound(ctx.bounds, end, static_cast<std::uint64_t>(u)) -
-             ctx.bounds) -
-         1;
-}
+}  // namespace
 
-// Wire bytes one message occupies in a serialized segment.
-std::uint64_t MessageBytes(std::uint64_t from, const OutMessage& m) {
+std::uint64_t WireMessageBytes(std::uint64_t from, const OutMessage& m) {
   return util::VarintSize(from) + util::VarintSize(m.to) +
          util::VarintSize(m.payload.size()) + 8 * m.payload.size();
 }
 
-}  // namespace
+// (Empty cells [b, b) can never own anything — upper_bound steps past
+// them.)
+int OwnerIndex(const std::uint64_t* bounds, int cells, NodeId u) {
+  const std::uint64_t* end = bounds + cells + 1;
+  return static_cast<int>(
+             std::upper_bound(bounds, end, static_cast<std::uint64_t>(u)) -
+             bounds) -
+         1;
+}
+
+void CountSegmentBytes(const std::uint64_t* bounds, int cells,
+                       const std::vector<std::vector<OutMessage>>& outbox,
+                       std::uint64_t begin, std::uint64_t end,
+                       std::uint64_t* row) {
+  for (std::uint64_t v = begin; v < end; ++v) {
+    for (const OutMessage& m : outbox[v]) {
+      row[OwnerIndex(bounds, cells, m.to)] += WireMessageBytes(v, m);
+    }
+  }
+}
+
+void PackSegments(const std::uint64_t* bounds, int cells,
+                  std::vector<std::vector<OutMessage>>& outbox,
+                  std::uint64_t begin, std::uint64_t end,
+                  util::WireWriter* seg) {
+  for (std::uint64_t v = begin; v < end; ++v) {
+    for (OutMessage& m : outbox[v]) {
+      util::WireWriter& w = seg[OwnerIndex(bounds, cells, m.to)];
+      w.Varint(v);
+      w.Varint(m.to);
+      w.Varint(m.payload.size());
+      for (double x : m.payload) w.Double(x);
+    }
+    outbox[v].clear();
+  }
+}
+
+void DecodeSegment(const std::uint8_t* data, std::uint64_t len,
+                   std::uint64_t lo, std::uint64_t hi,
+                   std::vector<std::vector<InMessage>>& inbox) {
+  util::WireReader r(data, len);
+  while (r.remaining() > 0) {
+    const NodeId from = static_cast<NodeId>(r.Varint());
+    const NodeId to = static_cast<NodeId>(r.Varint());
+    const std::uint64_t plen = r.Varint();
+    InMessage msg;
+    msg.from = from;
+    msg.payload.resize(plen);
+    for (std::uint64_t k = 0; k < plen; ++k) msg.payload[k] = r.Double();
+    KCORE_CHECK_MSG(to >= lo && to < hi,
+                    "packed segment routed message for receiver "
+                        << to << " to the wrong dst cell ["
+                        << lo << ", " << hi << ")");
+    inbox[to].push_back(std::move(msg));
+  }
+}
+
+void ClearAndReserveInboxes(const ExchangeContext& ctx, std::uint64_t begin,
+                            std::uint64_t end) {
+  auto& inbox = *ctx.inbox;
+  const std::size_t n = ctx.n;
+  for (std::uint64_t u = begin; u < end; ++u) {
+    inbox[u].clear();
+    if (ctx.counts != nullptr) {
+      // Pre-size from the census columns (live rows only).
+      std::uint32_t cnt = 0;
+      for (int s = 0; s < ctx.num_shards; ++s) {
+        if (ctx.shard_sent[s]) {
+          cnt += ctx.counts[static_cast<std::size_t>(s) * n + u];
+        }
+      }
+      inbox[u].reserve(cnt);
+    }
+  }
+}
 
 const char* TransportKindName(TransportKind kind) {
   switch (kind) {
@@ -58,6 +124,8 @@ const char* TransportKindName(TransportKind kind) {
       return "shared";
     case TransportKind::kSerialized:
       return "serialized";
+    case TransportKind::kProcess:
+      return "process";
   }
   return "unknown";
 }
@@ -71,6 +139,10 @@ bool ParseTransportKind(std::string_view name, TransportKind* out) {
     *out = TransportKind::kSerialized;
     return true;
   }
+  if (name == "process") {
+    *out = TransportKind::kProcess;
+    return true;
+  }
   return false;
 }
 
@@ -80,6 +152,8 @@ std::unique_ptr<Transport> MakeTransport(TransportKind kind) {
       return std::make_unique<SharedMemoryTransport>();
     case TransportKind::kSerialized:
       return std::make_unique<SerializedTransport>();
+    case TransportKind::kProcess:
+      return std::make_unique<ProcessTransport>();
   }
   KCORE_CHECK_MSG(false, "unknown TransportKind");
   return nullptr;
@@ -149,7 +223,6 @@ WireVolume SerializedTransport::Exchange(const ExchangeContext& ctx) {
   auto& outbox = *ctx.outbox;
   auto& inbox = *ctx.inbox;
   const int S = ctx.num_shards;
-  const std::size_t n = ctx.n;
 
   seg_bytes_.assign(static_cast<std::size_t>(S) * S, 0);
   send_displ_.assign(static_cast<std::size_t>(S) * (S + 1), 0);
@@ -160,12 +233,8 @@ WireVolume SerializedTransport::Exchange(const ExchangeContext& ctx) {
   // Count pass, sharded by SRC shard: exact wire bytes this shard sends
   // to every dst shard. (Empty shards keep their zeroed row.)
   RunSharded(ctx, [&](int s, std::uint64_t b, std::uint64_t e) {
-    std::uint64_t* row = seg_bytes_.data() + static_cast<std::size_t>(s) * S;
-    for (std::uint64_t v = b; v < e; ++v) {
-      for (const OutMessage& m : outbox[v]) {
-        row[OwnerShard(ctx, m.to)] += MessageBytes(v, m);
-      }
-    }
+    CountSegmentBytes(ctx.bounds, S, outbox, b, e,
+                      seg_bytes_.data() + static_cast<std::size_t>(s) * S);
   });
 
   // Displacement rows (prefix sums per src shard) + send-buffer sizing on
@@ -184,9 +253,8 @@ WireVolume SerializedTransport::Exchange(const ExchangeContext& ctx) {
   }
 
   // Pack pass, sharded by SRC shard: encode every message at its dst
-  // segment's cursor, walking senders in ascending id order — so within
-  // each (src, dst) segment messages are ordered by sender id, staging
-  // order within a sender. Outboxes are consumed here.
+  // segment's cursor (PackSegments walks senders in ascending id order,
+  // so segments come out sender-ordered). Outboxes are consumed here.
   RunSharded(ctx, [&](int s, std::uint64_t b, std::uint64_t e) {
     std::vector<util::WireWriter> seg;
     seg.reserve(S);
@@ -197,16 +265,7 @@ WireVolume SerializedTransport::Exchange(const ExchangeContext& ctx) {
       seg.emplace_back(base,
                        base + seg_bytes_[static_cast<std::size_t>(s) * S + d]);
     }
-    for (std::uint64_t v = b; v < e; ++v) {
-      for (OutMessage& m : outbox[v]) {
-        util::WireWriter& w = seg[OwnerShard(ctx, m.to)];
-        w.Varint(v);
-        w.Varint(m.to);
-        w.Varint(m.payload.size());
-        for (double x : m.payload) w.Double(x);
-      }
-      outbox[v].clear();
-    }
+    PackSegments(ctx.bounds, S, outbox, b, e, seg.data());
   });
 
   // Exchange, sharded by DST shard: gather every src's (src -> dst)
@@ -237,36 +296,11 @@ WireVolume SerializedTransport::Exchange(const ExchangeContext& ctx) {
   // in-segment order (ascending sender id) = globally ascending sender
   // order per inbox — the conformance contract.
   RunSharded(ctx, [&](int d, std::uint64_t b, std::uint64_t e) {
-    for (std::uint64_t u = b; u < e; ++u) {
-      inbox[u].clear();
-      if (ctx.counts != nullptr) {
-        // Pre-size from the census columns (live rows only).
-        std::uint32_t cnt = 0;
-        for (int s = 0; s < S; ++s) {
-          if (ctx.shard_sent[s]) {
-            cnt += ctx.counts[static_cast<std::size_t>(s) * n + u];
-          }
-        }
-        inbox[u].reserve(cnt);
-      }
-    }
+    ClearAndReserveInboxes(ctx, b, e);
     std::uint64_t off = 0;
     for (int s = 0; s < S; ++s) {
       const std::uint64_t len = seg_bytes_[static_cast<std::size_t>(s) * S + d];
-      util::WireReader r(recv_buf_[d].data() + off, len);
-      while (r.remaining() > 0) {
-        const NodeId from = static_cast<NodeId>(r.Varint());
-        const NodeId to = static_cast<NodeId>(r.Varint());
-        const std::uint64_t plen = r.Varint();
-        InMessage msg;
-        msg.from = from;
-        msg.payload.resize(plen);
-        for (std::uint64_t k = 0; k < plen; ++k) msg.payload[k] = r.Double();
-        KCORE_CHECK_MSG(to >= b && to < e,
-                        "serialized segment routed message for receiver "
-                            << to << " to the wrong dst shard");
-        inbox[to].push_back(std::move(msg));
-      }
+      DecodeSegment(recv_buf_[d].data() + off, len, b, e, inbox);
       off += len;
     }
     recv_bytes_[d] = off;

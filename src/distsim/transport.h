@@ -31,6 +31,16 @@
 //     round; per-message encodings are partition-independent, so the
 //     byte counts are identical at any thread count too.
 //
+//   * ProcessTransport (process_transport.h) — the real multi-process
+//     backend: Start() forks one worker process per RANK, and each
+//     round's packed per-(src-rank, dst-rank) segments travel over
+//     Unix-domain socketpairs (workers exchange peer-to-peer,
+//     alltoallv-style) before being deserialized back into the engine's
+//     inboxes. Ranks partition node ids independently of the thread
+//     shards (ExchangeContext::rank_bounds); see docs/TRANSPORTS.md for
+//     the frame layout and docs/ARCHITECTURE.md for how ranks map onto
+//     MPI processes.
+//
 // Conformance contract for any implementation: given the same staged
 // outboxes, Exchange must leave (a) every outbox empty, (b) every inbox
 // holding exactly the messages addressed to it, ordered by sender id with
@@ -52,6 +62,10 @@
 
 #include "distsim/engine.h"
 
+namespace kcore::util {
+class WireWriter;
+}
+
 namespace kcore::distsim {
 
 class ThreadPool;
@@ -60,9 +74,54 @@ class ThreadPool;
 enum class TransportKind {
   kSharedMemory,  // zero-copy in-place delivery (default)
   kSerialized,    // pack / alltoallv-exchange / unpack via util::Wire
+  kProcess,       // forked worker processes + socketpair alltoallv
 };
 
-// "shared" / "serialized".
+// Segment codec, shared by every serializing backend (serialized /
+// process / MPI) so the encode/decode loops — and therefore the wire
+// accounting — live in exactly one place. A "partition" here is any
+// ascending contiguous split of node ids: the per-round thread shards
+// for SerializedTransport, the per-run ranks for the process and MPI
+// backends. `bounds` always has `cells` + 1 ascending entries. The
+// byte layout is tabulated in docs/TRANSPORTS.md.
+
+// Exact bytes one staged message occupies in a packed segment: varint
+// sender id + varint receiver id + varint payload length + 8 bytes per
+// payload entry. Absolute (never partition-relative), so byte totals
+// are identical across thread counts, rank counts, and backends.
+std::uint64_t WireMessageBytes(std::uint64_t from, const OutMessage& m);
+
+// Index of the partition cell owning node u (empty cells own nothing).
+int OwnerIndex(const std::uint64_t* bounds, int cells, graph::NodeId u);
+
+// Adds the wire bytes of every message staged by senders [begin, end)
+// into row[OwnerIndex(bounds, cells, m.to)]; row has `cells` entries
+// and is NOT zeroed here.
+void CountSegmentBytes(const std::uint64_t* bounds, int cells,
+                       const std::vector<std::vector<OutMessage>>& outbox,
+                       std::uint64_t begin, std::uint64_t end,
+                       std::uint64_t* row);
+
+// Encodes every message staged by senders [begin, end) at its dst
+// cell's writer and clears the outboxes. Senders are walked in
+// ascending id order, so each segment comes out sender-ordered — the
+// half of the inbox-sorting contract the packer owns. `seg` has one
+// exactly-pre-sized writer per cell (from CountSegmentBytes's rows).
+void PackSegments(const std::uint64_t* bounds, int cells,
+                  std::vector<std::vector<OutMessage>>& outbox,
+                  std::uint64_t begin, std::uint64_t end,
+                  util::WireWriter* seg);
+
+// Decodes one packed segment [data, data + len), appending each message
+// to its receiver's inbox. Every receiver must lie in [lo, hi) — the
+// dst cell the segment was routed to — else KCORE_CHECK fails.
+// Appending segments in ascending src-cell order yields sender-sorted
+// inboxes (the other half of the contract, owned by the caller).
+void DecodeSegment(const std::uint8_t* data, std::uint64_t len,
+                   std::uint64_t lo, std::uint64_t hi,
+                   std::vector<std::vector<InMessage>>& inbox);
+
+// "shared" / "serialized" / "process".
 const char* TransportKindName(TransportKind kind);
 // Parses the names above; returns false (leaving *out untouched) for
 // anything else.
@@ -95,12 +154,42 @@ struct ExchangeContext {
   // transport may consume the live rows as cursors.
   std::uint32_t* counts = nullptr;
   const char* shard_sent = nullptr;  // [num_shards], null iff counts is
+  // Rank topology (Engine::SetRankCount): `rank_bounds` has num_ranks + 1
+  // ascending entries and rank r OWNS node ids [rank_bounds[r],
+  // rank_bounds[r+1]) — as sender and as receiver, like the shard
+  // partition above, but fixed for the whole run and independent of the
+  // per-round thread shards. In-process transports ignore it; the
+  // process backend segments its exchange by rank, exactly the role MPI
+  // ranks play. Always non-null with num_ranks >= 1 ({0, n} by default).
+  int num_ranks = 1;
+  const std::uint64_t* rank_bounds = nullptr;
 };
+
+// Clears the inboxes of receivers [begin, end) before an unpack and,
+// when the engine censused in parallel (ctx.counts != null), pre-sizes
+// each from the live count columns — one place that knows the
+// `counts[s * n + u]` / shard_sent layout, shared by every serializing
+// backend's unpack step.
+void ClearAndReserveInboxes(const ExchangeContext& ctx, std::uint64_t begin,
+                            std::uint64_t end);
 
 class Transport {
  public:
   virtual ~Transport() = default;
   virtual const char* name() const = 0;
+  // One-time setup hook: Engine::Start() calls this exactly once, before
+  // the first compute phase and — deliberately — before the engine
+  // creates its thread pool, so a backend that forks worker processes
+  // (ProcessTransport) does so while the engine has spawned no threads
+  // yet. `rank_bounds` (num_ranks + 1 ascending entries, the node→rank
+  // ownership map) is owned by the engine and stays valid for its
+  // lifetime. The default implementation does nothing.
+  virtual void Start(graph::NodeId n, int num_ranks,
+                     const std::uint64_t* rank_bounds) {
+    (void)n;
+    (void)num_ranks;
+    (void)rank_bounds;
+  }
   // Delivers every staged message (see the conformance contract above).
   virtual WireVolume Exchange(const ExchangeContext& ctx) = 0;
 };

@@ -1,0 +1,90 @@
+#include "util/fdio.h"
+
+#include <cerrno>
+#include <cstdint>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace kcore::util {
+
+bool ReadFully(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t got = ::read(fd, p, len);
+    if (got > 0) {
+      p += got;
+      len -= static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      errno = 0;  // clean EOF, not an error code
+      return false;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool WriteFully(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  bool use_send = true;
+  while (len > 0) {
+    const ssize_t put = use_send ? ::send(fd, p, len, MSG_NOSIGNAL)
+                                 : ::write(fd, p, len);
+    if (put >= 0) {
+      p += put;
+      len -= static_cast<std::size_t>(put);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (use_send && errno == ENOTSOCK) {
+      // Plain pipe or file: send(2) does not apply; the caller accepts
+      // SIGPIPE semantics there (the transport only hands us sockets).
+      use_send = false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool SetNonBlocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want == flags) return true;
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+int PollRetry(struct pollfd* fds, nfds_t nfds, int timeout_ms) {
+  for (;;) {
+    const int n = ::poll(fds, nfds, timeout_ms);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+long WriteSome(int fd, const void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t put = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (put >= 0) return static_cast<long>(put);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+long ReadSome(int fd, void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, len);
+    if (got > 0) return static_cast<long>(got);
+    if (got == 0) return kReadEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+}  // namespace kcore::util

@@ -1,0 +1,53 @@
+// Small POSIX file-descriptor I/O helpers for the multi-process
+// transport (distsim/process_transport.h): EINTR-safe full-buffer reads
+// and writes over blocking descriptors, plus the nonblocking/poll
+// plumbing the worker ranks' deadlock-free peer exchange is built on.
+//
+// All helpers are signal-safe in the sense the transport needs: writes
+// to a closed peer surface as a false return (EPIPE, suppressed via
+// MSG_NOSIGNAL on sockets) instead of a SIGPIPE kill, and every call
+// retries EINTR internally, so callers never see a short transfer that
+// was really an interrupted syscall.
+#pragma once
+
+#include <poll.h>
+
+#include <cstddef>
+
+namespace kcore::util {
+
+// Reads exactly `len` bytes from a BLOCKING descriptor. Returns false on
+// end-of-file (the peer closed) or any error other than EINTR; on false
+// the buffer contents are unspecified. errno is preserved from the
+// failing syscall (0 for a clean EOF).
+bool ReadFully(int fd, void* buf, std::size_t len);
+
+// Writes exactly `len` bytes to a BLOCKING descriptor. On sockets the
+// transfer uses send(MSG_NOSIGNAL), so writing to a dead peer returns
+// false with errno == EPIPE instead of raising SIGPIPE; plain pipes and
+// files fall back to write(2). Returns false on any error other than
+// EINTR, with errno preserved.
+bool WriteFully(int fd, const void* buf, std::size_t len);
+
+// Switches O_NONBLOCK on or off. Returns false (errno preserved) if the
+// fcntl pair fails.
+bool SetNonBlocking(int fd, bool enabled);
+
+// poll(2) that retries EINTR. Same contract otherwise: returns the
+// number of ready descriptors, 0 on timeout, -1 on a real error.
+int PollRetry(struct pollfd* fds, nfds_t nfds, int timeout_ms);
+
+// Writes as much of [buf, buf + len) as fits right now to a NONBLOCKING
+// socket. Returns the number of bytes written (possibly 0 on EAGAIN), or
+// -1 on a real error (EPIPE included; EINTR is retried internally).
+long WriteSome(int fd, const void* buf, std::size_t len);
+
+// Reads up to `len` bytes from a NONBLOCKING descriptor. Returns the
+// number of bytes read (possibly 0 on EAGAIN), -1 on a real error, or -2
+// on end-of-file — the caller must distinguish "nothing yet" from "peer
+// is gone", which plain read(2) conflates at 0/EOF.
+long ReadSome(int fd, void* buf, std::size_t len);
+
+inline constexpr long kReadEof = -2;
+
+}  // namespace kcore::util

@@ -95,6 +95,13 @@ std::uint64_t WireReader::Varint() {
   return x;
 }
 
+std::uint64_t WireReader::Fixed64() {
+  std::uint64_t bits = 0;
+  KCORE_CHECK_MSG(TryFixed64(&bits),
+                  "malformed wire buffer: truncated fixed64");
+  return bits;
+}
+
 double WireReader::Double() {
   double d = 0.0;
   KCORE_CHECK_MSG(TryDouble(&d),

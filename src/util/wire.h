@@ -1,10 +1,13 @@
 // Wire encoding for message-passing transports: LEB128-style varints plus
 // fixed-width 64-bit fields, over caller-owned byte buffers.
 //
-// The serialized transport (distsim/transport.h) packs every staged
-// message into contiguous per-(src-shard, dst-shard) buffers before the
-// alltoallv-style exchange; this header is the codec it packs with. The
-// format is deliberately boring and portable:
+// The serializing transports (distsim/transport.h,
+// distsim/process_transport.h) pack every staged message into contiguous
+// per-(src, dst) partition buffers before the alltoallv-style exchange,
+// and the process backend's socketpair frames (count/displacement rows,
+// peer length headers) are fixed64 rows of this codec too — the full
+// byte layouts are tabulated in docs/TRANSPORTS.md. The format is
+// deliberately boring and portable:
 //
 //   * Varint: unsigned little-endian base-128 (7 payload bits per byte,
 //     MSB = continuation), at most kMaxVarintBytes bytes. The decoder
@@ -72,7 +75,11 @@ class WireReader {
   bool TryFixed64(std::uint64_t* out);
   bool TryDouble(double* out);
 
+  // Checked getters: KCORE_CHECK on truncated/overlong input. For
+  // internal buffers (transport frames, packed segments) where a decode
+  // failure is a bug, not a recoverable condition.
   std::uint64_t Varint();
+  std::uint64_t Fixed64();
   double Double();
 
   std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }

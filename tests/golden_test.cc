@@ -7,11 +7,13 @@
 // the stats accounting shows up as a one-line diff instead of a silent
 // drift across PRs.
 //
-// Every golden is rendered twice per test: from the canonical sequential
-// shared-memory run (which is what the file pins) and from an 8-thread
-// serialized-transport run with degree-weighted balancing — the two must
-// render identically, so the golden also re-proves the transport and
-// scheduler determinism contracts on every graph.
+// Every golden is rendered three times per test: from the canonical
+// sequential shared-memory run (which is what the file pins), from an
+// 8-thread serialized-transport run with degree-weighted balancing, and
+// from a 2-thread 3-rank multi-process (forked workers + socketpair
+// exchange) run — all three must render identically, so the golden also
+// re-proves the transport and scheduler determinism contracts on every
+// graph.
 //
 // The graphs use unit edge weights ON PURPOSE: every surviving-number
 // update is then integer-valued sums and comparisons, which are
@@ -58,11 +60,17 @@ struct RunConfig {
   int threads = 1;
   bool balance = false;
   TransportKind transport = TransportKind::kSharedMemory;
+  int ranks = 1;
 };
 
-constexpr RunConfig kCanonical{1, false, TransportKind::kSharedMemory};
-// The cross-check config: every parallel/transport axis flipped on.
-constexpr RunConfig kThreaded{8, true, TransportKind::kSerialized};
+constexpr RunConfig kCanonical{1, false, TransportKind::kSharedMemory, 1};
+// The cross-check configs: every parallel/transport axis flipped on, and
+// the multi-process backend (forked workers + socketpair exchange; these
+// drivers are broadcast-only, so its render pins the engine-side rank
+// plumbing and the worker lifecycle under every driver rather than wire
+// traffic — the conformance battery covers the loaded exchange).
+constexpr RunConfig kThreaded{8, true, TransportKind::kSerialized, 1};
+constexpr RunConfig kProcessCfg{2, false, TransportKind::kProcess, 3};
 
 struct GoldenGraph {
   const char* name;
@@ -162,6 +170,7 @@ std::string RenderCompact(const GoldenGraph& gg, const RunConfig& cfg) {
   opts.num_threads = cfg.threads;
   opts.balance_shards = cfg.balance;
   opts.transport = cfg.transport;
+  opts.ranks = cfg.ranks;
   const core::CompactResult res = core::RunCompactElimination(gg.g, opts);
 
   std::string out = Header("compact", gg);
@@ -175,7 +184,7 @@ std::string RenderCompact(const GoldenGraph& gg, const RunConfig& cfg) {
 std::string RenderMontresor(const GoldenGraph& gg, const RunConfig& cfg) {
   const core::ConvergenceResult res = core::RunToConvergence(
       gg.g, -1, cfg.threads, distsim::kDefaultMasterSeed, cfg.balance,
-      cfg.transport);
+      cfg.transport, cfg.ranks);
 
   std::string out = Header("montresor", gg);
   out += "rounds_executed " + std::to_string(res.rounds_executed) + "\n";
@@ -190,7 +199,7 @@ std::string RenderTwoPhase(const GoldenGraph& gg, const RunConfig& cfg) {
   const int T = core::RoundsForEpsilon(gg.g.num_nodes(), kEps);
   const core::TwoPhaseResult res = core::RunTwoPhaseOrientation(
       gg.g, T, kEps, -1, cfg.threads, distsim::kDefaultMasterSeed,
-      cfg.balance, cfg.transport);
+      cfg.balance, cfg.transport, cfg.ranks);
 
   std::string out = Header("twophase", gg);
   out += "phase1_rounds " + std::to_string(res.phase1_rounds) + "\n";
@@ -266,6 +275,8 @@ TEST(Golden, CompactElimination) {
     const std::string canonical = RenderCompact(gg, kCanonical);
     EXPECT_EQ(RenderCompact(gg, kThreaded), canonical)
         << "threaded serialized run diverged from the sequential render";
+    EXPECT_EQ(RenderCompact(gg, kProcessCfg), canonical)
+        << "multi-process run diverged from the sequential render";
     CheckGolden(std::string("compact_") + gg.name, canonical);
   }
 }
@@ -276,6 +287,8 @@ TEST(Golden, MontresorConvergence) {
     const std::string canonical = RenderMontresor(gg, kCanonical);
     EXPECT_EQ(RenderMontresor(gg, kThreaded), canonical)
         << "threaded serialized run diverged from the sequential render";
+    EXPECT_EQ(RenderMontresor(gg, kProcessCfg), canonical)
+        << "multi-process run diverged from the sequential render";
     CheckGolden(std::string("montresor_") + gg.name, canonical);
   }
 }
@@ -286,6 +299,8 @@ TEST(Golden, TwoPhaseOrientation) {
     const std::string canonical = RenderTwoPhase(gg, kCanonical);
     EXPECT_EQ(RenderTwoPhase(gg, kThreaded), canonical)
         << "threaded serialized run diverged from the sequential render";
+    EXPECT_EQ(RenderTwoPhase(gg, kProcessCfg), canonical)
+        << "multi-process run diverged from the sequential render";
     CheckGolden(std::string("twophase_") + gg.name, canonical);
   }
 }

@@ -10,18 +10,31 @@
 // whole battery against it.
 //
 // Wire accounting is pinned per kind: the shared-memory transport never
-// serializes (bytes == 0 everywhere); the serialized transport reports
-// bytes_sent == bytes_received, nonzero exactly on rounds that delivered
-// p2p traffic, and — because per-message encodings are absolute, not
-// partition-relative — byte-identical counts at every thread count.
+// serializes (bytes == 0 everywhere); the serializing transports
+// (serialized AND process) report bytes_sent == bytes_received, nonzero
+// exactly on rounds that delivered p2p traffic, and — because
+// per-message encodings are absolute, not partition-relative —
+// byte-identical counts at every thread count, rank count, and backend.
+//
+// The process transport runs the battery at 1/2/8 RANKS (worker
+// processes) riding the 1/2/8-thread sweep, plus dedicated cases below:
+// rank topology orthogonal to thread count, worker teardown/reap on
+// shutdown, and a killed-worker death regression (EPIPE surfaces as an
+// abort naming the rank, not a hang).
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
 #include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "core/compact.h"
 #include "core/montresor.h"
 #include "distsim/engine.h"
+#include "distsim/process_transport.h"
 #include "distsim/transport.h"
 #include "graph/generators.h"
 #include "util/rng.h"
@@ -34,9 +47,21 @@ using distsim::InMessage;
 using distsim::MakeTransport;
 using distsim::NodeContext;
 using distsim::Payload;
+using distsim::ProcessTransport;
 using distsim::RoundStats;
 using distsim::TransportKind;
 using graph::NodeId;
+
+// Installs the transport under test; the process backend additionally
+// gets a rank topology (ranks <= 0 means "match the thread count", the
+// battery's 1/2/8 sweep — so the fork/socket path is exercised at 1, 2,
+// and 8 worker processes).
+void UseTransport(Engine& e, TransportKind kind, int threads, int ranks = 0) {
+  e.SetTransport(MakeTransport(kind));
+  if (kind == TransportKind::kProcess) {
+    e.SetRankCount(ranks > 0 ? ranks : threads);
+  }
+}
 
 // Order-sensitive FNV-style fold: two digests agree only if the same
 // values arrived in the same order.
@@ -312,7 +337,7 @@ class TransportConformance : public ::testing::TestWithParam<TransportKind> {};
 INSTANTIATE_TEST_SUITE_P(
     Transports, TransportConformance,
     ::testing::Values(TransportKind::kSharedMemory,
-                      TransportKind::kSerialized),
+                      TransportKind::kSerialized, TransportKind::kProcess),
     [](const ::testing::TestParamInfo<TransportKind>& info) {
       return distsim::TransportKindName(info.param);
     });
@@ -332,19 +357,20 @@ TEST_P(TransportConformance, P2PHeavyMatchesSequentialBaseline) {
     P2PWave p(g.num_nodes());
     Engine e(g, threads);
     e.SetParallelCutoff(1);  // force real sharding even at small n
-    e.SetTransport(MakeTransport(GetParam()));
+    UseTransport(e, GetParam(), threads);
     RunRounds(e, p, 12);
     EXPECT_EQ(p.digest(), base.digest());
     ExpectSameLogicalHistory(e.history(), eb.history());
     ExpectSameInboxes(e, eb);
     ExpectWireAccounting(e, GetParam());
-    if (GetParam() == TransportKind::kSerialized) {
+    if (GetParam() != TransportKind::kSharedMemory) {
       // Every round staged p2p, so every round has wire traffic...
       for (const RoundStats& r : e.history()) {
         EXPECT_GT(r.bytes_sent, 0u) << "round " << r.round;
       }
       // ...and the byte counts are partition-independent: identical at
-      // every thread count.
+      // every thread count (and, for the process backend, rank count —
+      // the 1/2/8 sweep varies both together here).
       if (reference_bytes.empty()) {
         reference_bytes = BytesPerRound(e);
       } else {
@@ -366,7 +392,7 @@ TEST_P(TransportConformance, BroadcastOnlyNeverTouchesTheWire) {
     BroadcastOnly p(g.num_nodes());
     Engine e(g, threads);
     e.SetParallelCutoff(1);
-    e.SetTransport(MakeTransport(GetParam()));
+    UseTransport(e, GetParam(), threads);
     RunRounds(e, p, 10);
     EXPECT_EQ(p.digest(), base.digest());
     ExpectSameLogicalHistory(e.history(), eb.history());
@@ -391,7 +417,7 @@ TEST_P(TransportConformance, EmptyRoundsClearStaleInboxes) {
     BurstySilence p(g.num_nodes());
     Engine e(g, threads);
     e.SetParallelCutoff(1);
-    e.SetTransport(MakeTransport(GetParam()));
+    UseTransport(e, GetParam(), threads);
     RunRounds(e, p, 14);
     EXPECT_EQ(p.digest(), base.digest());
     ExpectSameLogicalHistory(e.history(), eb.history());
@@ -414,7 +440,7 @@ TEST_P(TransportConformance, SelfLoopFreeStarFunnel) {
     StarFunnel p(g.num_nodes());
     Engine e(g, threads);
     e.SetParallelCutoff(1);
-    e.SetTransport(MakeTransport(GetParam()));
+    UseTransport(e, GetParam(), threads);
     RunRounds(e, p, 12);
     EXPECT_EQ(p.digest(), base.digest());
     ExpectSameLogicalHistory(e.history(), eb.history());
@@ -441,7 +467,7 @@ TEST_P(TransportConformance, PowerLawWithRebalancingGossip) {
     // partition changes mid-run; results must not care.
     e.SetShardBalancing(true);
     e.SetRebalanceInterval(3);
-    e.SetTransport(MakeTransport(GetParam()));
+    UseTransport(e, GetParam(), threads);
     RunRounds(e, p, 15);
     EXPECT_EQ(p.value(), base.value());
     ExpectSameLogicalHistory(e.history(), eb.history());
@@ -462,6 +488,7 @@ TEST_P(TransportConformance, CompactCorenessAcrossThreadCounts) {
     core::CompactOptions opts = base_opts;
     opts.num_threads = threads;
     opts.transport = GetParam();
+    if (GetParam() == TransportKind::kProcess) opts.ranks = threads;
     const core::CompactResult res = core::RunCompactElimination(g, opts);
     EXPECT_EQ(res.b, base.b);
     ExpectSameLogicalHistory(res.history, base.history);
@@ -477,11 +504,138 @@ TEST_P(TransportConformance, MontresorCorenessAcrossThreadCounts) {
     SCOPED_TRACE(threads);
     const core::ConvergenceResult res = core::RunToConvergence(
         g, -1, threads, distsim::kDefaultMasterSeed, /*balance_shards=*/false,
-        GetParam());
+        GetParam(),
+        /*ranks=*/GetParam() == TransportKind::kProcess ? threads : 1);
     EXPECT_EQ(res.coreness, base.coreness);
     EXPECT_EQ(res.rounds_executed, base.rounds_executed);
     ExpectSameLogicalHistory(res.history, base.history);
   }
+}
+
+// ---------------------------------------------------------------------
+// Process-backend-specific cases: rank topology, worker lifecycle, and
+// the killed-worker failure mode.
+// ---------------------------------------------------------------------
+
+// The rank partition is independent of the thread shards: a sequential
+// engine can exchange over 8 worker processes, an 8-thread engine over
+// 2, and a 2-thread engine over 5 — all bit-identical to the sequential
+// baseline, with byte counts equal to the serialized backend's (the
+// segment encoding is shared, and absolute).
+TEST(ProcessTransportTopology, RanksOrthogonalToThreads) {
+  util::Rng rng(307);
+  const graph::Graph g = graph::BarabasiAlbert(900, 4, rng);
+  P2PWave base(g.num_nodes());
+  Engine eb(g, 1);
+  RunRounds(eb, base, 10);
+
+  P2PWave pser(g.num_nodes());
+  Engine eser(g, 1);
+  eser.SetTransport(MakeTransport(TransportKind::kSerialized));
+  RunRounds(eser, pser, 10);
+  const std::vector<std::size_t> serialized_bytes = BytesPerRound(eser);
+
+  constexpr struct {
+    int threads;
+    int ranks;
+  } kConfigs[] = {{1, 8}, {8, 2}, {2, 5}};
+  for (const auto& cfg : kConfigs) {
+    SCOPED_TRACE(::testing::Message()
+                 << "threads=" << cfg.threads << " ranks=" << cfg.ranks);
+    P2PWave p(g.num_nodes());
+    Engine e(g, cfg.threads);
+    e.SetParallelCutoff(1);
+    UseTransport(e, TransportKind::kProcess, cfg.threads, cfg.ranks);
+    RunRounds(e, p, 10);
+    EXPECT_EQ(e.num_ranks(), cfg.ranks);
+    EXPECT_EQ(p.digest(), base.digest());
+    ExpectSameLogicalHistory(e.history(), eb.history());
+    ExpectSameInboxes(e, eb);
+    ExpectWireAccounting(e, TransportKind::kProcess);
+    EXPECT_EQ(BytesPerRound(e), serialized_bytes);
+  }
+}
+
+// Workers are live for the engine's run and reaped on teardown: an
+// explicit Shutdown() reports a clean exit for every rank and the pids
+// are gone afterwards (no zombies — waitpid ran), and the implicit
+// destructor path does the same when the engine dies.
+TEST(ProcessTransportLifecycle, ShutdownReapsAllWorkers) {
+  util::Rng rng(308);
+  const graph::Graph g = graph::BarabasiAlbert(400, 3, rng);
+  auto owned = std::make_unique<ProcessTransport>();
+  ProcessTransport* transport = owned.get();
+
+  P2PWave p(g.num_nodes());
+  Engine e(g, 1);
+  e.SetRankCount(4);
+  e.SetTransport(std::move(owned));
+  RunRounds(e, p, 4);
+
+  ASSERT_TRUE(transport->started());
+  ASSERT_EQ(transport->num_workers(), 4);
+  std::vector<pid_t> pids;
+  for (int r = 0; r < 4; ++r) {
+    pids.push_back(transport->worker_pid(r));
+    EXPECT_EQ(::kill(pids.back(), 0), 0) << "worker " << r << " not running";
+  }
+
+  EXPECT_TRUE(transport->Shutdown()) << "a worker exited uncleanly";
+  EXPECT_TRUE(transport->Shutdown()) << "Shutdown must be idempotent";
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NE(::kill(pids[r], 0), 0)
+        << "worker " << r << " (pid " << pids[r] << ") survived shutdown";
+  }
+}
+
+TEST(ProcessTransportLifecycle, EngineDestructorTearsWorkersDown) {
+  util::Rng rng(309);
+  const graph::Graph g = graph::BarabasiAlbert(400, 3, rng);
+  std::vector<pid_t> pids;
+  {
+    auto owned = std::make_unique<ProcessTransport>();
+    ProcessTransport* transport = owned.get();
+    P2PWave p(g.num_nodes());
+    Engine e(g, 2);
+    e.SetParallelCutoff(1);
+    e.SetRankCount(3);
+    e.SetTransport(std::move(owned));
+    RunRounds(e, p, 4);
+    for (int r = 0; r < transport->num_workers(); ++r) {
+      pids.push_back(transport->worker_pid(r));
+      ASSERT_EQ(::kill(pids.back(), 0), 0);
+    }
+  }
+  for (pid_t pid : pids) {
+    EXPECT_NE(::kill(pid, 0), 0) << "worker pid " << pid
+                                 << " survived the engine destructor";
+  }
+}
+
+// A worker killed mid-run must surface as an abort naming the rank on
+// the next exchange (EPIPE/EOF on its socketpair), never as a hang or a
+// silently wrong result.
+TEST(ProcessTransportDeathTest, KilledWorkerAbortsWithRank) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  util::Rng rng(310);
+  const graph::Graph g = graph::BarabasiAlbert(300, 3, rng);
+  EXPECT_DEATH(
+      {
+        auto owned = std::make_unique<ProcessTransport>();
+        ProcessTransport* transport = owned.get();
+        P2PWave p(g.num_nodes());
+        Engine e(g, 1);
+        e.SetRankCount(4);
+        e.SetTransport(std::move(owned));
+        e.Start(p);
+        e.Step(p);
+        const pid_t victim = transport->worker_pid(2);
+        ::kill(victim, SIGKILL);
+        int status = 0;
+        ::waitpid(victim, &status, 0);  // it is really gone, not dying
+        for (int t = 0; t < 50; ++t) e.Step(p);
+      },
+      "process transport rank 2 died");
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Docs lint: keep docs/*.md from drifting out of the tree.
+
+Two checks, run in CI after the build (see .github/workflows/ci.yml):
+
+1. Link check — every relative markdown link in docs/*.md, README.md,
+   and tests/README.md must resolve to an existing file or directory
+   (external http(s)/mailto links and pure #anchors are skipped).
+2. Flag check — every `--flag` token mentioned in the same files
+   (backticked or not) must appear in the combined `--help` output of
+   the example binaries, so the docs cannot reference a knob that was
+   renamed or removed. The help text is captured by the CI step and
+   passed via --help-text; without it the flag check is skipped (link
+   check still runs).
+
+Exit status: 0 clean, 1 with findings (each printed as file:line).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"(?<![\w/-])--([a-zA-Z][a-zA-Z0-9_-]*)")
+
+# Flags that are legitimately documented but belong to tools without a
+# --help capture (cmake, ctest, the gtest binaries).
+FLAG_ALLOWLIST = {"help", "regenerate", "gtest_filter", "output-on-failure",
+                  "build", "help-text", "root"}
+
+LINK_CHECKED = ["docs", "README.md", "tests/README.md"]
+
+
+def md_files(root: pathlib.Path):
+    for entry in LINK_CHECKED:
+        p = root / entry
+        if p.is_dir():
+            yield from sorted(p.glob("*.md"))
+        elif p.is_file():
+            yield p
+
+
+def check_links(root: pathlib.Path):
+    findings = []
+    for md in md_files(root):
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if "://" in target or target.startswith(("mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    findings.append(
+                        f"{md.relative_to(root)}:{lineno}: broken relative "
+                        f"link '{target}' (no such file {resolved})")
+    return findings
+
+
+def check_flags(root: pathlib.Path, help_text: str):
+    findings = []
+    known = set(FLAG_RE.findall(help_text)) | FLAG_ALLOWLIST
+    for md in md_files(root):
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            for flag in FLAG_RE.findall(line):
+                if flag not in known:
+                    findings.append(
+                        f"{md.relative_to(root)}:{lineno}: flag '--{flag}' "
+                        f"not found in any --help output")
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--help-text", default=None,
+                    help="file with the concatenated --help output of the "
+                         "example binaries; omit to skip the flag check")
+    args = ap.parse_args()
+    root = pathlib.Path(args.root).resolve()
+
+    findings = check_links(root)
+    if args.help_text:
+        help_text = pathlib.Path(args.help_text).read_text()
+        findings += check_flags(root, help_text)
+    else:
+        print("docs_lint: no --help-text given; flag check skipped",
+              file=sys.stderr)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"docs_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("docs_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
