@@ -1,0 +1,100 @@
+// Minimal JSON emitter for committed bench result files (BENCH_*.json).
+//
+// A JsonDoc is one bench run: a top-level object with the bench name and
+// a "rows" array of flat objects. The writer emits one row per line so a
+// re-run produces a clean, line-oriented git diff — the committed file's
+// history IS the perf trajectory (see ROADMAP.md item 2). No parsing, no
+// nesting: benches only ever append flat rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kcore::bench {
+
+class JsonRow {
+ public:
+  JsonRow& Str(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+    return *this;
+  }
+  JsonRow& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRow& Int(const std::string& key, long long value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + Escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class JsonDoc {
+ public:
+  explicit JsonDoc(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  JsonRow& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string Render() const {
+    std::string out = "{\"bench\": \"" + name_ + "\", \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += "  " + rows_[i].Render();
+      if (i + 1 < rows_.size()) out += ",";
+      out += "\n";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  // Overwrites `path` with the full document. False on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string body = Render();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  std::string name_;
+  std::vector<JsonRow> rows_;
+};
+
+}  // namespace kcore::bench

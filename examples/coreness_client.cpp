@@ -1,0 +1,175 @@
+// coreness_client — driver/load generator for coreness_server.
+//
+// Connects to a running server, streams batched random edge updates
+// (inserts tracked locally so deletes always name a live edge), issues
+// coreness point queries between batches, and reports sustained
+// updates/sec plus query-latency percentiles. With --shutdown it asks
+// the server to stop after the run — CI uses exactly that sequence to
+// smoke the server end to end.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dynamic/client.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace {
+
+using kcore::dynamic::CorenessClient;
+using kcore::dynamic::EdgeUpdate;
+using kcore::graph::NodeId;
+
+constexpr const char kUsage[] =
+    "usage: coreness_client --socket=PATH [options]\n"
+    "\n"
+    "  --socket=PATH      server Unix socket path (required)\n"
+    "  --batches=B        update batches to send (default 50)\n"
+    "  --batch-size=K     updates per batch (default 32)\n"
+    "  --queries=Q        coreness point queries to time (default 200)\n"
+    "  --nodes=N          id range for random updates (default: server n)\n"
+    "  --delete-frac=F    fraction of ops that delete a live edge "
+    "(default 0.35)\n"
+    "  --seed=S           workload seed (default 7)\n"
+    "  --retries=R        connect retries, 20ms apart (default 150)\n"
+    "  --shutdown         send a shutdown frame after the run\n"
+    "  --quiet            suppress the per-run summary\n"
+    "  --help             this text\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kcore::util::Flags flags;
+  flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (!flags.Has("socket")) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string socket = flags.GetString("socket");
+  const int batches = static_cast<int>(flags.GetInt("batches", 50));
+  const int batch_size = static_cast<int>(flags.GetInt("batch-size", 32));
+  const int queries = static_cast<int>(flags.GetInt("queries", 200));
+  const double delete_frac = flags.GetDouble("delete-frac", 0.35);
+  const bool quiet = flags.GetBool("quiet", false);
+  kcore::util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 7)));
+
+  CorenessClient client;
+  if (!client.ConnectWithRetry(socket,
+                               static_cast<int>(flags.GetInt("retries", 150)),
+                               20)) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n", socket.c_str(),
+                 client.last_error().c_str());
+    return 1;
+  }
+  const auto stats0 = client.Stats();
+  if (!stats0) {
+    std::fprintf(stderr, "error: stats failed: %s\n",
+                 client.last_error().c_str());
+    return 1;
+  }
+  const NodeId n = static_cast<NodeId>(flags.GetInt(
+      "nodes", static_cast<std::int64_t>(
+                   stats0->num_nodes > 0 ? stats0->num_nodes : 1024)));
+
+  std::vector<EdgeUpdate> live;  // inserted by us, not yet deleted
+  std::vector<EdgeUpdate> batch;
+  std::vector<double> query_ms;
+  std::uint64_t applied = 0, rejected = 0, recomputations = 0;
+  std::uint64_t last_epoch = stats0->epoch;
+  kcore::util::Timer run_timer;
+  double update_seconds = 0.0;
+  for (int bi = 0; bi < batches; ++bi) {
+    batch.clear();
+    for (int k = 0; k < batch_size; ++k) {
+      if (!live.empty() && rng.NextBool(delete_frac)) {
+        const std::size_t idx = rng.NextBounded(live.size());
+        EdgeUpdate op = live[idx];
+        op.kind = EdgeUpdate::Kind::kDelete;
+        live[idx] = live.back();
+        live.pop_back();
+        batch.push_back(op);
+      } else {
+        const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+        NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+        if (u == v) v = (v + 1) % n;
+        const EdgeUpdate op{EdgeUpdate::Kind::kInsert, u, v,
+                            static_cast<double>(1 + rng.NextBounded(3))};
+        live.push_back(op);
+        batch.push_back(op);
+      }
+    }
+    kcore::util::Timer t;
+    const auto ack = client.ApplyUpdates(batch);
+    update_seconds += t.Seconds();
+    if (!ack) {
+      std::fprintf(stderr, "error: update batch %d failed: %s\n", bi,
+                   client.last_error().c_str());
+      return 1;
+    }
+    if (ack->epoch <= last_epoch) {
+      std::fprintf(stderr, "error: epoch did not advance (%llu -> %llu)\n",
+                   static_cast<unsigned long long>(last_epoch),
+                   static_cast<unsigned long long>(ack->epoch));
+      return 1;
+    }
+    last_epoch = ack->epoch;
+    applied += ack->applied;
+    rejected += ack->rejected;
+    recomputations += ack->recomputations;
+    // Interleave a few timed point queries per batch.
+    const int per_batch = queries / (batches > 0 ? batches : 1);
+    for (int q = 0; q < per_batch; ++q) {
+      const NodeId id = static_cast<NodeId>(rng.NextBounded(n));
+      kcore::util::Timer qt;
+      const auto reply = client.QueryCoreness({&id, 1});
+      if (!reply) {
+        std::fprintf(stderr, "error: query failed: %s\n",
+                     client.last_error().c_str());
+        return 1;
+      }
+      query_ms.push_back(qt.Millis());
+    }
+  }
+  const double total_s = run_timer.Seconds();
+
+  const auto stats1 = client.Stats();
+  if (!stats1 || stats1->total_updates < applied) {
+    std::fprintf(stderr, "error: final stats inconsistent\n");
+    return 1;
+  }
+  if (!quiet) {
+    const auto q = kcore::util::Summarize(query_ms);
+    std::printf(
+        "coreness_client: %llu applied, %llu rejected over %d batches in "
+        "%.3fs (%.0f updates/s end-to-end, %.0f/s in-batch)\n",
+        static_cast<unsigned long long>(applied),
+        static_cast<unsigned long long>(rejected), batches, total_s,
+        applied / (total_s > 0 ? total_s : 1),
+        applied / (update_seconds > 0 ? update_seconds : 1));
+    std::printf(
+        "  recomputations/update %.2f | query ms p50 %.3f p90 %.3f p99 "
+        "%.3f | epoch %llu | degeneracy %.3f (n=%llu m=%llu)\n",
+        applied > 0 ? static_cast<double>(recomputations) /
+                          static_cast<double>(applied)
+                    : 0.0,
+        q.p50, q.p90, q.p99,
+        static_cast<unsigned long long>(stats1->epoch), stats1->degeneracy,
+        static_cast<unsigned long long>(stats1->num_nodes),
+        static_cast<unsigned long long>(stats1->num_edges));
+  }
+  if (flags.GetBool("shutdown", false)) {
+    if (!client.Shutdown()) {
+      std::fprintf(stderr, "error: shutdown failed: %s\n",
+                   client.last_error().c_str());
+      return 1;
+    }
+    if (!quiet) std::printf("coreness_client: server acked shutdown\n");
+  }
+  return 0;
+}

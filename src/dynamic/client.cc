@@ -1,0 +1,149 @@
+#include "dynamic/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "util/wire.h"
+
+namespace kcore::dynamic {
+
+bool CorenessClient::Fail(const std::string& what) {
+  last_error_ = what;
+  Close();
+  return false;
+}
+
+void CorenessClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool CorenessClient::Connect(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() + 1 > sizeof(addr.sun_path)) {
+    return Fail("socket path too long");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return Fail(std::string("socket(): ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return Fail(std::string("connect('") + socket_path +
+                "'): " + std::strerror(errno));
+  }
+  last_error_.clear();
+  return true;
+}
+
+bool CorenessClient::ConnectWithRetry(const std::string& socket_path,
+                                      int attempts, int delay_ms) {
+  for (int i = 0; i < attempts; ++i) {
+    if (Connect(socket_path)) return true;
+    struct timespec ts = {delay_ms / 1000, (delay_ms % 1000) * 1000000L};
+    ::nanosleep(&ts, nullptr);
+  }
+  return false;
+}
+
+bool CorenessClient::RoundTrip(const FrameBuilder& req,
+                               std::vector<std::uint8_t>* resp) {
+  if (fd_ < 0) return Fail("not connected");
+  if (!WriteFrame(fd_, req.payload())) {
+    return Fail(std::string("send failed: ") + std::strerror(errno));
+  }
+  if (!ReadFrame(fd_, resp)) {
+    return Fail("connection closed mid-response");
+  }
+  util::WireReader r(resp->data(), resp->size());
+  std::uint64_t status = 0;
+  if (!r.TryFixed64(&status)) return Fail("truncated response");
+  if (status != kStatusOk) {
+    last_error_ = "server error: " + ReadErrorMessage(r);
+    return false;  // protocol-level error; connection stays usable
+  }
+  // Strip the status so callers decode fields only.
+  resp->erase(resp->begin(), resp->begin() + 8);
+  return true;
+}
+
+std::optional<CorenessClient::UpdateAck> CorenessClient::ApplyUpdates(
+    std::span<const EdgeUpdate> batch) {
+  FrameBuilder req;
+  req.Fixed64(kOpUpdateBatch);
+  req.Varint(batch.size());
+  for (const EdgeUpdate& op : batch) {
+    req.Varint(static_cast<std::uint64_t>(op.kind));
+    req.Varint(op.u);
+    req.Varint(op.v);
+    req.Double(op.w);
+  }
+  if (!RoundTrip(req, &resp_buf_)) return std::nullopt;
+  util::WireReader r(resp_buf_.data(), resp_buf_.size());
+  UpdateAck ack;
+  if (!r.TryVarint(&ack.epoch) || !r.TryVarint(&ack.applied) ||
+      !r.TryVarint(&ack.rejected) || !r.TryVarint(&ack.recomputations) ||
+      !r.TryVarint(&ack.changed)) {
+    Fail("malformed update ack");
+    return std::nullopt;
+  }
+  return ack;
+}
+
+std::optional<CorenessClient::CorenessReply> CorenessClient::QueryCoreness(
+    std::span<const graph::NodeId> ids) {
+  FrameBuilder req;
+  req.Fixed64(kOpQueryCoreness);
+  req.Varint(ids.size());
+  for (graph::NodeId id : ids) req.Varint(id);
+  if (!RoundTrip(req, &resp_buf_)) return std::nullopt;
+  util::WireReader r(resp_buf_.data(), resp_buf_.size());
+  CorenessReply reply;
+  std::uint64_t count = 0;
+  if (!r.TryVarint(&reply.epoch) || !r.TryVarint(&count) ||
+      count != ids.size()) {
+    Fail("malformed query reply");
+    return std::nullopt;
+  }
+  reply.values.resize(static_cast<std::size_t>(count));
+  for (double& v : reply.values) {
+    if (!r.TryDouble(&v)) {
+      Fail("truncated query reply");
+      return std::nullopt;
+    }
+  }
+  return reply;
+}
+
+std::optional<CorenessClient::StatsReply> CorenessClient::Stats() {
+  FrameBuilder req;
+  req.Fixed64(kOpStats);
+  if (!RoundTrip(req, &resp_buf_)) return std::nullopt;
+  util::WireReader r(resp_buf_.data(), resp_buf_.size());
+  StatsReply reply;
+  if (!r.TryVarint(&reply.epoch) || !r.TryVarint(&reply.num_nodes) ||
+      !r.TryVarint(&reply.num_edges) || !r.TryDouble(&reply.degeneracy) ||
+      !r.TryVarint(&reply.total_updates)) {
+    Fail("malformed stats reply");
+    return std::nullopt;
+  }
+  return reply;
+}
+
+bool CorenessClient::Shutdown() {
+  FrameBuilder req;
+  req.Fixed64(kOpShutdown);
+  if (!RoundTrip(req, &resp_buf_)) return false;
+  Close();
+  return true;
+}
+
+}  // namespace kcore::dynamic

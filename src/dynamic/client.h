@@ -1,0 +1,83 @@
+// Blocking client for the streaming coreness server (dynamic/server.h).
+//
+// One CorenessClient owns one connection and is NOT thread-safe; open
+// one client per thread for concurrent load (the server multiplexes).
+// Every method is a full request/response round trip over the framed
+// dynamic/protocol.h wire format; any I/O or decode failure closes the
+// connection, records last_error(), and returns nullopt/false.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dynamic/protocol.h"
+#include "graph/graph.h"
+
+namespace kcore::dynamic {
+
+class CorenessClient {
+ public:
+  CorenessClient() = default;
+  ~CorenessClient() { Close(); }
+
+  CorenessClient(const CorenessClient&) = delete;
+  CorenessClient& operator=(const CorenessClient&) = delete;
+
+  // Connects to the server's Unix socket. False (with last_error set)
+  // on failure.
+  bool Connect(const std::string& socket_path);
+  // Retries Connect every delay_ms until it succeeds or attempts run
+  // out — for racing a freshly exec'd server (CI smoke).
+  bool ConnectWithRetry(const std::string& socket_path, int attempts,
+                        int delay_ms);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  struct UpdateAck {
+    std::uint64_t epoch = 0;
+    std::uint64_t applied = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t recomputations = 0;
+    std::uint64_t changed = 0;
+  };
+  // Applies a batch of edge updates; the ack reports the post-batch
+  // snapshot epoch and per-batch maintenance work.
+  std::optional<UpdateAck> ApplyUpdates(std::span<const EdgeUpdate> batch);
+
+  struct CorenessReply {
+    std::uint64_t epoch = 0;
+    std::vector<double> values;  // aligned with the queried ids
+  };
+  std::optional<CorenessReply> QueryCoreness(
+      std::span<const graph::NodeId> ids);
+
+  struct StatsReply {
+    std::uint64_t epoch = 0;
+    std::uint64_t num_nodes = 0;
+    std::uint64_t num_edges = 0;
+    double degeneracy = 0.0;
+    std::uint64_t total_updates = 0;
+  };
+  std::optional<StatsReply> Stats();
+
+  // Asks the server to stop; true once the ack arrives.
+  bool Shutdown();
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  // Sends `req` and reads the response payload; true when the response
+  // status is kStatusOk and *resp holds the fields after the status.
+  bool RoundTrip(const FrameBuilder& req, std::vector<std::uint8_t>* resp);
+  bool Fail(const std::string& what);
+
+  int fd_ = -1;
+  std::string last_error_;
+  std::vector<std::uint8_t> resp_buf_;
+};
+
+}  // namespace kcore::dynamic

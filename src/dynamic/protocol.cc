@@ -1,0 +1,72 @@
+#include "dynamic/protocol.h"
+
+#include <cstring>
+
+#include "util/fdio.h"
+
+namespace kcore::dynamic {
+
+void FrameBuilder::Varint(std::uint64_t x) {
+  std::uint8_t tmp[util::kMaxVarintBytes];
+  util::WireWriter w(tmp, tmp + sizeof(tmp));
+  w.Varint(x);
+  buf_.insert(buf_.end(), tmp, tmp + w.written());
+}
+
+void FrameBuilder::Fixed64(std::uint64_t bits) {
+  std::uint8_t tmp[8];
+  util::WireWriter w(tmp, tmp + sizeof(tmp));
+  w.Fixed64(bits);
+  buf_.insert(buf_.end(), tmp, tmp + 8);
+}
+
+void FrameBuilder::Double(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  Fixed64(bits);
+}
+
+void FrameBuilder::Bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+bool WriteFrame(int fd, std::span<const std::uint8_t> payload) {
+  std::uint8_t hdr[8];
+  util::WireWriter w(hdr, hdr + sizeof(hdr));
+  w.Fixed64(static_cast<std::uint64_t>(payload.size()));
+  if (!util::WriteFully(fd, hdr, sizeof(hdr))) return false;
+  if (payload.empty()) return true;
+  return util::WriteFully(fd, payload.data(), payload.size());
+}
+
+bool ReadFrame(int fd, std::vector<std::uint8_t>* payload) {
+  std::uint8_t hdr[8];
+  if (!util::ReadFully(fd, hdr, sizeof(hdr))) return false;
+  util::WireReader r(hdr, sizeof(hdr));
+  std::uint64_t len = 0;
+  if (!r.TryFixed64(&len) || len > kMaxFrameBytes) return false;
+  payload->resize(static_cast<std::size_t>(len));
+  if (len == 0) return true;
+  return util::ReadFully(fd, payload->data(), payload->size());
+}
+
+bool WriteErrorFrame(int fd, const std::string& message) {
+  FrameBuilder b;
+  b.Fixed64(kStatusError);
+  b.Varint(message.size());
+  b.Bytes(message.data(), message.size());
+  return WriteFrame(fd, b.payload());
+}
+
+std::string ReadErrorMessage(util::WireReader& r) {
+  std::uint64_t len = 0;
+  if (!r.TryVarint(&len) || len > r.remaining()) {
+    return "(malformed error frame)";
+  }
+  std::string msg(static_cast<std::size_t>(len), '\0');
+  if (!r.TryRaw(msg.data(), msg.size())) return "(malformed error frame)";
+  return msg;
+}
+
+}  // namespace kcore::dynamic

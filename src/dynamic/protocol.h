@@ -1,0 +1,108 @@
+// Wire protocol for the streaming coreness server (dynamic/server.h):
+// opcodes, frame helpers, and the shared request/response field layouts
+// used by both CorenessServer and CorenessClient.
+//
+// Everything rides the PR 4-5 wire layer verbatim: fields are
+// util::Wire varints / fixed64 / doubles, and every message is one
+// FRAME on a SOCK_STREAM Unix socket —
+//
+//   fixed64 payload_length | payload bytes
+//
+// exactly the length-prefixed segment framing the process transport
+// uses between ranks (docs/TRANSPORTS.md). Byte layouts per opcode are
+// tabulated in docs/SERVER.md; the summary:
+//
+//   request  = fixed64 opcode, then opcode-specific fields
+//   response = fixed64 status (0 ok, 1 error), then
+//              ok    -> opcode-specific fields
+//              error -> varint message_length, message bytes
+//
+// A malformed frame (bad length, truncated fields) never kills the
+// server: the offending connection is answered with an error frame or
+// dropped, and every other client keeps streaming.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/wire.h"
+
+namespace kcore::dynamic {
+
+// --- Opcodes (fixed64, arbitrary distinct tags) -------------------------
+
+// Batched edge updates: varint count, then per update
+//   varint kind (0 insert, 1 delete), varint u, varint v, double w.
+// Ok-response: varint epoch, varint applied, varint rejected,
+//   varint recomputations, varint changed.
+inline constexpr std::uint64_t kOpUpdateBatch = 0x48435442ULL;    // "BTCH"
+// Coreness point queries: varint count, then varint node ids.
+// Ok-response: varint epoch, varint count, then count doubles (ids the
+// server has never seen answer 0.0 — an isolated node's coreness).
+inline constexpr std::uint64_t kOpQueryCoreness = 0x43595251ULL;  // "QRYC"
+// Snapshot statistics (empty request). Ok-response: varint epoch,
+// varint num_nodes, varint num_edges, double degeneracy (max coreness),
+// varint total updates applied since start.
+inline constexpr std::uint64_t kOpStats = 0x54415453ULL;          // "STAT"
+// Graceful shutdown (empty request). Ok-response: empty; the server
+// stops accepting and drains after the ack.
+inline constexpr std::uint64_t kOpShutdown = 0x504f5453ULL;       // "STOP"
+
+inline constexpr std::uint64_t kStatusOk = 0;
+inline constexpr std::uint64_t kStatusError = 1;
+
+// Frames above this payload size are rejected (the connection is
+// dropped): a desynced or hostile client must not make the server
+// allocate gigabytes.
+inline constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
+
+// One edge update, as carried by kOpUpdateBatch.
+struct EdgeUpdate {
+  enum class Kind : std::uint8_t { kInsert = 0, kDelete = 1 };
+  Kind kind = Kind::kInsert;
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  double w = 1.0;
+};
+
+// --- Frame I/O over blocking descriptors (util/fdio) --------------------
+
+// Appends wire-encoded fields to a growable payload buffer, then hands
+// the finished payload to WriteFrame. (util::WireWriter needs a
+// pre-sized region; this is the convenience layer on top for the
+// request/response sizes the server deals in.)
+class FrameBuilder {
+ public:
+  void Varint(std::uint64_t x);
+  void Fixed64(std::uint64_t bits);
+  void Double(double d);
+  void Bytes(const void* data, std::size_t len);
+
+  std::span<const std::uint8_t> payload() const { return buf_; }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Writes one frame (length prefix + payload). False on any I/O error
+// (EPIPE from a dead peer included; never SIGPIPE).
+bool WriteFrame(int fd, std::span<const std::uint8_t> payload);
+
+// Reads one frame into *payload. Returns false on EOF, I/O error, or a
+// length prefix above kMaxFrameBytes; the caller should drop the
+// connection (the stream can be mid-frame).
+bool ReadFrame(int fd, std::vector<std::uint8_t>* payload);
+
+// Convenience: an error response frame carrying `message`.
+bool WriteErrorFrame(int fd, const std::string& message);
+
+// Decodes an error response body (after the status field). Returns the
+// message, or a placeholder if the frame is malformed.
+std::string ReadErrorMessage(util::WireReader& r);
+
+}  // namespace kcore::dynamic

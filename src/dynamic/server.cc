@@ -1,0 +1,373 @@
+#include "dynamic/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/fdio.h"
+#include "util/logging.h"
+
+namespace kcore::dynamic {
+
+namespace {
+
+// Binds a Unix stream socket at `path` (unlinking any stale socket
+// first). Returns the listening fd or -1.
+int BindAndListen(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    KCORE_LOG(kError) << "socket path too long: '" << path << "'";
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    KCORE_LOG(kError) << "socket(): " << std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    KCORE_LOG(kError) << "bind('" << path << "'): " << std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) < 0) {
+    KCORE_LOG(kError) << "listen('" << path
+                      << "'): " << std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+CorenessServer::CorenessServer(ServerOptions opts)
+    : opts_(std::move(opts)), maintenance_(opts_.initial_nodes) {}
+
+CorenessServer::CorenessServer(ServerOptions opts, const graph::Graph& seed)
+    : opts_(std::move(opts)), maintenance_(seed) {
+  opts_.initial_nodes = std::max(opts_.initial_nodes, seed.num_nodes());
+}
+
+CorenessServer::~CorenessServer() { Stop(); }
+
+void CorenessServer::PublishSnapshotLocked() {
+  auto snap = std::make_shared<CorenessSnapshot>();
+  snap->epoch = ++epoch_;
+  snap->num_edges = maintenance_.num_edges();
+  snap->coreness = maintenance_.coreness();
+  for (double c : snap->coreness) {
+    snap->degeneracy = std::max(snap->degeneracy, c);
+  }
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const CorenessSnapshot> CorenessServer::snapshot() const {
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  return snapshot_;
+}
+
+std::uint64_t CorenessServer::total_updates_applied() const {
+  return total_updates_.load(std::memory_order_relaxed);
+}
+
+bool CorenessServer::Start() {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    KCORE_CHECK_MSG(!started_, "CorenessServer started twice");
+    started_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lk(update_mu_);
+    PublishSnapshotLocked();  // epoch 1: the pre-traffic fixpoint
+  }
+  const auto fail = [this] {
+    // Nothing will ever run the accept loop: let Wait/Stop fall through.
+    std::lock_guard<std::mutex> lk(state_mu_);
+    accept_done_ = true;
+    stop_requested_ = true;
+    state_cv_.notify_all();
+    return false;
+  };
+  listen_fd_ = BindAndListen(opts_.socket_path);
+  if (listen_fd_ < 0) return fail();
+  if (::pipe(stop_pipe_) < 0) {
+    KCORE_LOG(kError) << "pipe(): " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail();
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void CorenessServer::RequestStop() {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  if (stop_requested_) return;
+  stop_requested_ = true;
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    (void)!::write(stop_pipe_[1], &byte, 1);
+  }
+  state_cv_.notify_all();
+}
+
+void CorenessServer::AcceptLoop() {
+  for (;;) {
+    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0},
+                             {stop_pipe_[0], POLLIN, 0}};
+    if (util::PollRetry(pfds, 2, -1) < 0) break;
+    if ((pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) break;
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    const std::size_t slot = conn_fds_.size();
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, slot] { ServeConnection(slot); });
+  }
+  std::lock_guard<std::mutex> lk(state_mu_);
+  accept_done_ = true;
+  // An accept-loop failure (poll/accept error) counts as a stop request:
+  // Wait() must not block on a server that can no longer serve.
+  stop_requested_ = true;
+  state_cv_.notify_all();
+}
+
+void CorenessServer::ServeConnection(std::size_t slot) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    fd = conn_fds_[slot];
+  }
+  std::vector<std::uint8_t> payload;
+  bool stop = false;
+  while (!stop && ReadFrame(fd, &payload)) {
+    if (!HandleFrame(fd, payload, &stop)) break;
+  }
+  if (stop) RequestStop();
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  if (conn_fds_[slot] >= 0) {
+    ::close(conn_fds_[slot]);
+    conn_fds_[slot] = -1;
+  }
+}
+
+bool CorenessServer::HandleFrame(int fd,
+                                 const std::vector<std::uint8_t>& payload,
+                                 bool* stop) {
+  util::WireReader r(payload.data(), payload.size());
+  std::uint64_t op = 0;
+  if (!r.TryFixed64(&op)) {
+    return WriteErrorFrame(fd, "truncated request (no opcode)");
+  }
+  switch (op) {
+    case kOpUpdateBatch:
+      return HandleUpdateBatch(fd, r);
+    case kOpQueryCoreness:
+      return HandleQueryCoreness(fd, r);
+    case kOpStats:
+      return HandleStats(fd);
+    case kOpShutdown: {
+      FrameBuilder b;
+      b.Fixed64(kStatusOk);
+      const bool ok = WriteFrame(fd, b.payload());
+      *stop = true;
+      return ok;
+    }
+    default:
+      return WriteErrorFrame(fd, "unknown opcode");
+  }
+}
+
+bool CorenessServer::HandleUpdateBatch(int fd, util::WireReader& r) {
+  std::uint64_t count = 0;
+  if (!r.TryVarint(&count) || count > kMaxFrameBytes) {
+    return WriteErrorFrame(fd, "malformed update batch header");
+  }
+  std::vector<EdgeUpdate> ops;
+  ops.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t kind = 0, u = 0, v = 0;
+    double w = 1.0;
+    if (!r.TryVarint(&kind) || !r.TryVarint(&u) || !r.TryVarint(&v) ||
+        !r.TryDouble(&w) || kind > 1) {
+      return WriteErrorFrame(fd, "malformed update batch body");
+    }
+    ops.push_back(EdgeUpdate{static_cast<EdgeUpdate::Kind>(kind),
+                             static_cast<NodeId>(u),
+                             static_cast<NodeId>(v), w});
+    if (u > opts_.max_nodes || v > opts_.max_nodes) {
+      // Keep the raw 64-bit id out of NodeId range issues: mark it
+      // unapplicable by pointing both endpoints at the cap (rejected
+      // below, deterministically).
+      ops.back().u = ops.back().v = opts_.max_nodes;
+    }
+  }
+
+  std::uint64_t applied = 0, rejected = 0, recomputations = 0, changed = 0;
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lk(update_mu_);
+    for (const EdgeUpdate& op : ops) {
+      const NodeId hi = std::max(op.u, op.v);
+      const bool id_ok =
+          op.u != op.v && hi < opts_.max_nodes &&
+          (hi < maintenance_.num_nodes() || opts_.allow_growth);
+      if (op.kind == EdgeUpdate::Kind::kInsert) {
+        if (!id_ok || !(op.w >= 0.0) || !std::isfinite(op.w)) {
+          ++rejected;
+          continue;
+        }
+        maintenance_.EnsureNodes(hi + 1);
+        const UpdateStats s = maintenance_.InsertEdge(op.u, op.v, op.w);
+        recomputations += s.recomputations;
+        changed += s.changed;
+        ++applied;
+      } else {
+        if (op.u == op.v || !maintenance_.HasEdge(op.u, op.v, op.w)) {
+          ++rejected;
+          continue;
+        }
+        const UpdateStats s = maintenance_.DeleteEdge(op.u, op.v, op.w);
+        recomputations += s.recomputations;
+        changed += s.changed;
+        ++applied;
+      }
+    }
+    total_updates_.fetch_add(applied, std::memory_order_relaxed);
+    PublishSnapshotLocked();
+    epoch = epoch_;
+  }
+
+  FrameBuilder b;
+  b.Fixed64(kStatusOk);
+  b.Varint(epoch);
+  b.Varint(applied);
+  b.Varint(rejected);
+  b.Varint(recomputations);
+  b.Varint(changed);
+  return WriteFrame(fd, b.payload());
+}
+
+bool CorenessServer::HandleQueryCoreness(int fd, util::WireReader& r) {
+  std::uint64_t count = 0;
+  if (!r.TryVarint(&count) || count > kMaxFrameBytes) {
+    return WriteErrorFrame(fd, "malformed query header");
+  }
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(count));
+  for (auto& id : ids) {
+    if (!r.TryVarint(&id)) {
+      return WriteErrorFrame(fd, "malformed query body");
+    }
+  }
+  // Reads answer from the published snapshot only: no maintenance lock,
+  // so a slow update batch never delays this reply.
+  const std::shared_ptr<const CorenessSnapshot> snap = snapshot();
+  FrameBuilder b;
+  b.Fixed64(kStatusOk);
+  b.Varint(snap->epoch);
+  b.Varint(ids.size());
+  for (std::uint64_t id : ids) {
+    b.Double(id < snap->coreness.size()
+                 ? snap->coreness[static_cast<std::size_t>(id)]
+                 : 0.0);
+  }
+  return WriteFrame(fd, b.payload());
+}
+
+bool CorenessServer::HandleStats(int fd) {
+  const std::shared_ptr<const CorenessSnapshot> snap = snapshot();
+  const std::uint64_t total = total_updates_.load(std::memory_order_relaxed);
+  FrameBuilder b;
+  b.Fixed64(kStatusOk);
+  b.Varint(snap->epoch);
+  b.Varint(snap->coreness.size());
+  b.Varint(snap->num_edges);
+  b.Double(snap->degeneracy);
+  b.Varint(total);
+  return WriteFrame(fd, b.payload());
+}
+
+void CorenessServer::JoinAll() {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Wake any handler blocked in ReadFrame, then join.
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (int fd : conn_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (int& fd : conn_fds_) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.socket_path.c_str());
+  }
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void CorenessServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lk(state_mu_);
+    if (!started_) return;
+    state_cv_.wait(lk, [this] { return stop_requested_ && accept_done_; });
+  }
+  JoinAll();
+}
+
+void CorenessServer::Stop() {
+  bool was_started;
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    was_started = started_;
+  }
+  if (!was_started) return;
+  RequestStop();
+  {
+    std::unique_lock<std::mutex> lk(state_mu_);
+    state_cv_.wait(lk, [this] { return accept_done_; });
+  }
+  JoinAll();
+}
+
+}  // namespace kcore::dynamic

@@ -1,0 +1,142 @@
+// Streaming coreness server: dynamic/maintain.h behind a live socket.
+//
+// A CorenessServer owns one DynamicCoreMaintenance instance and a Unix
+// stream socket. Clients (dynamic/client.h, or anything speaking
+// dynamic/protocol.h) send batched edge insert/delete frames and
+// coreness / degeneracy / stats queries; the server applies updates
+// through the LOCALIZED incremental maintenance (each insert/delete
+// touches the affected neighborhood, not the graph) and answers reads
+// from an epoch-swapped snapshot.
+//
+// Concurrency model — reads never block updates:
+//
+//   * One accept thread; one thread per live connection.
+//   * Updates serialize on update_mu_ (the maintenance engine is the
+//     single writer). After each applied batch the server publishes a
+//     fresh immutable CorenessSnapshot (epoch, coreness vector,
+//     degeneracy) by swapping a shared_ptr under a separate mutex whose
+//     critical section is two pointer copies.
+//   * Queries copy the current snapshot pointer and answer from that
+//     immutable object — a query thread never waits on maintenance
+//     work, and an in-flight query keeps reading its epoch even while
+//     the next batch is being applied.
+//
+// Robustness: a client that dies mid-frame, sends an oversized length,
+// or streams garbage only loses its own connection; every other client
+// keeps streaming, and shutdown (kOpShutdown or Stop()) drains cleanly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dynamic/maintain.h"
+#include "dynamic/protocol.h"
+#include "graph/graph.h"
+
+namespace kcore::dynamic {
+
+struct ServerOptions {
+  // Filesystem path the Unix stream socket binds to (unlinked first).
+  std::string socket_path;
+  // Node universe at start (ids in [0, initial_nodes)).
+  NodeId initial_nodes = 0;
+  // Admit inserts mentioning ids >= the current universe by growing it
+  // (up to max_nodes). When false such updates are rejected.
+  bool allow_growth = true;
+  // Hard ceiling on the node universe — a hostile 4-billion id must not
+  // allocate the world.
+  NodeId max_nodes = 1u << 22;
+};
+
+// Immutable versioned view answered to queries. epoch starts at 1 (the
+// initial publish) and advances by 1 per applied update batch.
+struct CorenessSnapshot {
+  std::uint64_t epoch = 0;
+  std::size_t num_edges = 0;
+  double degeneracy = 0.0;  // max coreness
+  std::vector<double> coreness;
+};
+
+class CorenessServer {
+ public:
+  // Starts from an edgeless universe of opts.initial_nodes nodes.
+  explicit CorenessServer(ServerOptions opts);
+  // Starts from an existing graph (fixpoint computed up front).
+  CorenessServer(ServerOptions opts, const graph::Graph& seed);
+  ~CorenessServer();
+
+  CorenessServer(const CorenessServer&) = delete;
+  CorenessServer& operator=(const CorenessServer&) = delete;
+
+  // Binds, listens, and spawns the accept thread. False (with a log) on
+  // socket errors.
+  bool Start();
+
+  // Blocks until a shutdown request (kOpShutdown or RequestStop), then
+  // joins every thread and removes the socket. Safe to call once from
+  // the owning thread.
+  void Wait();
+
+  // Asks the server to stop; returns immediately. Safe from any thread,
+  // including connection handlers.
+  void RequestStop();
+
+  // RequestStop + Wait. Idempotent.
+  void Stop();
+
+  // Current published snapshot (never null after Start). Test hook and
+  // in-process read path.
+  std::shared_ptr<const CorenessSnapshot> snapshot() const;
+
+  std::uint64_t total_updates_applied() const;
+  const std::string& socket_path() const { return opts_.socket_path; }
+
+ private:
+  void PublishSnapshotLocked();  // caller holds update_mu_
+  void AcceptLoop();
+  void ServeConnection(std::size_t slot);
+  // Handles one decoded request frame; returns false to drop the
+  // connection. Sets *stop when the frame was a shutdown request.
+  bool HandleFrame(int fd, const std::vector<std::uint8_t>& payload,
+                   bool* stop);
+  bool HandleUpdateBatch(int fd, util::WireReader& r);
+  bool HandleQueryCoreness(int fd, util::WireReader& r);
+  bool HandleStats(int fd);
+  void JoinAll();
+
+  ServerOptions opts_;
+
+  // The single-writer maintenance engine and its publish state.
+  mutable std::mutex update_mu_;
+  DynamicCoreMaintenance maintenance_;
+  std::uint64_t epoch_ = 0;
+  std::atomic<std::uint64_t> total_updates_{0};
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const CorenessSnapshot> snapshot_;
+
+  // Lifecycle.
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  bool started_ = false;
+  bool stop_requested_ = false;
+  bool accept_done_ = false;
+  bool joined_ = false;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+
+  // Connection registry: fd slots (-1 when closed) + handler threads,
+  // appended by the accept loop, shut down and joined at Stop.
+  std::mutex conns_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace kcore::dynamic

@@ -1,6 +1,9 @@
 #include "graph/io.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -34,7 +37,26 @@ std::optional<LoadResult> ParseStream(std::istream& in, bool merge_parallel) {
                         << line << "'";
       return std::nullopt;
     }
-    if (!(ls >> w)) w = 1.0;
+    // The third token, if present, must be a complete finite number — a
+    // junk token ("1 2 oops") must not silently load as w=1.
+    std::string tok;
+    if (ls >> tok) {
+      char* end = nullptr;
+      errno = 0;
+      w = std::strtod(tok.c_str(), &end);
+      if (end != tok.c_str() + tok.size() || errno == ERANGE ||
+          !std::isfinite(w)) {
+        KCORE_LOG(kError) << "malformed weight '" << tok << "' at line "
+                          << lineno;
+        return std::nullopt;
+      }
+      std::string extra;
+      if (ls >> extra) {
+        KCORE_LOG(kError) << "trailing garbage '" << extra << "' at line "
+                          << lineno;
+        return std::nullopt;
+      }
+    }
     if (w < 0.0) {
       KCORE_LOG(kError) << "negative weight at line " << lineno;
       return std::nullopt;

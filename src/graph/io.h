@@ -19,8 +19,10 @@ struct LoadResult {
   std::vector<std::uint64_t> original_ids;
 };
 
-// Reads an edge list; returns std::nullopt (and logs) on I/O or parse
-// errors. Missing weights default to 1. Self-loops are kept; duplicate
+// Reads an edge list; returns std::nullopt (and logs a line-numbered
+// error) on I/O or parse errors. Missing weights default to 1; a
+// malformed weight token or trailing garbage after the weight is a
+// parse error, never a silent w=1. Self-loops are kept; duplicate
 // lines produce parallel edges unless merge_parallel is set.
 std::optional<LoadResult> LoadEdgeList(const std::string& path,
                                        bool merge_parallel = true);

@@ -80,6 +80,16 @@ bool WireReader::TryFixed64(std::uint64_t* out) {
   return true;
 }
 
+bool WireReader::TryRaw(void* out, std::size_t len) {
+  if (failed_ || static_cast<std::size_t>(end_ - p_) < len) {
+    failed_ = true;
+    return false;
+  }
+  std::memcpy(out, p_, len);
+  p_ += len;
+  return true;
+}
+
 bool WireReader::TryDouble(double* out) {
   std::uint64_t bits = 0;
   if (!TryFixed64(&bits)) return false;

@@ -74,6 +74,9 @@ class WireReader {
   bool TryVarint(std::uint64_t* out);
   bool TryFixed64(std::uint64_t* out);
   bool TryDouble(double* out);
+  // Copies `len` raw bytes (an embedded string/blob whose length came
+  // from a preceding varint) into out.
+  bool TryRaw(void* out, std::size_t len);
 
   // Checked getters: KCORE_CHECK on truncated/overlong input. For
   // internal buffers (transport frames, packed segments) where a decode

@@ -106,6 +106,67 @@ TEST(DynamicCore, PendantDeletionIsLocal) {
   }
 }
 
+TEST(DynamicCore, PendantInsertIsLocal) {
+  // Regression for the O(n)-per-insert lift: attaching a fresh pendant
+  // must recompute only the pendant's neighborhood. The localized region
+  // closure starts from eligible endpoints only; the hub is not eligible
+  // (its coreness cannot rise past c(pendant)+w = 1), so the region is
+  // {pendant} and the descent touches the pendant plus the one neighbor
+  // re-checked after its change.
+  util::Rng rng(3);
+  const graph::Graph g = graph::BarabasiAlbert(2000, 3, rng);
+  DynamicCoreMaintenance m(2001);
+  for (const graph::Edge& e : g.edges()) m.InsertEdge(e.u, e.v, e.w);
+  const auto before = m.coreness();
+  const UpdateStats ins = m.InsertEdge(0, 2000);
+  EXPECT_DOUBLE_EQ(m.coreness()[2000], 1.0);
+  EXPECT_LE(ins.region, 2u) << "region must not spread past the endpoints";
+  EXPECT_LE(ins.recomputations, 8u)
+      << "pendant insert must be O(neighborhood), not O(n)";
+  for (NodeId v = 0; v < 2000; ++v) {
+    ASSERT_DOUBLE_EQ(m.coreness()[v], before[v]);
+  }
+}
+
+TEST(DynamicCore, LocalizedInsertMatchesGlobalOracleBitExact) {
+  // 500 mixed ops applied to two instances: the localized InsertEdge
+  // and the retained global lift-and-descend oracle. Both descents
+  // start from states that dominate the new greatest fixpoint, so with
+  // exactly-representable weights they converge to the SAME doubles bit
+  // for bit — EXPECT_EQ, not NEAR.
+  util::Rng rng(77);
+  const NodeId n = 120;
+  DynamicCoreMaintenance fast(n);
+  DynamicCoreMaintenance oracle(n);
+  const double kWeights[] = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0};
+  std::vector<std::tuple<NodeId, NodeId, double>> live;
+  for (int step = 0; step < 500; ++step) {
+    if (!live.empty() && rng.NextBool(0.3)) {
+      const std::size_t idx = rng.NextBounded(live.size());
+      const auto [u, v, w] = live[idx];
+      live[idx] = live.back();
+      live.pop_back();
+      fast.DeleteEdge(u, v, w);
+      oracle.DeleteEdge(u, v, w);
+    } else {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+      NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+      if (u == v) v = (v + 1) % n;
+      const double w = kWeights[rng.NextBounded(6)];
+      fast.InsertEdge(u, v, w);
+      oracle.InsertEdgeGlobalOracle(u, v, w);
+      live.emplace_back(u, v, w);
+    }
+    const auto& a = fast.coreness();
+    const auto& b = oracle.coreness();
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(a[v], b[v]) << "fixpoints diverged at step " << step
+                            << ", node " << v;
+    }
+  }
+  ExpectMatchesScratch(fast);
+}
+
 TEST(DynamicCore, ParallelEdgesSupported) {
   DynamicCoreMaintenance m(2);
   m.InsertEdge(0, 1, 1.0);

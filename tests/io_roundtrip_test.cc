@@ -108,6 +108,24 @@ TEST(IoRoundTrip, ParseRejectsGarbageAndNegativeWeights) {
   EXPECT_FALSE(LoadEdgeList("/nonexistent/path/to/graph.txt").has_value());
 }
 
+TEST(IoRoundTrip, ParseRejectsTrailingGarbageOnWeight) {
+  // A junk third token must be a parse error, never a silent w=1.
+  EXPECT_FALSE(ParseEdgeList("1 2 oops\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("1 2 3.5x\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("1 2 3.5 junk\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("1 2 nan\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("1 2 inf\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("1 2 1e999\n").has_value());
+  // Well-formed weights (incl. scientific notation and trailing
+  // whitespace) still load.
+  const auto ok = ParseEdgeList("1 2 2.5\n2 3 1e-3 \t\n3 4\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->graph.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(ok->graph.edge(0).w, 2.5);
+  EXPECT_DOUBLE_EQ(ok->graph.edge(1).w, 1e-3);
+  EXPECT_DOUBLE_EQ(ok->graph.edge(2).w, 1.0);
+}
+
 TEST(IoRoundTrip, EmptyInputsYieldEmptyGraph) {
   const auto empty = ParseEdgeList("");
   ASSERT_TRUE(empty.has_value());

@@ -1,0 +1,270 @@
+// End-to-end tests for the streaming coreness server: real Unix
+// sockets, real client round trips, epoch semantics, growth and
+// rejection accounting, snapshot immutability, and robustness against
+// clients that die mid-frame.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "dynamic/client.h"
+#include "dynamic/protocol.h"
+#include "dynamic/server.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace kcore::dynamic {
+namespace {
+
+// Short unique socket path (sun_path caps out around 108 bytes, so
+// ::testing::TempDir() nesting is avoided on purpose).
+std::string SocketPath(const char* tag) {
+  return "/tmp/kcore_srv_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+ServerOptions Options(const char* tag, NodeId n) {
+  ServerOptions opts;
+  opts.socket_path = SocketPath(tag);
+  opts.initial_nodes = n;
+  return opts;
+}
+
+TEST(CorenessServer, BatchUpdateQueryRoundTrip) {
+  CorenessServer server(Options("rt", 8));
+  ASSERT_TRUE(server.Start());
+  CorenessClient client;
+  ASSERT_TRUE(client.ConnectWithRetry(server.socket_path(), 100, 10));
+
+  const EdgeUpdate triangle[] = {
+      {EdgeUpdate::Kind::kInsert, 0, 1, 1.0},
+      {EdgeUpdate::Kind::kInsert, 1, 2, 1.0},
+      {EdgeUpdate::Kind::kInsert, 0, 2, 1.0},
+  };
+  const auto ack = client.ApplyUpdates(triangle);
+  ASSERT_TRUE(ack) << client.last_error();
+  EXPECT_EQ(ack->epoch, 2u);  // initial publish is epoch 1
+  EXPECT_EQ(ack->applied, 3u);
+  EXPECT_EQ(ack->rejected, 0u);
+  EXPECT_GT(ack->recomputations, 0u);
+
+  const NodeId ids[] = {0, 1, 2, 3};
+  const auto reply = client.QueryCoreness(ids);
+  ASSERT_TRUE(reply) << client.last_error();
+  EXPECT_EQ(reply->epoch, 2u);
+  ASSERT_EQ(reply->values.size(), 4u);
+  EXPECT_DOUBLE_EQ(reply->values[0], 2.0);
+  EXPECT_DOUBLE_EQ(reply->values[1], 2.0);
+  EXPECT_DOUBLE_EQ(reply->values[2], 2.0);
+  EXPECT_DOUBLE_EQ(reply->values[3], 0.0);
+
+  const EdgeUpdate del[] = {{EdgeUpdate::Kind::kDelete, 0, 1, 1.0}};
+  const auto ack2 = client.ApplyUpdates(del);
+  ASSERT_TRUE(ack2) << client.last_error();
+  EXPECT_EQ(ack2->epoch, 3u) << "every applied batch advances the epoch";
+  const auto reply2 = client.QueryCoreness(ids);
+  ASSERT_TRUE(reply2);
+  EXPECT_DOUBLE_EQ(reply2->values[0], 1.0);
+
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats) << client.last_error();
+  EXPECT_EQ(stats->epoch, 3u);
+  EXPECT_EQ(stats->num_nodes, 8u);
+  EXPECT_EQ(stats->num_edges, 2u);
+  EXPECT_DOUBLE_EQ(stats->degeneracy, 1.0);
+  EXPECT_EQ(stats->total_updates, 4u);
+
+  EXPECT_TRUE(client.Shutdown()) << client.last_error();
+  server.Wait();
+}
+
+TEST(CorenessServer, RejectsInvalidOpsWithoutDroppingBatch) {
+  CorenessServer server(Options("rej", 4));
+  ASSERT_TRUE(server.Start());
+  CorenessClient client;
+  ASSERT_TRUE(client.ConnectWithRetry(server.socket_path(), 100, 10));
+
+  const EdgeUpdate batch[] = {
+      {EdgeUpdate::Kind::kInsert, 0, 0, 1.0},   // self-loop: rejected
+      {EdgeUpdate::Kind::kInsert, 0, 1, -2.0},  // negative weight: rejected
+      {EdgeUpdate::Kind::kDelete, 2, 3, 1.0},   // missing edge: rejected
+      {EdgeUpdate::Kind::kInsert, 0, 1, 1.0},   // fine
+  };
+  const auto ack = client.ApplyUpdates(batch);
+  ASSERT_TRUE(ack) << client.last_error();
+  EXPECT_EQ(ack->applied, 1u);
+  EXPECT_EQ(ack->rejected, 3u);
+  const NodeId ids[] = {0, 1};
+  const auto reply = client.QueryCoreness(ids);
+  ASSERT_TRUE(reply);
+  EXPECT_DOUBLE_EQ(reply->values[0], 1.0);
+  EXPECT_DOUBLE_EQ(reply->values[1], 1.0);
+  server.Stop();
+}
+
+TEST(CorenessServer, GrowsUniverseOnDemand) {
+  CorenessServer server(Options("grow", 4));
+  ASSERT_TRUE(server.Start());
+  CorenessClient client;
+  ASSERT_TRUE(client.ConnectWithRetry(server.socket_path(), 100, 10));
+
+  const EdgeUpdate batch[] = {{EdgeUpdate::Kind::kInsert, 2, 100, 1.0}};
+  const auto ack = client.ApplyUpdates(batch);
+  ASSERT_TRUE(ack) << client.last_error();
+  EXPECT_EQ(ack->applied, 1u);
+  const NodeId ids[] = {2, 100, 50};
+  const auto reply = client.QueryCoreness(ids);
+  ASSERT_TRUE(reply);
+  EXPECT_DOUBLE_EQ(reply->values[0], 1.0);
+  EXPECT_DOUBLE_EQ(reply->values[1], 1.0);
+  EXPECT_DOUBLE_EQ(reply->values[2], 0.0) << "grown but untouched id is 0";
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats);
+  EXPECT_GE(stats->num_nodes, 101u);
+  server.Stop();
+}
+
+TEST(CorenessServer, NoGrowthRejectsOutOfUniverseIds) {
+  ServerOptions opts = Options("nogrow", 4);
+  opts.allow_growth = false;
+  CorenessServer server(opts);
+  ASSERT_TRUE(server.Start());
+  CorenessClient client;
+  ASSERT_TRUE(client.ConnectWithRetry(server.socket_path(), 100, 10));
+  const EdgeUpdate batch[] = {
+      {EdgeUpdate::Kind::kInsert, 2, 100, 1.0},
+      {EdgeUpdate::Kind::kInsert, 0, 1, 1.0},
+  };
+  const auto ack = client.ApplyUpdates(batch);
+  ASSERT_TRUE(ack) << client.last_error();
+  EXPECT_EQ(ack->applied, 1u);
+  EXPECT_EQ(ack->rejected, 1u);
+  server.Stop();
+}
+
+TEST(CorenessServer, SeededGraphAnswersImmediately) {
+  util::Rng rng(5);
+  const graph::Graph g = graph::BarabasiAlbert(200, 3, rng);
+  CorenessServer server(Options("seeded", 200), g);
+  ASSERT_TRUE(server.Start());
+  const auto snap = server.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch, 1u);
+  EXPECT_EQ(snap->num_edges, g.num_edges());
+  EXPECT_GT(snap->degeneracy, 0.0);
+  CorenessClient client;
+  ASSERT_TRUE(client.ConnectWithRetry(server.socket_path(), 100, 10));
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->num_edges, g.num_edges());
+  EXPECT_DOUBLE_EQ(stats->degeneracy, snap->degeneracy);
+  server.Stop();
+}
+
+TEST(CorenessServer, SnapshotsAreImmutableAcrossEpochs) {
+  CorenessServer server(Options("snap", 4));
+  ASSERT_TRUE(server.Start());
+  CorenessClient client;
+  ASSERT_TRUE(client.ConnectWithRetry(server.socket_path(), 100, 10));
+
+  const EdgeUpdate first[] = {{EdgeUpdate::Kind::kInsert, 0, 1, 1.0}};
+  ASSERT_TRUE(client.ApplyUpdates(first));
+  const auto old_snap = server.snapshot();
+  const std::uint64_t old_epoch = old_snap->epoch;
+  const std::vector<double> old_coreness = old_snap->coreness;
+
+  const EdgeUpdate second[] = {
+      {EdgeUpdate::Kind::kInsert, 1, 2, 1.0},
+      {EdgeUpdate::Kind::kInsert, 0, 2, 1.0},
+  };
+  ASSERT_TRUE(client.ApplyUpdates(second));
+
+  // The pointer we took before the batch still reads the old epoch and
+  // the old values — in-flight queries are never retroactively mutated.
+  EXPECT_EQ(old_snap->epoch, old_epoch);
+  EXPECT_EQ(old_snap->coreness, old_coreness);
+  const auto new_snap = server.snapshot();
+  EXPECT_EQ(new_snap->epoch, old_epoch + 1);
+  EXPECT_DOUBLE_EQ(new_snap->coreness[0], 2.0);
+  EXPECT_DOUBLE_EQ(old_snap->coreness[0], 1.0);
+  server.Stop();
+}
+
+TEST(CorenessServer, KilledClientMidFrameOnlyDropsThatConnection) {
+  CorenessServer server(Options("kill", 4));
+  ASSERT_TRUE(server.Start());
+
+  // A raw client that writes 3 bytes of the 8-byte length prefix and
+  // dies. The server must drop this connection and keep serving.
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = server.socket_path();
+    ASSERT_LT(path.size() + 1, sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const char partial[3] = {0x10, 0x00, 0x00};
+    ASSERT_EQ(::write(fd, partial, sizeof(partial)), 3);
+    ::close(fd);
+  }
+
+  CorenessClient client;
+  ASSERT_TRUE(client.ConnectWithRetry(server.socket_path(), 100, 10));
+  const EdgeUpdate batch[] = {{EdgeUpdate::Kind::kInsert, 0, 1, 1.0}};
+  const auto ack = client.ApplyUpdates(batch);
+  ASSERT_TRUE(ack) << "server must survive a client dying mid-frame: "
+                   << client.last_error();
+  EXPECT_EQ(ack->applied, 1u);
+  EXPECT_TRUE(client.Shutdown());
+  server.Wait();
+}
+
+TEST(CorenessServer, OversizedFrameIsRefusedSafely) {
+  CorenessServer server(Options("huge", 4));
+  ASSERT_TRUE(server.Start());
+
+  // Announce a frame bigger than kMaxFrameBytes; the server must drop
+  // the connection instead of allocating 2^60 bytes.
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = server.socket_path();
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::uint64_t huge = 1ull << 60;
+    ASSERT_EQ(::write(fd, &huge, sizeof(huge)),
+              static_cast<ssize_t>(sizeof(huge)));
+    // The server closes on us; either read returns 0 (EOF) or the
+    // write side errors later. Just confirm we get EOF eventually.
+    char buf[8];
+    EXPECT_LE(::read(fd, buf, sizeof(buf)), 0);
+    ::close(fd);
+  }
+
+  CorenessClient client;
+  ASSERT_TRUE(client.ConnectWithRetry(server.socket_path(), 100, 10));
+  EXPECT_TRUE(client.Stats()) << client.last_error();
+  server.Stop();
+}
+
+TEST(CorenessServer, StopWithoutClientsIsClean) {
+  CorenessServer server(Options("idle", 4));
+  ASSERT_TRUE(server.Start());
+  server.Stop();
+  // Idempotent.
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace kcore::dynamic
