@@ -7,20 +7,47 @@
 // per lambda: worst-case quality inflation vs the exact run, the peak and
 // mean number of distinct broadcast values per round (the alphabet
 // actually used), and the sandwich check of Corollary III.10.
+//
+// --json=PATH writes one row per (graph, lambda) to a committed
+// BENCH_message_size.json results file (same trajectory convention as
+// BENCH_dynamic.json).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench/common.h"
+#include "bench/json.h"
 #include "core/compact.h"
 #include "graph/generators.h"
 #include "seq/kcore.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
 
 using kcore::graph::NodeId;
 
-int main() {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_message_size [options]\n"
+    "\n"
+    "  --json=PATH   write results as JSON (the BENCH_message_size.json "
+    "row format)\n"
+    "  --help        this text\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kcore::util::Flags flags;
+  flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  kcore::bench::JsonDoc doc("message_size");
+  kcore::bench::JsonDoc* docp = flags.Has("json") ? &doc : nullptr;
+
   std::printf("EXP-7: Lambda-discretization (Corollary III.10)\n\n");
   kcore::util::Table t({"graph", "lambda", "max b_l/b_exact", "min b_l/b_exact",
                         "peak distinct/round", "mean distinct/round",
@@ -68,11 +95,35 @@ int main() {
           .Dbl(mean, 1)
           .Dbl(peak > 1 ? std::log2(static_cast<double>(peak)) : 0.0, 1)
           .Str(sandwich ? "yes" : "NO");
+      if (docp != nullptr) {
+        docp->AddRow()
+            .Str("graph", w.name)
+            .Int("n", g.num_nodes())
+            .Int("edges", static_cast<long long>(g.num_edges()))
+            .Int("rounds", T)
+            .Num("lambda", lambda)
+            .Num("max_ratio", max_ratio)
+            .Num("min_ratio", min_ratio)
+            .Int("peak_distinct_per_round", static_cast<long long>(peak))
+            .Num("mean_distinct_per_round", mean)
+            .Num("alphabet_bits",
+                 peak > 1 ? std::log2(static_cast<double>(peak)) : 0.0)
+            .Bool("sandwich_holds", sandwich);
+      }
     }
   }
   t.Print();
   std::printf(
       "\nShape check: larger lambda shrinks the per-round alphabet "
       "(CONGEST-friendly) while min ratio stays >= 1/(1+lambda).\n");
+  if (docp != nullptr) {
+    const std::string path = flags.GetString("json");
+    if (!doc.WriteFile(path)) {
+      std::fprintf(stderr, "bench_message_size: cannot write %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+  }
   return 0;
 }

@@ -28,19 +28,41 @@
 // rides along as a determinism cross-check on exactly these graphs —
 // with both the shared-memory and the serialized (alltoallv-style)
 // transports, reporting the serialized rows' real wire volume.
+//
+// A fourth section (--ingest-edges) is the huge-graph ingestion bench
+// (ROADMAP item 2): a synthetic BA graph of the requested edge count is
+// written in BOTH on-disk formats, loaded back through the line-by-line
+// text parser and the mmap binary loader (graph/binio.h), and the loaded
+// graph — verified bit-identical across the two paths by edge-stream
+// hash — is pushed through Compact and Montresor. Rank-sliced loads
+// (LoadBinarySlice over the engine's rank-bounds arithmetic) ride along
+// with a coverage check. Reported: edges/sec per format, per-rank slice
+// sizes, rounds/sec for both algorithms at this scale.
+//
+// --json=PATH writes every section's rows to a committed
+// BENCH_parallel_scaling.json results file (same trajectory convention
+// as BENCH_dynamic.json).
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/json.h"
 #include "core/compact.h"
+#include "core/montresor.h"
 #include "distsim/engine.h"
 #include "distsim/thread_pool.h"
 #include "distsim/transport.h"
+#include "graph/binio.h"
 #include "graph/generators.h"
+#include "graph/io.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -50,6 +72,19 @@ namespace {
 using namespace kcore;
 
 constexpr std::uint64_t kMasterSeed = 2019;  // engine RNG-stream seed knob
+
+constexpr const char kUsage[] =
+    "usage: bench_parallel_scaling [options] [num_nodes]\n"
+    "\n"
+    "  --n=N             scaling-section graph size, 16..50000000\n"
+    "                    (default 100000; a positional argument works too)\n"
+    "  --ingest-edges=M  ingestion-section synthetic graph size in edges;\n"
+    "                    0 skips the section (default 10000000)\n"
+    "  --ranks=R         rank-sliced loads in the ingestion section\n"
+    "                    (default 4)\n"
+    "  --json=PATH       write all rows as JSON (the\n"
+    "                    BENCH_parallel_scaling.json row format)\n"
+    "  --help            this text\n";
 
 // Collect-stressor: every node draws from its private stream
 // (NodeContext::Rng), broadcasts a 1-4 entry payload, and sends a p2p
@@ -90,7 +125,7 @@ class GossipStress : public distsim::Protocol {
   std::vector<std::uint64_t> digest_;
 };
 
-int RunComputeHeavy(const graph::Graph& g) {
+int RunComputeHeavy(const graph::Graph& g, bench::JsonDoc* doc) {
   const int T = core::RoundsForEpsilon(g.num_nodes(), 0.5);
   std::printf(
       "\n[compute-heavy] compact elimination, T=%d rounds, eps=0.5\n", T);
@@ -125,6 +160,18 @@ int RunComputeHeavy(const graph::Graph& g) {
         .Dbl(static_cast<double>(T) / best, 1)
         .Dbl(seq_seconds / best, 2)
         .Str(b == reference.b ? "yes" : "NO — BUG");
+    if (doc != nullptr) {
+      doc->AddRow()
+          .Str("section", "compute-heavy")
+          .Int("n", g.num_nodes())
+          .Int("edges", static_cast<long long>(g.num_edges()))
+          .Int("threads", threads)
+          .Int("rounds", T)
+          .Num("seconds", best)
+          .Num("rounds_per_sec", static_cast<double>(T) / best)
+          .Num("speedup", seq_seconds / best)
+          .Bool("deterministic", b == reference.b);
+    }
     if (b != reference.b) {
       std::fprintf(stderr, "determinism violation at %d threads\n", threads);
       return 1;
@@ -134,7 +181,7 @@ int RunComputeHeavy(const graph::Graph& g) {
   return 0;
 }
 
-int RunCollectHeavy(const graph::Graph& g, int rounds) {
+int RunCollectHeavy(const graph::Graph& g, int rounds, bench::JsonDoc* doc) {
   std::printf(
       "\n[collect-heavy] randomized gossip (broadcast + p2p + per-node "
       "RNG), %d rounds, master seed %llu\n",
@@ -168,6 +215,18 @@ int RunCollectHeavy(const graph::Graph& g, int rounds) {
         .Dbl(static_cast<double>(rounds) / best, 1)
         .Dbl(seq_seconds / best, 2)
         .Str(digest == reference ? "yes" : "NO — BUG");
+    if (doc != nullptr) {
+      doc->AddRow()
+          .Str("section", "collect-heavy")
+          .Int("n", g.num_nodes())
+          .Int("edges", static_cast<long long>(g.num_edges()))
+          .Int("threads", threads)
+          .Int("rounds", rounds)
+          .Num("seconds", best)
+          .Num("rounds_per_sec", static_cast<double>(rounds) / best)
+          .Num("speedup", seq_seconds / best)
+          .Bool("deterministic", digest == reference);
+    }
     if (digest != reference) {
       std::fprintf(stderr, "determinism violation at %d threads\n", threads);
       return 1;
@@ -201,7 +260,8 @@ ShardLoad LoadOf(const std::vector<std::uint64_t>& weights,
 }
 
 void ShardSpreadRows(util::Table& table, const char* name,
-                     const graph::Graph& g, int shards) {
+                     const graph::Graph& g, int shards,
+                     bench::JsonDoc* doc) {
   std::vector<std::uint64_t> w(g.num_nodes());
   for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
     w[v] = static_cast<std::uint64_t>(g.Degree(v)) + 1;
@@ -227,6 +287,19 @@ void ShardSpreadRows(util::Table& table, const char* name,
       .UInt(lw.max)
       .Dbl(lw.mean, 1)
       .Dbl(lw.spread(), 2);
+  if (doc != nullptr) {
+    for (const auto& [partition, load] :
+         {std::pair{"equal-count", le}, std::pair{"weighted", lw}}) {
+      doc->AddRow()
+          .Str("section", "shard-balance")
+          .Str("graph", name)
+          .Str("partition", partition)
+          .Int("shards", shards)
+          .Int("max_shard_w", static_cast<long long>(load.max))
+          .Num("mean_shard_w", load.mean)
+          .Num("spread", load.spread());
+    }
+  }
 }
 
 // Gossip on a skewed graph, 1-thread reference vs 8 threads with
@@ -236,7 +309,7 @@ void ShardSpreadRows(util::Table& table, const char* name,
 // packed (bytes_sent must equal bytes_received, and be independent of
 // the thread count — cross-checked against a 1-thread serialized run).
 int RunBalancedDeterminism(const graph::Graph& g, const char* name,
-                           int rounds) {
+                           int rounds, bench::JsonDoc* doc) {
   GossipStress ref(g.num_nodes());
   distsim::Engine e1(g, 1);
   e1.SetSeed(kMasterSeed);
@@ -303,10 +376,24 @@ int RunBalancedDeterminism(const graph::Graph& g, const char* name,
   std::printf("  %-10s 4-rank process exchange:      %s (bytes_sent=%zu)\n",
               name, proc_ok ? "bit-identical" : "MISMATCH — BUG",
               pt.bytes_sent);
+  if (doc != nullptr) {
+    const auto add = [&](const char* transport, std::size_t bytes, bool ok) {
+      doc->AddRow()
+          .Str("section", "balanced-determinism")
+          .Str("graph", name)
+          .Str("transport", transport)
+          .Int("rounds", rounds)
+          .Int("bytes_sent", static_cast<long long>(bytes))
+          .Bool("deterministic", ok);
+    };
+    add("shared", e8->totals().bytes_sent, shm_ok);
+    add("serialized", st.bytes_sent, ser_ok);
+    add("process", pt.bytes_sent, proc_ok);
+  }
   return shm_ok && ser_ok && proc_ok ? 0 : 1;
 }
 
-int RunShardBalance(const graph::Graph& ba) {
+int RunShardBalance(const graph::Graph& ba, bench::JsonDoc* doc) {
   constexpr int kShards = 8;
   std::printf(
       "\n[shard-balance] per-shard degree+1 load, equal-count vs weighted "
@@ -319,27 +406,244 @@ int RunShardBalance(const graph::Graph& ba) {
 
   util::Table table({"graph", "partition", "max_shard_w", "mean_shard_w",
                      "spread"});
-  ShardSpreadRows(table, "star", star, kShards);
-  ShardSpreadRows(table, "power-law", pl, kShards);
-  ShardSpreadRows(table, "ba", ba, kShards);
+  ShardSpreadRows(table, "star", star, kShards, doc);
+  ShardSpreadRows(table, "power-law", pl, kShards, doc);
+  ShardSpreadRows(table, "ba", ba, kShards, doc);
   table.Print();
 
   std::printf("\n  determinism cross-check (30 rounds of gossip):\n");
-  if (int rc = RunBalancedDeterminism(star, "star", 30)) return rc;
-  if (int rc = RunBalancedDeterminism(pl, "power-law", 30)) return rc;
-  return RunBalancedDeterminism(ba, "ba", 30);
+  if (int rc = RunBalancedDeterminism(star, "star", 30, doc)) return rc;
+  if (int rc = RunBalancedDeterminism(pl, "power-law", 30, doc)) return rc;
+  return RunBalancedDeterminism(ba, "ba", 30, doc);
+}
+
+// Order-sensitive FNV-1a over the edge stream (endpoints + weight bit
+// patterns). Two loads are "bit-identical" iff n and this hash agree —
+// letting the bench compare a text load against a binary load without
+// holding both multi-hundred-MB graphs in memory at once.
+std::uint64_t EdgeStreamHash(const graph::Graph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h = (h ^ x) * 0x100000001b3ULL;
+  };
+  mix(g.num_nodes());
+  for (const graph::Edge& e : g.edges()) {
+    mix(e.u);
+    mix(e.v);
+    std::uint64_t wbits = 0;
+    std::memcpy(&wbits, &e.w, sizeof(wbits));
+    mix(wbits);
+  }
+  return h;
+}
+
+// The huge-graph ingestion bench (ROADMAP item 2): text parser vs mmap
+// binary loader on a BA graph of ~target_edges edges, rank-sliced loads,
+// then Compact + Montresor at that scale.
+int RunIngestion(std::uint64_t target_edges, int ranks,
+                 bench::JsonDoc* doc) {
+  const graph::NodeId n = static_cast<graph::NodeId>(
+      std::max<std::uint64_t>(16, target_edges / 4));
+  std::printf("\n[ingestion] BA n=%u (targeting %llu edges), %d ranks\n", n,
+              static_cast<unsigned long long>(target_edges), ranks);
+
+  const std::string stem =
+      "/tmp/kcore_bench_ingest_" + std::to_string(::getpid());
+  const std::string bin_path = stem + ".bin";
+  const std::string txt_path = stem + ".txt";
+
+  std::uint64_t want_hash = 0;
+  std::size_t m = 0;
+  double save_bin_s = 0.0;
+  double save_txt_s = 0.0;
+  {
+    util::Rng rng(7);
+    util::Timer gen;
+    const graph::Graph g = graph::BarabasiAlbert(n, 4, rng);
+    m = g.num_edges();
+    std::printf("  generated m=%zu in %.2fs\n", m, gen.Seconds());
+    want_hash = EdgeStreamHash(g);
+    util::Timer tb;
+    if (!graph::SaveBinary(g, bin_path)) return 1;
+    save_bin_s = tb.Seconds();
+    util::Timer tt;
+    if (!graph::SaveEdgeList(g, txt_path)) return 1;
+    save_txt_s = tt.Seconds();
+  }  // the generated graph is gone before any load is timed
+
+  util::Table table({"path", "seconds", "edges_per_sec", "bit_identical"});
+  const auto row = [&](const char* path, double seconds, bool same) {
+    const double eps = static_cast<double>(m) / seconds;
+    table.Row().Str(path).Dbl(seconds, 3).Dbl(eps, 0).Str(
+        same ? "yes" : "NO — BUG");
+    if (doc != nullptr) {
+      doc->AddRow()
+          .Str("section", "ingest-load")
+          .Str("path", path)
+          .Int("n", n)
+          .Int("edges", static_cast<long long>(m))
+          .Num("seconds", seconds)
+          .Num("edges_per_sec", eps)
+          .Bool("bit_identical", same);
+    }
+    return same;
+  };
+
+  bool ok = true;
+  {
+    util::Timer t;
+    const auto text = graph::LoadEdgeList(txt_path, /*merge_parallel=*/false);
+    const double s = t.Seconds();
+    if (!text) return 1;
+    ok &= row("text-parse", s, EdgeStreamHash(text->graph) == want_hash);
+  }
+  util::Timer t_bin;
+  auto loaded = graph::LoadBinary(bin_path);
+  const double bin_s = t_bin.Seconds();
+  if (!loaded) return 1;
+  ok &= row("binary-mmap", bin_s, EdgeStreamHash(loaded->graph) == want_hash);
+  table.Print();
+  std::printf("  save: binary %.2fs, text %.2fs\n", save_bin_s, save_txt_s);
+  if (!ok) {
+    std::fprintf(stderr, "ingestion: loaded graphs differ\n");
+    return 1;
+  }
+
+  // Rank-sliced loads over the engine's ownership arithmetic: rank r
+  // materializes only edges incident to its contiguous node range. Every
+  // edge must land in its owners' slices — cross-rank edges in exactly
+  // two — so the slice total is m plus the cross-edge count.
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(ranks) + 1);
+  for (int r = 0; r < ranks; ++r) {
+    bounds[r] = distsim::ThreadPool::ShardBounds(0, n, r, ranks).first;
+  }
+  bounds[ranks] = n;
+  const auto owner_of = [&bounds, ranks](graph::NodeId v) {
+    int r = 0;
+    while (r + 1 < ranks && v >= bounds[r + 1]) ++r;
+    return r;
+  };
+  std::uint64_t cross = 0;
+  for (const graph::Edge& e : loaded->graph.edges()) {
+    if (owner_of(e.u) != owner_of(e.v)) ++cross;
+  }
+  std::uint64_t slice_total = 0;
+  util::Table slices({"rank", "owned_nodes", "slice_edges", "seconds"});
+  for (int r = 0; r < ranks; ++r) {
+    const std::uint64_t lo = bounds[r];
+    const std::uint64_t hi = bounds[r + 1];
+    util::Timer t;
+    const auto slice = graph::LoadBinarySlice(
+        bin_path, static_cast<graph::NodeId>(lo),
+        static_cast<graph::NodeId>(hi));
+    const double s = t.Seconds();
+    if (!slice) return 1;
+    slice_total += slice->graph.num_edges();
+    slices.Row()
+        .Int(r)
+        .Int(static_cast<long long>(hi - lo))
+        .Int(static_cast<long long>(slice->graph.num_edges()))
+        .Dbl(s, 3);
+    if (doc != nullptr) {
+      doc->AddRow()
+          .Str("section", "ingest-slice")
+          .Int("rank", r)
+          .Int("ranks", ranks)
+          .Int("owned_nodes", static_cast<long long>(hi - lo))
+          .Int("slice_edges", static_cast<long long>(slice->graph.num_edges()))
+          .Num("seconds", s);
+    }
+  }
+  slices.Print();
+  if (slice_total != m + cross) {
+    std::fprintf(stderr,
+                 "ingestion: slice coverage broken: %llu slice edges vs "
+                 "m=%zu + cross=%llu\n",
+                 static_cast<unsigned long long>(slice_total), m,
+                 static_cast<unsigned long long>(cross));
+    return 1;
+  }
+  std::printf("  slice coverage: %llu = m + %llu cross-rank edges — ok\n",
+              static_cast<unsigned long long>(slice_total),
+              static_cast<unsigned long long>(cross));
+
+  // Compact + Montresor at ingestion scale, on the binary-loaded graph.
+  const graph::Graph& g = loaded->graph;
+  {
+    const int T = core::RoundsForEpsilon(n, 0.5);
+    core::CompactOptions opts;
+    opts.rounds = T;
+    util::Timer t;
+    const auto res = core::RunCompactElimination(g, opts);
+    const double s = t.Seconds();
+    std::printf("  compact:   T=%d rounds in %.2fs (%.1f rounds/s)\n", T, s,
+                T / s);
+    if (doc != nullptr) {
+      doc->AddRow()
+          .Str("section", "ingest-compute")
+          .Str("algo", "compact")
+          .Int("n", n)
+          .Int("edges", static_cast<long long>(m))
+          .Int("rounds", res.rounds)
+          .Num("seconds", s)
+          .Num("rounds_per_sec", T / s);
+    }
+  }
+  {
+    constexpr int kMaxRounds = 200;
+    util::Timer t;
+    const auto res = core::RunToConvergence(g, kMaxRounds);
+    const double s = t.Seconds();
+    const bool converged = res.rounds_executed < kMaxRounds;
+    std::printf(
+        "  montresor: %d rounds in %.2fs (%.1f rounds/s), converged=%s\n",
+        res.rounds_executed, s, res.rounds_executed / s,
+        converged ? "yes" : "no (capped)");
+    if (doc != nullptr) {
+      doc->AddRow()
+          .Str("section", "ingest-compute")
+          .Str("algo", "montresor")
+          .Int("n", n)
+          .Int("edges", static_cast<long long>(m))
+          .Int("rounds", res.rounds_executed)
+          .Num("seconds", s)
+          .Num("rounds_per_sec", res.rounds_executed / s)
+          .Bool("converged", converged);
+    }
+  }
+
+  std::remove(bin_path.c_str());
+  std::remove(txt_path.c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  long long requested = 100000;
-  if (argc > 1) requested = std::atoll(argv[1]);
+  util::Flags flags;
+  flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  long long requested = flags.GetInt("n", 100000);
+  if (!flags.positional().empty()) {
+    requested = std::atoll(flags.positional()[0].c_str());
+  }
   if (requested < 16 || requested > 50000000) {
-    std::fprintf(stderr, "usage: %s [num_nodes in 16..50000000]\n", argv[0]);
+    std::fputs(kUsage, stderr);
     return 2;
   }
   const graph::NodeId n = static_cast<graph::NodeId>(requested);
+  const long long ingest_edges = flags.GetInt("ingest-edges", 10000000);
+  const int ranks = static_cast<int>(flags.GetInt("ranks", 4));
+  if (ingest_edges < 0 || ranks < 1) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+
+  bench::JsonDoc doc("parallel_scaling");
+  bench::JsonDoc* docp = flags.Has("json") ? &doc : nullptr;
 
   util::Rng rng(7);
   util::Timer gen_timer;
@@ -347,7 +651,24 @@ int main(int argc, char** argv) {
   std::printf("graph: BA n=%u m=%zu (generated in %.2fs)\n", g.num_nodes(),
               g.num_edges(), gen_timer.Seconds());
 
-  if (int rc = RunComputeHeavy(g)) return rc;
-  if (int rc = RunCollectHeavy(g, /*rounds=*/30)) return rc;
-  return RunShardBalance(g);
+  if (int rc = RunComputeHeavy(g, docp)) return rc;
+  if (int rc = RunCollectHeavy(g, /*rounds=*/30, docp)) return rc;
+  if (int rc = RunShardBalance(g, docp)) return rc;
+  if (ingest_edges > 0) {
+    if (int rc = RunIngestion(static_cast<std::uint64_t>(ingest_edges),
+                              ranks, docp)) {
+      return rc;
+    }
+  }
+
+  if (docp != nullptr) {
+    const std::string path = flags.GetString("json");
+    if (!doc.WriteFile(path)) {
+      std::fprintf(stderr, "bench_parallel_scaling: cannot write %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return 0;
 }

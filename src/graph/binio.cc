@@ -1,0 +1,288 @@
+#include "graph/binio.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/wire.h"
+
+namespace kcore::graph {
+namespace {
+
+// A read-only mmap of a whole file; unmaps on scope exit. data == nullptr
+// after construction means the mapping failed (already logged).
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      KCORE_LOG(kError) << "binio: cannot open '" << path << "'";
+      return;
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      KCORE_LOG(kError) << "binio: cannot stat '" << path << "'";
+      ::close(fd);
+      return;
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ == 0) {
+      // mmap rejects zero-length maps; an empty file is simply truncated
+      // input (even an empty graph carries a 32-byte header).
+      KCORE_LOG(kError) << "binio: '" << path << "' is empty";
+      ::close(fd);
+      return;
+    }
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (p == MAP_FAILED) {
+      KCORE_LOG(kError) << "binio: mmap of '" << path << "' failed";
+      return;
+    }
+    data_ = static_cast<const std::uint8_t*>(p);
+  }
+
+  ~MappedFile() {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    }
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Parses and validates the 32-byte header against the actual file size.
+std::optional<BinaryInfo> ParseHeader(const std::uint8_t* data,
+                                      std::size_t size,
+                                      const std::string& path) {
+  if (size < kBinaryHeaderBytes) {
+    KCORE_LOG(kError) << "binio: '" << path << "' truncated: " << size
+                      << " bytes, header needs " << kBinaryHeaderBytes;
+    return std::nullopt;
+  }
+  if (std::memcmp(data, kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
+    KCORE_LOG(kError) << "binio: '" << path << "' has no KCOREBIN magic";
+    return std::nullopt;
+  }
+  util::WireReader r(data + sizeof(kBinaryMagic),
+                     kBinaryHeaderBytes - sizeof(kBinaryMagic));
+  BinaryInfo info;
+  info.version = r.Fixed32();
+  const std::uint32_t flags = r.Fixed32();
+  info.num_nodes = r.Fixed64();
+  info.num_edges = r.Fixed64();
+  if (info.version != kBinaryVersion) {
+    KCORE_LOG(kError) << "binio: '" << path << "' has version "
+                      << info.version << ", expected " << kBinaryVersion;
+    return std::nullopt;
+  }
+  if ((flags & ~kBinaryFlagOriginalIds) != 0) {
+    KCORE_LOG(kError) << "binio: '" << path << "' has unknown flag bits 0x"
+                      << std::hex << flags;
+    return std::nullopt;
+  }
+  info.has_original_ids = (flags & kBinaryFlagOriginalIds) != 0;
+  if (info.num_nodes > static_cast<std::uint64_t>(kInvalidNode)) {
+    KCORE_LOG(kError) << "binio: '" << path << "' declares " << info.num_nodes
+                      << " nodes, beyond the 32-bit id space";
+    return std::nullopt;
+  }
+  if (info.FileBytes() != size) {
+    KCORE_LOG(kError) << "binio: '" << path << "' is " << size
+                      << " bytes but the header promises " << info.FileBytes()
+                      << " (truncated file or trailing garbage)";
+    return std::nullopt;
+  }
+  return info;
+}
+
+// Decodes one 16-byte edge record. False (logged) on out-of-range ids or
+// a malformed weight — the same rejections the text parser makes.
+bool DecodeEdge(util::WireReader& r, std::uint64_t n, std::uint64_t index,
+                const std::string& path, Edge* out) {
+  out->u = r.Fixed32();
+  out->v = r.Fixed32();
+  out->w = r.Double();
+  if (out->u >= n || out->v >= n) {
+    KCORE_LOG(kError) << "binio: '" << path << "' edge " << index << " ("
+                      << out->u << "," << out->v << ") out of range, n=" << n;
+    return false;
+  }
+  if (!std::isfinite(out->w) || out->w < 0.0) {
+    KCORE_LOG(kError) << "binio: '" << path << "' edge " << index
+                      << " has malformed weight " << out->w;
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> DecodeOriginalIds(const std::uint8_t* table,
+                                             std::uint64_t n) {
+  std::vector<std::uint64_t> ids(n);
+  util::WireReader r(table, 8 * n);
+  for (std::uint64_t v = 0; v < n; ++v) ids[v] = r.Fixed64();
+  return ids;
+}
+
+}  // namespace
+
+bool SaveBinary(const Graph& g, const std::string& path,
+                std::span<const std::uint64_t> original_ids) {
+  if (!original_ids.empty() && original_ids.size() != g.num_nodes()) {
+    KCORE_LOG(kError) << "binio: original_ids has " << original_ids.size()
+                      << " entries for a " << g.num_nodes() << "-node graph";
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    KCORE_LOG(kError) << "binio: cannot open '" << path << "' for writing";
+    return false;
+  }
+  // Chunked writer: records are encoded into a fixed 1 MiB buffer and
+  // flushed when full, so a 10^8-edge save never holds the file in RAM.
+  std::vector<std::uint8_t> buf(1 << 20);
+  std::size_t used = 0;
+  bool ok = true;
+  const auto flush = [&] {
+    if (ok && used > 0) ok = std::fwrite(buf.data(), 1, used, f) == used;
+    used = 0;
+  };
+  const auto put = [&](std::size_t bytes, auto&& encode) {
+    if (buf.size() - used < bytes) flush();
+    util::WireWriter w(buf.data() + used, buf.data() + used + bytes);
+    encode(w);
+    used += bytes;
+  };
+
+  std::memcpy(buf.data(), kBinaryMagic, sizeof(kBinaryMagic));
+  used = sizeof(kBinaryMagic);
+  put(kBinaryHeaderBytes - sizeof(kBinaryMagic), [&](util::WireWriter& w) {
+    w.Fixed32(kBinaryVersion);
+    w.Fixed32(original_ids.empty() ? 0 : kBinaryFlagOriginalIds);
+    w.Fixed64(g.num_nodes());
+    w.Fixed64(g.num_edges());
+  });
+  for (const Edge& e : g.edges()) {
+    put(kBinaryEdgeBytes, [&](util::WireWriter& w) {
+      w.Fixed32(e.u);
+      w.Fixed32(e.v);
+      w.Double(e.w);
+    });
+  }
+  for (const std::uint64_t id : original_ids) {
+    put(8, [&](util::WireWriter& w) { w.Fixed64(id); });
+  }
+  flush();
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) KCORE_LOG(kError) << "binio: short write to '" << path << "'";
+  return ok;
+}
+
+std::optional<BinaryInfo> ReadBinaryInfo(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    KCORE_LOG(kError) << "binio: cannot open '" << path << "'";
+    return std::nullopt;
+  }
+  std::uint8_t header[kBinaryHeaderBytes];
+  const std::size_t got = std::fread(header, 1, sizeof(header), f);
+  // The size cross-check needs the real file size; seek to the end.
+  std::size_t size = got;
+  if (got == sizeof(header) && std::fseek(f, 0, SEEK_END) == 0) {
+    const long end = std::ftell(f);
+    if (end > 0) size = static_cast<std::size_t>(end);
+  }
+  std::fclose(f);
+  return ParseHeader(header, size < got ? got : size, path);
+}
+
+std::optional<LoadResult> LoadBinary(const std::string& path,
+                                     bool merge_parallel) {
+  MappedFile map(path);
+  if (map.data() == nullptr) return std::nullopt;
+  const auto info = ParseHeader(map.data(), map.size(), path);
+  if (!info) return std::nullopt;
+
+  GraphBuilder b(static_cast<NodeId>(info->num_nodes));
+  b.Reserve(info->num_edges);
+  util::WireReader r(map.data() + kBinaryHeaderBytes,
+                     kBinaryEdgeBytes * info->num_edges);
+  for (std::uint64_t i = 0; i < info->num_edges; ++i) {
+    Edge e;
+    if (!DecodeEdge(r, info->num_nodes, i, path, &e)) return std::nullopt;
+    b.AddEdge(e.u, e.v, e.w);
+  }
+  if (merge_parallel) b.MergeParallel();
+
+  LoadResult out;
+  if (info->has_original_ids) {
+    out.original_ids = DecodeOriginalIds(
+        map.data() + kBinaryHeaderBytes + kBinaryEdgeBytes * info->num_edges,
+        info->num_nodes);
+  }
+  out.graph = std::move(b).Build();
+  return out;
+}
+
+std::optional<LoadResult> LoadBinarySlice(const std::string& path, NodeId lo,
+                                          NodeId hi) {
+  MappedFile map(path);
+  if (map.data() == nullptr) return std::nullopt;
+  const auto info = ParseHeader(map.data(), map.size(), path);
+  if (!info) return std::nullopt;
+  if (lo > hi || hi > info->num_nodes) {
+    KCORE_LOG(kError) << "binio: slice [" << lo << "," << hi
+                      << ") out of range, n=" << info->num_nodes;
+    return std::nullopt;
+  }
+
+  // Counting pass so the edge array is sized exactly once (the loader
+  // never holds more than the slice's edges).
+  const auto owned = [lo, hi](NodeId v) { return v >= lo && v < hi; };
+  util::WireReader count(map.data() + kBinaryHeaderBytes,
+                         kBinaryEdgeBytes * info->num_edges);
+  std::uint64_t mine = 0;
+  for (std::uint64_t i = 0; i < info->num_edges; ++i) {
+    Edge e;
+    if (!DecodeEdge(count, info->num_nodes, i, path, &e)) return std::nullopt;
+    if (owned(e.u) || owned(e.v)) ++mine;
+  }
+
+  GraphBuilder b(static_cast<NodeId>(info->num_nodes));
+  b.Reserve(mine);
+  util::WireReader r(map.data() + kBinaryHeaderBytes,
+                     kBinaryEdgeBytes * info->num_edges);
+  for (std::uint64_t i = 0; i < info->num_edges; ++i) {
+    Edge e;
+    e.u = r.Fixed32();
+    e.v = r.Fixed32();
+    e.w = r.Double();
+    if (owned(e.u) || owned(e.v)) b.AddEdge(e.u, e.v, e.w);
+  }
+
+  LoadResult out;
+  if (info->has_original_ids) {
+    out.original_ids = DecodeOriginalIds(
+        map.data() + kBinaryHeaderBytes + kBinaryEdgeBytes * info->num_edges,
+        info->num_nodes);
+  }
+  out.graph = std::move(b).Build();
+  return out;
+}
+
+}  // namespace kcore::graph

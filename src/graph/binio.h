@@ -1,0 +1,99 @@
+// Versioned binary edge-list format with an mmap-based bulk loader.
+//
+// The text edge-list reader (graph/io.h) parses ~10^6 edges/sec — fine
+// for fixtures, hopeless for the 10^7..10^8-edge graphs the benches
+// target (ROADMAP item 2). This module is the bulk path: a fixed-width
+// little-endian on-disk format (util::Wire conventions: Fixed32 ids,
+// IEEE-754 Double bits, no varints in the record stream so every record
+// sits at a computable offset) and a loader that mmaps the file and
+// streams the records straight into a pre-sized GraphBuilder — one
+// allocation for the edge array, no per-line parsing, no intermediate
+// copies of the byte stream.
+//
+// On-disk layout (all multi-byte fields little-endian; byte offsets in
+// docs/FORMATS.md):
+//
+//   header (32 bytes)
+//     [ 0, 8)  magic   "KCOREBIN" (8 raw ASCII bytes)
+//     [ 8,12)  version fixed32, currently 1
+//     [12,16)  flags   fixed32; bit 0 = original-id table present,
+//                      all other bits must be zero
+//     [16,24)  n       fixed64, number of nodes
+//     [24,32)  m       fixed64, number of edge records
+//   edge records (16 bytes each, m of them, immediately after header)
+//     u fixed32, v fixed32, w double   (u == v encodes a self-loop)
+//   original-id table (only if flags bit 0; n fixed64 entries)
+//     dense id -> original file id, ascending dense order
+//
+// The loader validates magic, version, flags, the exact file size
+// (32 + 16 m + [8 n]), id range (u, v < n) and weight well-formedness
+// (finite, non-negative — the same contract the text parser enforces),
+// so a truncated or corrupted file surfaces as a logged error, never as
+// a silently wrong graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/io.h"
+
+namespace kcore::graph {
+
+inline constexpr char kBinaryMagic[8] = {'K', 'C', 'O', 'R',
+                                         'E', 'B', 'I', 'N'};
+inline constexpr std::uint32_t kBinaryVersion = 1;
+inline constexpr std::uint32_t kBinaryFlagOriginalIds = 1u << 0;
+inline constexpr std::size_t kBinaryHeaderBytes = 32;
+inline constexpr std::size_t kBinaryEdgeBytes = 16;
+
+// Header fields, readable without touching the record stream (Info on a
+// 1.6 GB file costs one 32-byte read).
+struct BinaryInfo {
+  std::uint32_t version = 0;
+  bool has_original_ids = false;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+
+  // Exact file size the header promises.
+  std::uint64_t FileBytes() const {
+    return kBinaryHeaderBytes + kBinaryEdgeBytes * num_edges +
+           (has_original_ids ? 8 * num_nodes : 0);
+  }
+};
+
+// Writes g in the binary format. `original_ids`, when non-empty, must
+// hold g.num_nodes() entries (dense id -> original id, the LoadResult
+// convention) and is stored as the optional id table, making
+// text -> binary -> text conversions id-stable for sparse-id inputs.
+// Returns false (and logs) on I/O failure.
+bool SaveBinary(const Graph& g, const std::string& path,
+                std::span<const std::uint64_t> original_ids = {});
+
+// Reads and validates the 32-byte header only.
+std::optional<BinaryInfo> ReadBinaryInfo(const std::string& path);
+
+// mmap-based bulk loader. The whole file is mapped read-only and the
+// records are decoded in place; the only allocations are the Graph's own
+// arrays (edge vector reserved at exactly m). `original_ids` in the
+// result is the stored table when present, empty otherwise (binary ids
+// are dense by construction). merge_parallel defaults to false — unlike
+// the text path, a binary file is typically produced by SaveBinary and
+// already merged; flipping it on costs a hash pass over m edges.
+std::optional<LoadResult> LoadBinary(const std::string& path,
+                                     bool merge_parallel = false);
+
+// Rank-sliced loader: decodes only the edges incident to the owned node
+// range [lo, hi) — the contract of distsim::Engine::rank_bounds(), where
+// rank r owns [rank_bounds[r], rank_bounds[r+1]). The returned graph
+// keeps the full [0, n) id space (offsets are O(n)) but materializes
+// adjacency only for the owned slice: a cross-rank edge is loaded by
+// both endpoint owners (each needs it for neighbor exchange), an edge
+// with neither endpoint owned costs zero memory. Memory is therefore
+// proportional to the rank's share of edges, not to m.
+std::optional<LoadResult> LoadBinarySlice(const std::string& path, NodeId lo,
+                                          NodeId hi);
+
+}  // namespace kcore::graph

@@ -56,6 +56,14 @@ class GraphBuilder {
   // non-negative weights; zero-weight edges are allowed and harmless).
   GraphBuilder& AddEdge(NodeId u, NodeId v, double w = 1.0);
 
+  // Pre-sizes the edge buffer. Bulk loaders (graph/binio.h) know m up
+  // front, so the edge array is one exact allocation instead of
+  // push_back growth over 10^7+ records.
+  GraphBuilder& Reserve(std::size_t m) {
+    edges_.reserve(m);
+    return *this;
+  }
+
   // Merges parallel edges (same unordered endpoint pair) into a single
   // edge with the summed weight. Quotient-graph construction relies on
   // this, matching Definition II.2's set semantics.

@@ -98,7 +98,10 @@ std::optional<LoadResult> ParseEdgeList(const std::string& text,
   return ParseStream(in, merge_parallel);
 }
 
-bool SaveEdgeList(const Graph& g, const std::string& path) {
+namespace {
+
+bool SaveEdgeListImpl(const Graph& g, const std::string& path,
+                      std::span<const std::uint64_t> original_ids) {
   std::ofstream out(path);
   if (!out) {
     KCORE_LOG(kError) << "cannot open '" << path << "' for writing";
@@ -108,9 +111,31 @@ bool SaveEdgeList(const Graph& g, const std::string& path) {
       << "\n";
   out.precision(17);  // round-trip exact doubles
   for (const Edge& e : g.edges()) {
-    out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+    if (original_ids.empty()) {
+      out << e.u << ' ' << e.v;
+    } else {
+      out << original_ids[e.u] << ' ' << original_ids[e.v];
+    }
+    out << ' ' << e.w << '\n';
   }
   return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool SaveEdgeList(const Graph& g, const std::string& path) {
+  return SaveEdgeListImpl(g, path, {});
+}
+
+bool SaveEdgeList(const Graph& g, const std::string& path,
+                  std::span<const std::uint64_t> original_ids) {
+  if (original_ids.size() != g.num_nodes()) {
+    KCORE_LOG(kError) << "SaveEdgeList: original_ids has "
+                      << original_ids.size() << " entries for a "
+                      << g.num_nodes() << "-node graph";
+    return false;
+  }
+  return SaveEdgeListImpl(g, path, original_ids);
 }
 
 }  // namespace kcore::graph

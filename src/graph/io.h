@@ -6,6 +6,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,5 +34,14 @@ std::optional<LoadResult> ParseEdgeList(const std::string& text,
 
 // Writes "u v w" lines; returns false on I/O failure.
 bool SaveEdgeList(const Graph& g, const std::string& path);
+
+// Same, but endpoints are written as original_ids[dense_id] — the
+// mapping LoadEdgeList returns. A file with sparse ids loaded through
+// the dense remap saves back with the ids it arrived with, so
+// load -> save -> load is id-stable (the plain overload silently wrote
+// dense ids, changing every id in the file). original_ids must have
+// exactly g.num_nodes() entries.
+bool SaveEdgeList(const Graph& g, const std::string& path,
+                  std::span<const std::uint64_t> original_ids);
 
 }  // namespace kcore::graph

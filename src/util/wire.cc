@@ -27,6 +27,14 @@ void WireWriter::Varint(std::uint64_t x) {
   *p_++ = static_cast<std::uint8_t>(x);
 }
 
+void WireWriter::Fixed32(std::uint32_t bits) {
+  KCORE_CHECK_MSG(end_ - p_ >= 4, "WireWriter overflow: fixed32 past a "
+                                      << capacity() << "-byte region");
+  for (int i = 0; i < 4; ++i) {
+    *p_++ = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+}
+
 void WireWriter::Fixed64(std::uint64_t bits) {
   KCORE_CHECK_MSG(end_ - p_ >= 8, "WireWriter overflow: fixed64 past a "
                                       << capacity() << "-byte region");
@@ -67,6 +75,19 @@ bool WireReader::TryVarint(std::uint64_t* out) {
   return false;
 }
 
+bool WireReader::TryFixed32(std::uint32_t* out) {
+  if (failed_ || end_ - p_ < 4) {
+    failed_ = true;
+    return false;
+  }
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    bits |= static_cast<std::uint32_t>(*p_++) << (8 * i);
+  }
+  *out = bits;
+  return true;
+}
+
 bool WireReader::TryFixed64(std::uint64_t* out) {
   if (failed_ || end_ - p_ < 8) {
     failed_ = true;
@@ -103,6 +124,13 @@ std::uint64_t WireReader::Varint() {
   KCORE_CHECK_MSG(TryVarint(&x),
                   "malformed wire buffer: truncated or overlong varint");
   return x;
+}
+
+std::uint32_t WireReader::Fixed32() {
+  std::uint32_t bits = 0;
+  KCORE_CHECK_MSG(TryFixed32(&bits),
+                  "malformed wire buffer: truncated fixed32");
+  return bits;
 }
 
 std::uint64_t WireReader::Fixed64() {

@@ -13,6 +13,9 @@
 //     MSB = continuation), at most kMaxVarintBytes bytes. The decoder
 //     rejects truncated input and encodings that overflow 64 bits, so a
 //     corrupted buffer surfaces as an error instead of a wrong value.
+//   * Fixed32: exactly 4 bytes, little-endian — node-id records in the
+//     binary graph format (graph/binio.h) where 8 bytes per id would
+//     double the file size for no information.
 //   * Fixed64 / Double: exactly 8 bytes, little-endian byte order
 //     regardless of host endianness — two machines exchanging buffers
 //     decode identical bit patterns, which the simulator's bit-determinism
@@ -46,6 +49,7 @@ class WireWriter {
       : begin_(begin), p_(begin), end_(end) {}
 
   void Varint(std::uint64_t x);
+  void Fixed32(std::uint32_t bits);
   void Fixed64(std::uint64_t bits);
   // Fixed64 of the IEEE-754 bit pattern (8 bytes, little-endian).
   void Double(double d);
@@ -72,6 +76,7 @@ class WireReader {
       : p_(data), end_(data + size) {}
 
   bool TryVarint(std::uint64_t* out);
+  bool TryFixed32(std::uint32_t* out);
   bool TryFixed64(std::uint64_t* out);
   bool TryDouble(double* out);
   // Copies `len` raw bytes (an embedded string/blob whose length came
@@ -82,6 +87,7 @@ class WireReader {
   // internal buffers (transport frames, packed segments) where a decode
   // failure is a bug, not a recoverable condition.
   std::uint64_t Varint();
+  std::uint32_t Fixed32();
   std::uint64_t Fixed64();
   double Double();
 

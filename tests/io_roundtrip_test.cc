@@ -90,6 +90,38 @@ TEST(IoRoundTrip, SparseIdsRemapDensely) {
   EXPECT_EQ(loaded->original_ids[2], 2000u);
 }
 
+TEST(IoRoundTrip, SparseIdsSaveBackWithOriginalIds) {
+  // Regression: the plain SaveEdgeList overload silently wrote dense ids,
+  // so load -> save -> load renamed every node of a sparse-id file. The
+  // original_ids overload makes the cycle id-stable.
+  const std::string text = "1000 2000 1.5\n2000 5 1\n5 1000 2.25\n";
+  const auto first = ParseEdgeList(text);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->original_ids.size(), 3u);
+
+  const std::string path = TempPath("roundtrip_sparse");
+  ASSERT_TRUE(SaveEdgeList(first->graph, path, first->original_ids));
+  const auto second = LoadEdgeList(path);
+  ASSERT_TRUE(second.has_value());
+  ExpectSameEdgeList(first->graph, second->graph);
+  EXPECT_EQ(second->original_ids, first->original_ids);
+
+  // The fixed point: saving the reloaded graph reproduces the same ids
+  // again (dense remaps are sorted by original id, so the orbit has
+  // length 1, not 2).
+  const std::string path2 = TempPath("roundtrip_sparse2");
+  ASSERT_TRUE(SaveEdgeList(second->graph, path2, second->original_ids));
+  const auto third = LoadEdgeList(path2);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->original_ids, first->original_ids);
+
+  // A size-mismatched id table is an error, not a partial write.
+  const std::vector<std::uint64_t> wrong = {1, 2};
+  EXPECT_FALSE(SaveEdgeList(first->graph, path, wrong));
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
 TEST(IoRoundTrip, DuplicateEdgesMergeOnLoad) {
   const auto merged = ParseEdgeList("0 1 2.0\n1 0 3.0\n0 1\n");
   ASSERT_TRUE(merged.has_value());

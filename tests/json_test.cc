@@ -1,0 +1,133 @@
+// The bench JSON emitter (bench/json.h): validity under non-finite
+// doubles, locale independence, round-trip precision, escaping, and the
+// AddRow() handle-stability contract.
+#include <gtest/gtest.h>
+
+#include <charconv>
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "bench/json.h"
+
+namespace kcore::bench {
+namespace {
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  // JSON has no literal for NaN/Inf; `%g` would emit `nan`/`inf` tokens
+  // that every parser rejects. The contract is null.
+  JsonRow row;
+  row.Num("nan", std::numeric_limits<double>::quiet_NaN())
+      .Num("pinf", std::numeric_limits<double>::infinity())
+      .Num("ninf", -std::numeric_limits<double>::infinity())
+      .Num("fine", 1.5);
+  EXPECT_EQ(row.Render(),
+            "{\"nan\": null, \"pinf\": null, \"ninf\": null, \"fine\": 1.5}");
+}
+
+TEST(Json, NumbersRoundTripAtFullPrecision) {
+  // std::to_chars emits the shortest string that parses back to the
+  // exact double — no %.6g truncation.
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 4.9e-324,
+                         123456789.123456789, -0.0, 1e308}) {
+    const std::string s = internal::JsonNumber(v);
+    double back = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), back);
+    ASSERT_EQ(ec, std::errc()) << s;
+    ASSERT_EQ(ptr, s.data() + s.size()) << s;
+    EXPECT_EQ(back, v) << s;
+  }
+}
+
+TEST(Json, NumberFormattingIgnoresGlobalLocale) {
+  // A comma-decimal LC_NUMERIC corrupts printf-based emitters ("1,5" is
+  // not JSON). Try every comma-locale name the container might have; if
+  // none installs, the to_chars guarantee is still locale-independent by
+  // definition and the other assertions cover the format.
+  const char* old = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = old != nullptr ? old : "C";
+  bool switched = false;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      switched = true;
+      break;
+    }
+  }
+  if (!switched) {
+    GTEST_LOG_(INFO) << "no comma-decimal locale installed; formatting "
+                        "checked under the C locale only";
+  }
+  EXPECT_EQ(internal::JsonNumber(1.5), "1.5");
+  EXPECT_EQ(internal::JsonNumber(-0.25), "-0.25");
+  JsonRow row;
+  row.Num("x", 2.75);
+  const std::string rendered = row.Render();
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_EQ(rendered, "{\"x\": 2.75}");
+  EXPECT_EQ(rendered.find(','), std::string::npos);
+}
+
+TEST(Json, EscapesBenchNameKeysAndValues) {
+  JsonDoc doc("quo\"te\\back\nline");
+  // "\x01" is split from "ctl" so the hex escape doesn't munch the 'c'.
+  doc.AddRow().Str("ke\"y", "va\\lue\twith\x01" "ctl");
+  const std::string out = doc.Render();
+  EXPECT_NE(out.find("\"bench\": \"quo\\\"te\\\\back\\u000aline\""),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"ke\\\"y\": \"va\\\\lue\\u0009with\\u0001ctl\""),
+            std::string::npos)
+      << out;
+}
+
+TEST(Json, RowHandlesSurviveManyAddRows) {
+  // The old vector-backed storage invalidated the reference AddRow()
+  // returned as soon as the next push reallocated. Holding the first
+  // handle across hundreds of inserts must stay safe.
+  JsonDoc doc("stability");
+  JsonRow& first = doc.AddRow();
+  first.Int("id", 0);
+  for (int i = 1; i < 300; ++i) {
+    doc.AddRow().Int("id", i);
+  }
+  first.Bool("late_write", true);
+  const std::string out = doc.Render();
+  EXPECT_NE(out.find("{\"id\": 0, \"late_write\": true}"), std::string::npos);
+  EXPECT_NE(out.find("{\"id\": 299}"), std::string::npos);
+}
+
+TEST(Json, RenderShapeAndWriteFile) {
+  JsonDoc doc("shape");
+  doc.AddRow().Str("graph", "ba").Int("n", 100).Num("secs", 0.5);
+  doc.AddRow().Str("graph", "er").Int("n", 200).Num("secs", 1.25);
+  const std::string expect =
+      "{\"bench\": \"shape\", \"rows\": [\n"
+      "  {\"graph\": \"ba\", \"n\": 100, \"secs\": 0.5},\n"
+      "  {\"graph\": \"er\", \"n\": 200, \"secs\": 1.25}\n"
+      "]}\n";
+  EXPECT_EQ(doc.Render(), expect);
+
+  const std::string path = std::string(::testing::TempDir()) + "/doc.json";
+  ASSERT_TRUE(doc.WriteFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string got(expect.size() + 16, '\0');
+  got.resize(std::fread(got.data(), 1, got.size(), f));
+  std::fclose(f);
+  EXPECT_EQ(got, expect);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(doc.WriteFile("/nonexistent/dir/doc.json"));
+}
+
+TEST(Json, EmptyDocIsStillValid) {
+  JsonDoc doc("empty");
+  EXPECT_EQ(doc.Render(), "{\"bench\": \"empty\", \"rows\": [\n]}\n");
+}
+
+}  // namespace
+}  // namespace kcore::bench

@@ -411,6 +411,48 @@ TEST(Wire, WriterDiesOnOverflow) {
       "WireWriter overflow");
 }
 
+TEST(Wire, Fixed32RoundTripsLittleEndian) {
+  // The binary graph format's id records: 4 bytes, little-endian on the
+  // wire regardless of host order.
+  const std::uint32_t cases[] = {0u, 1u, 0x12345678u, 0xffffffffu};
+  for (const std::uint32_t x : cases) {
+    std::vector<std::uint8_t> buf(4);
+    util::WireWriter w(buf.data(), buf.data() + buf.size());
+    w.Fixed32(x);
+    ASSERT_EQ(w.written(), 4u);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(buf[i], static_cast<std::uint8_t>(x >> (8 * i)));
+    }
+    util::WireReader r(buf.data(), buf.size());
+    std::uint32_t back = 0;
+    ASSERT_TRUE(r.TryFixed32(&back));
+    EXPECT_EQ(back, x);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(Wire, Fixed32TruncationAndOverflow) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const std::uint8_t three[] = {1, 2, 3};
+  util::WireReader r(three, sizeof(three));
+  std::uint32_t x = 0;
+  EXPECT_FALSE(r.TryFixed32(&x));
+  EXPECT_TRUE(r.failed());
+  EXPECT_DEATH(
+      {
+        util::WireReader checked(three, sizeof(three));
+        (void)checked.Fixed32();
+      },
+      "truncated fixed32");
+  EXPECT_DEATH(
+      {
+        std::uint8_t buf[3];
+        util::WireWriter w(buf, buf + sizeof(buf));
+        w.Fixed32(7);
+      },
+      "WireWriter overflow");
+}
+
 TEST(Wire, DoubleBitsRoundTripExactly) {
   // Bit patterns, not values: -0.0, denormals, infinities, and NaN all
   // come back with identical bits (the transport's determinism needs

@@ -1,0 +1,134 @@
+// graph_convert — converts between the text edge-list format (SNAP-style
+// "u v [w]" lines, graph/io.h) and the versioned binary format with the
+// mmap bulk loader (graph/binio.h). docs/FORMATS.md tabulates both
+// layouts.
+//
+// Subcommands (first positional argument):
+//   to-binary IN.txt OUT.bin   parse a text edge list, write binary.
+//                              Sparse ids are densely remapped as usual;
+//                              when the remap is not the identity the
+//                              original ids are stored in the binary
+//                              file's id table, so converting back emits
+//                              the ids the text arrived with.
+//   to-text   IN.bin OUT.txt   load a binary file (mmap), write text.
+//   info      IN.bin           print the header: version, n, m, id table.
+//
+// to-text output is canonical: converting its output through to-binary
+// and back reproduces it byte for byte (CI pins this round-trip).
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/binio.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "util/flags.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: graph_convert <subcommand> [options] <in> [out]\n"
+    "\n"
+    "subcommands:\n"
+    "  to-binary IN.txt OUT.bin  text edge list -> binary (see "
+    "docs/FORMATS.md)\n"
+    "  to-text   IN.bin OUT.txt  binary -> text edge list\n"
+    "  info      IN.bin          print the binary header fields\n"
+    "\n"
+    "options:\n"
+    "  --no-merge   to-binary: keep parallel edges instead of merging\n"
+    "               duplicate lines into one summed-weight edge\n"
+    "  --help       this text\n";
+
+int ToBinary(const std::string& in, const std::string& out, bool merge) {
+  const auto loaded = kcore::graph::LoadEdgeList(in, merge);
+  if (!loaded) {
+    std::fprintf(stderr, "graph_convert: cannot load '%s'\n", in.c_str());
+    return 1;
+  }
+  // Store the id table only when the dense remap changed something:
+  // identity tables would cost 8n bytes for no information.
+  bool identity = true;
+  for (std::size_t v = 0; v < loaded->original_ids.size(); ++v) {
+    if (loaded->original_ids[v] != v) {
+      identity = false;
+      break;
+    }
+  }
+  const std::span<const std::uint64_t> ids =
+      identity ? std::span<const std::uint64_t>{}
+               : std::span<const std::uint64_t>(loaded->original_ids);
+  if (!kcore::graph::SaveBinary(loaded->graph, out, ids)) {
+    std::fprintf(stderr, "graph_convert: cannot write '%s'\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: n=%u m=%zu id_table=%s\n", out.c_str(),
+              loaded->graph.num_nodes(), loaded->graph.num_edges(),
+              identity ? "no" : "yes");
+  return 0;
+}
+
+int ToText(const std::string& in, const std::string& out) {
+  const auto loaded = kcore::graph::LoadBinary(in);
+  if (!loaded) {
+    std::fprintf(stderr, "graph_convert: cannot load '%s'\n", in.c_str());
+    return 1;
+  }
+  const bool ok =
+      loaded->original_ids.empty()
+          ? kcore::graph::SaveEdgeList(loaded->graph, out)
+          : kcore::graph::SaveEdgeList(loaded->graph, out,
+                                       loaded->original_ids);
+  if (!ok) {
+    std::fprintf(stderr, "graph_convert: cannot write '%s'\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: n=%u m=%zu\n", out.c_str(),
+              loaded->graph.num_nodes(), loaded->graph.num_edges());
+  return 0;
+}
+
+int Info(const std::string& in) {
+  const auto info = kcore::graph::ReadBinaryInfo(in);
+  if (!info) {
+    std::fprintf(stderr, "graph_convert: cannot read '%s'\n", in.c_str());
+    return 1;
+  }
+  std::printf(
+      "%s: version=%u n=%llu m=%llu id_table=%s bytes=%llu\n", in.c_str(),
+      info->version, static_cast<unsigned long long>(info->num_nodes),
+      static_cast<unsigned long long>(info->num_edges),
+      info->has_original_ids ? "yes" : "no",
+      static_cast<unsigned long long>(info->FileBytes()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kcore::util::Flags flags;
+  flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  const auto& pos = flags.positional();
+  if (pos.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string& cmd = pos[0];
+  if (cmd == "to-binary" && pos.size() == 3) {
+    return ToBinary(pos[1], pos[2], !flags.Has("no-merge"));
+  }
+  if (cmd == "to-text" && pos.size() == 3) {
+    return ToText(pos[1], pos[2]);
+  }
+  if (cmd == "info" && pos.size() == 2) {
+    return Info(pos[1]);
+  }
+  std::fputs(kUsage, stderr);
+  return 2;
+}
