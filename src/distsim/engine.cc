@@ -298,6 +298,9 @@ std::size_t Engine::CensusParallel(RoundStats& stats) {
         max_entries_per_message_ =
             std::max(max_entries_per_message_, part.max_entries);
         total_p2p += part.p2p_messages;
+        // Set-into-set union: only the merged set's SIZE is read below,
+        // which is order-independent.
+        // kcore-lint: allow(unordered-iter) only size() of the union is read
         distinct.insert(part.distinct.begin(), part.distinct.end());
       });
   stats.distinct_values = distinct.size();

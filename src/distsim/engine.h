@@ -80,7 +80,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <span>
 #include <vector>
 

@@ -442,8 +442,11 @@ void ProcessTransport::ReportDeadWorker(int rank, const char* stage) {
 }
 
 WireVolume ProcessTransport::Exchange(const ExchangeContext& ctx) {
-  KCORE_CHECK_MSG(started_ && !shutdown_,
-                  "ProcessTransport::Exchange outside Start()..Shutdown()");
+  {
+    util::MutexLock lk(teardown_mu_);
+    KCORE_CHECK_MSG(started_ && !shutdown_,
+                    "ProcessTransport::Exchange outside Start()..Shutdown()");
+  }
   KCORE_CHECK_MSG(ctx.num_ranks == num_ranks_,
                   "rank topology changed mid-run: Start() saw "
                       << num_ranks_ << " ranks, Exchange sees "
@@ -530,6 +533,10 @@ WireVolume ProcessTransport::Exchange(const ExchangeContext& ctx) {
 }
 
 bool ProcessTransport::Shutdown() {
+  // Held across the whole teardown (including the reap loop): a
+  // concurrent second call must not observe shutdown_ == true and
+  // report a verdict before the workers are actually down.
+  util::MutexLock lk(teardown_mu_);
   if (!started_ || shutdown_) return clean_shutdown_;
   shutdown_ = true;
   clean_shutdown_ = true;

@@ -57,6 +57,8 @@
 #include <vector>
 
 #include "distsim/transport.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kcore::distsim {
 
@@ -105,11 +107,21 @@ class ProcessTransport final : public Transport {
   graph::NodeId n_ = 0;
   int num_ranks_ = 0;
   std::vector<std::uint64_t> rank_bounds_;
+  // Topology state: written by Start() while the engine is still
+  // single-threaded, mutated afterwards only from the engine thread
+  // (Exchange/ReportDeadWorker/Shutdown are same-thread by contract) —
+  // not lock-protected by design.
   std::vector<pid_t> pids_;
   std::vector<int> parent_fd_;  // parent's end of each worker's pair
   bool started_ = false;
-  bool shutdown_ = false;
-  bool clean_shutdown_ = false;
+
+  // Teardown serialization: Shutdown() can be reached twice — an
+  // explicit test/owner call racing the destructor — so the idempotence
+  // check-and-set and the reap loop run under teardown_mu_; the second
+  // caller blocks until the first finishes and then sees its verdict.
+  util::Mutex teardown_mu_;
+  bool shutdown_ KCORE_GUARDED_BY(teardown_mu_) = false;
+  bool clean_shutdown_ KCORE_GUARDED_BY(teardown_mu_) = false;
 
   // Pack/unpack scratch, persistent across rounds (vectors only grow).
   std::vector<std::uint64_t> seg_bytes_;   // [src * R + dst] byte counts

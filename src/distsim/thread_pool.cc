@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -100,8 +100,11 @@ void ThreadPool::WorkerLoop(int shard) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      util::MutexLock lk(mu_);
+      // Explicit wait loop (not the predicate overload): the analysis
+      // sees guarded reads in this function's scope, not in a lambda it
+      // cannot attribute the capability to.
+      while (!stop_ && generation_ == seen) work_cv_.wait(lk.native());
       if (stop_) return;
       seen = generation_;
     }
@@ -114,7 +117,7 @@ void ThreadPool::WorkerLoop(int shard) {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      util::MutexLock lk(mu_);
       if (error && !error_) error_ = std::move(error);
       if (--pending_ == 0) done_cv_.notify_one();
     }
@@ -185,7 +188,7 @@ void ThreadPool::Dispatch(
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     body_ = &body;
     job_begin_ = begin;
     job_end_ = end;
@@ -198,8 +201,8 @@ void ThreadPool::Dispatch(
   // the caller's shard throws we must still wait for them before the
   // stack (and the std::function) unwinds.
   const auto drain = [this] {
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] { return pending_ == 0; });
+    util::MutexLock lk(mu_);
+    while (pending_ != 0) done_cv_.wait(lk.native());
     body_ = nullptr;
     job_bounds_ = nullptr;
     return std::exchange(error_, nullptr);

@@ -24,11 +24,13 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kcore::distsim {
 
@@ -123,29 +125,38 @@ class ThreadPool {
   // KCORE_CHECKs the bounded-overload contract (size, monotonicity).
   void CheckBounds(std::span<const std::uint64_t> bounds) const;
   void WorkerLoop(int shard);
-  void RunShard(int shard);
+  // Reads the job descriptor fields lock-free: they are published under
+  // mu_ before generation_ is bumped (Dispatch) and stay frozen until
+  // pending_ drains, and a worker only gets here after observing the
+  // new generation under mu_ — the mutex release/acquire pair is the
+  // happens-before edge. The analysis cannot express that protocol, so
+  // the function opts out rather than taking a redundant lock on the
+  // hot path.
+  void RunShard(int shard) KCORE_NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  util::Mutex mu_;
   std::condition_variable work_cv_;   // signals a new generation
   std::condition_variable done_cv_;   // signals pending_ hit zero
-  std::uint64_t generation_ = 0;      // bumped per ParallelFor
-  int pending_ = 0;                   // workers still running this job
-  bool stop_ = false;
+  std::uint64_t generation_ KCORE_GUARDED_BY(mu_) = 0;  // bumped per job
+  int pending_ KCORE_GUARDED_BY(mu_) = 0;  // workers still in this job
+  bool stop_ KCORE_GUARDED_BY(mu_) = false;
 
   // First exception a worker shard raised this job (rethrown by
   // ParallelFor after the drain).
-  std::exception_ptr error_;
+  std::exception_ptr error_ KCORE_GUARDED_BY(mu_);
 
-  // Current job, valid while pending_ > 0 (guarded by generation_).
-  const std::function<void(int, std::uint64_t, std::uint64_t)>* body_ =
-      nullptr;
-  std::uint64_t job_begin_ = 0;
-  std::uint64_t job_end_ = 0;
+  // Current job descriptor: written under mu_ by Dispatch, read
+  // lock-free by RunShard under the generation protocol above, cleared
+  // under mu_ by the drain.
+  const std::function<void(int, std::uint64_t, std::uint64_t)>* body_
+      KCORE_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t job_begin_ KCORE_GUARDED_BY(mu_) = 0;
+  std::uint64_t job_end_ KCORE_GUARDED_BY(mu_) = 0;
   // Explicit per-shard boundaries for the current job (bounded
   // overloads); null means the equal-count ShardBounds split.
-  const std::uint64_t* job_bounds_ = nullptr;
+  const std::uint64_t* job_bounds_ KCORE_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace kcore::distsim

@@ -68,12 +68,12 @@ void CorenessServer::PublishSnapshotLocked() {
   for (double c : snap->coreness) {
     snap->degeneracy = std::max(snap->degeneracy, c);
   }
-  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  util::MutexLock lk(snapshot_mu_);
   snapshot_ = std::move(snap);
 }
 
 std::shared_ptr<const CorenessSnapshot> CorenessServer::snapshot() const {
-  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  util::MutexLock lk(snapshot_mu_);
   return snapshot_;
 }
 
@@ -83,36 +83,42 @@ std::uint64_t CorenessServer::total_updates_applied() const {
 
 bool CorenessServer::Start() {
   {
-    std::lock_guard<std::mutex> lk(state_mu_);
+    util::MutexLock lk(state_mu_);
     KCORE_CHECK_MSG(!started_, "CorenessServer started twice");
     started_ = true;
   }
   {
-    std::lock_guard<std::mutex> lk(update_mu_);
+    util::MutexLock lk(update_mu_);
     PublishSnapshotLocked();  // epoch 1: the pre-traffic fixpoint
   }
   const auto fail = [this] {
     // Nothing will ever run the accept loop: let Wait/Stop fall through.
-    std::lock_guard<std::mutex> lk(state_mu_);
+    util::MutexLock lk(state_mu_);
     accept_done_ = true;
     stop_requested_ = true;
     state_cv_.notify_all();
     return false;
   };
-  listen_fd_ = BindAndListen(opts_.socket_path);
-  if (listen_fd_ < 0) return fail();
-  if (::pipe(stop_pipe_) < 0) {
+  const int listen_fd = BindAndListen(opts_.socket_path);
+  if (listen_fd < 0) return fail();
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
     KCORE_LOG(kError) << "pipe(): " << std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(listen_fd);
     return fail();
+  }
+  {
+    util::MutexLock lk(state_mu_);
+    listen_fd_ = listen_fd;
+    stop_pipe_[0] = pipe_fds[0];
+    stop_pipe_[1] = pipe_fds[1];
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
 }
 
 void CorenessServer::RequestStop() {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   if (stop_requested_) return;
   stop_requested_ = true;
   if (stop_pipe_[1] >= 0) {
@@ -123,23 +129,33 @@ void CorenessServer::RequestStop() {
 }
 
 void CorenessServer::AcceptLoop() {
+  // Snapshot the fds once: they were published before this thread was
+  // spawned and stay open until JoinAll has joined it, so the local
+  // copies cannot dangle while the loop runs.
+  int listen_fd = -1;
+  int stop_fd = -1;
+  {
+    util::MutexLock lk(state_mu_);
+    listen_fd = listen_fd_;
+    stop_fd = stop_pipe_[0];
+  }
   for (;;) {
-    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0},
-                             {stop_pipe_[0], POLLIN, 0}};
+    struct pollfd pfds[2] = {{listen_fd, POLLIN, 0},
+                             {stop_fd, POLLIN, 0}};
     if (util::PollRetry(pfds, 2, -1) < 0) break;
     if ((pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) break;
     if ((pfds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    util::MutexLock lk(conns_mu_);
     const std::size_t slot = conn_fds_.size();
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, slot] { ServeConnection(slot); });
   }
-  std::lock_guard<std::mutex> lk(state_mu_);
+  util::MutexLock lk(state_mu_);
   accept_done_ = true;
   // An accept-loop failure (poll/accept error) counts as a stop request:
   // Wait() must not block on a server that can no longer serve.
@@ -150,7 +166,7 @@ void CorenessServer::AcceptLoop() {
 void CorenessServer::ServeConnection(std::size_t slot) {
   int fd = -1;
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    util::MutexLock lk(conns_mu_);
     fd = conn_fds_[slot];
   }
   std::vector<std::uint8_t> payload;
@@ -159,7 +175,7 @@ void CorenessServer::ServeConnection(std::size_t slot) {
     if (!HandleFrame(fd, payload, &stop)) break;
   }
   if (stop) RequestStop();
-  std::lock_guard<std::mutex> lk(conns_mu_);
+  util::MutexLock lk(conns_mu_);
   if (conn_fds_[slot] >= 0) {
     ::close(conn_fds_[slot]);
     conn_fds_[slot] = -1;
@@ -221,7 +237,7 @@ bool CorenessServer::HandleUpdateBatch(int fd, util::WireReader& r) {
   std::uint64_t applied = 0, rejected = 0, recomputations = 0, changed = 0;
   std::uint64_t epoch = 0;
   {
-    std::lock_guard<std::mutex> lk(update_mu_);
+    util::MutexLock lk(update_mu_);
     for (const EdgeUpdate& op : ops) {
       const NodeId hi = std::max(op.u, op.v);
       const bool id_ok =
@@ -304,28 +320,28 @@ bool CorenessServer::HandleStats(int fd) {
 
 void CorenessServer::JoinAll() {
   {
-    std::lock_guard<std::mutex> lk(state_mu_);
+    util::MutexLock lk(state_mu_);
     if (joined_) return;
     joined_ = true;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   // Wake any handler blocked in ReadFrame, then join.
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    util::MutexLock lk(conns_mu_);
     for (int fd : conn_fds_) {
       if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
     }
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    util::MutexLock lk(conns_mu_);
     threads.swap(conn_threads_);
   }
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
+    util::MutexLock lk(conns_mu_);
     for (int& fd : conn_fds_) {
       if (fd >= 0) {
         ::close(fd);
@@ -333,6 +349,7 @@ void CorenessServer::JoinAll() {
       }
     }
   }
+  util::MutexLock lk(state_mu_);
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -348,24 +365,22 @@ void CorenessServer::JoinAll() {
 
 void CorenessServer::Wait() {
   {
-    std::unique_lock<std::mutex> lk(state_mu_);
+    util::MutexLock lk(state_mu_);
     if (!started_) return;
-    state_cv_.wait(lk, [this] { return stop_requested_ && accept_done_; });
+    while (!(stop_requested_ && accept_done_)) state_cv_.wait(lk.native());
   }
   JoinAll();
 }
 
 void CorenessServer::Stop() {
-  bool was_started;
   {
-    std::lock_guard<std::mutex> lk(state_mu_);
-    was_started = started_;
+    util::MutexLock lk(state_mu_);
+    if (!started_) return;
   }
-  if (!was_started) return;
   RequestStop();
   {
-    std::unique_lock<std::mutex> lk(state_mu_);
-    state_cv_.wait(lk, [this] { return accept_done_; });
+    util::MutexLock lk(state_mu_);
+    while (!accept_done_) state_cv_.wait(lk.native());
   }
   JoinAll();
 }

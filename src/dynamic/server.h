@@ -30,7 +30,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +37,8 @@
 #include "dynamic/maintain.h"
 #include "dynamic/protocol.h"
 #include "graph/graph.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kcore::dynamic {
 
@@ -98,7 +99,7 @@ class CorenessServer {
   const std::string& socket_path() const { return opts_.socket_path; }
 
  private:
-  void PublishSnapshotLocked();  // caller holds update_mu_
+  void PublishSnapshotLocked() KCORE_REQUIRES(update_mu_);
   void AcceptLoop();
   void ServeConnection(std::size_t slot);
   // Handles one decoded request frame; returns false to drop the
@@ -112,31 +113,41 @@ class CorenessServer {
 
   ServerOptions opts_;
 
-  // The single-writer maintenance engine and its publish state.
-  mutable std::mutex update_mu_;
-  DynamicCoreMaintenance maintenance_;
-  std::uint64_t epoch_ = 0;
+  // The single-writer maintenance engine and its publish state: every
+  // mutation and every epoch bump happens with update_mu_ held.
+  mutable util::Mutex update_mu_;
+  DynamicCoreMaintenance maintenance_ KCORE_GUARDED_BY(update_mu_);
+  std::uint64_t epoch_ KCORE_GUARDED_BY(update_mu_) = 0;
   std::atomic<std::uint64_t> total_updates_{0};
 
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const CorenessSnapshot> snapshot_;
+  // The epoch-swapped read path: the critical section under
+  // snapshot_mu_ is two shared_ptr copies, never maintenance work, so a
+  // reader can never be delayed by an in-flight update batch.
+  mutable util::Mutex snapshot_mu_;
+  std::shared_ptr<const CorenessSnapshot> snapshot_
+      KCORE_GUARDED_BY(snapshot_mu_);
 
-  // Lifecycle.
-  std::mutex state_mu_;
+  // Lifecycle flags plus the stop-pipe/listen fds: handler threads read
+  // and close these through state_mu_; AcceptLoop snapshots the fd
+  // values once under the lock at entry (they stay open until it is
+  // joined, so the copies cannot dangle).
+  util::Mutex state_mu_;
   std::condition_variable state_cv_;
-  bool started_ = false;
-  bool stop_requested_ = false;
-  bool accept_done_ = false;
-  bool joined_ = false;
-  int listen_fd_ = -1;
-  int stop_pipe_[2] = {-1, -1};
+  bool started_ KCORE_GUARDED_BY(state_mu_) = false;
+  bool stop_requested_ KCORE_GUARDED_BY(state_mu_) = false;
+  bool accept_done_ KCORE_GUARDED_BY(state_mu_) = false;
+  bool joined_ KCORE_GUARDED_BY(state_mu_) = false;
+  int listen_fd_ KCORE_GUARDED_BY(state_mu_) = -1;
+  int stop_pipe_[2] KCORE_GUARDED_BY(state_mu_) = {-1, -1};
+  // Owned by the thread that ran Start(); joined by JoinAll, which the
+  // joined_ flag makes single-entry. Not lock-protected by design.
   std::thread accept_thread_;
 
   // Connection registry: fd slots (-1 when closed) + handler threads,
   // appended by the accept loop, shut down and joined at Stop.
-  std::mutex conns_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  util::Mutex conns_mu_;
+  std::vector<int> conn_fds_ KCORE_GUARDED_BY(conns_mu_);
+  std::vector<std::thread> conn_threads_ KCORE_GUARDED_BY(conns_mu_);
 };
 
 }  // namespace kcore::dynamic

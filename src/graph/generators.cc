@@ -122,14 +122,24 @@ Graph BarabasiAlbert(NodeId n, NodeId attach, util::Rng& rng) {
       endpoints.push_back(j);
     }
   }
-  std::unordered_set<NodeId> targets;
+  // Distinct attachment targets, kept in a sorted vector: the previous
+  // unordered_set iterated in HASH order here, which leaked the standard
+  // library's bucket layout into the edge list (and through it into edge
+  // ids, weighted reruns, and goldens) — deterministic on one stdlib,
+  // different on the next. attach is small, so the linear membership
+  // probe costs nothing; the sort canonicalizes the per-node edge order.
+  std::vector<NodeId> targets;
+  targets.reserve(attach);
   for (NodeId v = attach + 1; v < n; ++v) {
     targets.clear();
     while (targets.size() < attach) {
       const NodeId t =
           endpoints[rng.NextBounded(endpoints.size())];
-      targets.insert(t);
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
     }
+    std::sort(targets.begin(), targets.end());
     for (NodeId t : targets) {
       b.AddEdge(v, t, 1.0);
       endpoints.push_back(v);

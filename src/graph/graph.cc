@@ -30,6 +30,9 @@ GraphBuilder& GraphBuilder::MergeParallel() {
   }
   std::vector<Edge> merged;
   merged.reserve(acc.size());
+  // Hash order cannot escape here: the merged list is fully sorted by
+  // (u, v) below before anything reads it.
+  // kcore-lint: allow(unordered-iter) output fully sorted before use
   for (const auto& [key, w] : acc) {
     merged.push_back(Edge{static_cast<NodeId>(key >> 32),
                           static_cast<NodeId>(key & 0xffffffffu), w});

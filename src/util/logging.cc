@@ -3,13 +3,19 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace kcore::util {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+// Serializes the fprintf+fflush pair so concurrent log lines (pool
+// workers, server connection handlers) never interleave mid-line. The
+// protected resource is the stderr stream itself, not a member, so
+// there is nothing to KCORE_GUARDED_BY.
+// kcore-lint: allow(unguarded-mutex) guards the stderr stream, not data
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -49,7 +55,7 @@ void LogMessage(LogLevel level, const char* file, int line,
       g_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
                line, msg.c_str());
   std::fflush(stderr);

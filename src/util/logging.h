@@ -16,7 +16,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one formatted line to stderr (thread-safe).
+// Emits one formatted line to stderr. Thread-safe: the fprintf+fflush
+// pair is serialized on an internal annotated mutex (util/mutex.h), so
+// concurrent callers — pool workers, server connection handlers — never
+// interleave mid-line. Verified, not just claimed: engine_test logs
+// concurrently from every pool worker and the battery runs under
+// ThreadSanitizer in CI (docs/ANALYSIS.md).
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg);
 

@@ -1,0 +1,65 @@
+// Annotated mutex wrappers: std::mutex with a capability the clang
+// thread-safety analysis can see.
+//
+// libstdc++'s std::mutex carries no capability attributes, so code
+// locking it through std::lock_guard is invisible to -Wthread-safety —
+// a KCORE_GUARDED_BY member would warn on every correctly locked
+// access. Mutex/MutexLock re-expose the exact same primitives (zero
+// added state, every method a forwarded inline call) with the
+// annotations attached, which is what makes the analysis leg of
+// docs/ANALYSIS.md able to prove anything.
+//
+// Condition variables: MutexLock::native() hands out the underlying
+// std::unique_lock<std::mutex> for std::condition_variable::wait. The
+// analysis treats the capability as held across the wait — which is the
+// truth at every point the waiting code can observe (wait() reacquires
+// before returning).
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace kcore::util {
+
+// A std::mutex that is a thread-safety-analysis capability. Lock
+// manually only in code the analysis cannot express; prefer MutexLock.
+class KCORE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KCORE_ACQUIRE() { mu_.lock(); }
+  void Unlock() KCORE_RELEASE() { mu_.unlock(); }
+  bool TryLock() KCORE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For MutexLock only: the raw mutex std::unique_lock needs.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  // kcore-lint: allow(unguarded-mutex) this IS the capability itself
+  std::mutex mu_;
+};
+
+// RAII lock with scoped-capability semantics: construction acquires,
+// destruction releases, and the analysis tracks the critical section's
+// extent from the guard's scope.
+class KCORE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KCORE_ACQUIRE(mu)
+      : lock_(mu.native_handle()) {}
+  ~MutexLock() KCORE_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // The underlying unique_lock, for std::condition_variable::wait. Do
+  // not unlock() it manually — that desynchronizes the analysis state.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace kcore::util

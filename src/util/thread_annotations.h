@@ -1,0 +1,80 @@
+// Clang thread-safety analysis attributes, no-op everywhere else.
+//
+// These macros let the compiler prove, at build time, that every access
+// to a mutex-protected member actually holds the right lock — the
+// static half of the concurrency contract docs/ANALYSIS.md describes
+// (ThreadSanitizer is the dynamic half). Under clang the CI leg builds
+// with -Wthread-safety -Werror, so an unannotated lock path is a build
+// break, not a latent race.
+//
+// Vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   KCORE_GUARDED_BY(mu)     data member readable/writable only with mu held
+//   KCORE_PT_GUARDED_BY(mu)  pointer member whose *pointee* needs mu
+//   KCORE_REQUIRES(mu)       function callable only with mu already held
+//   KCORE_EXCLUDES(mu)       function callable only with mu NOT held
+//   KCORE_ACQUIRE(mu)        function acquires mu and returns holding it
+//   KCORE_RELEASE(mu)        function releases mu
+//   KCORE_CAPABILITY(name)   class whose instances are lockable capabilities
+//   KCORE_SCOPED_CAPABILITY  RAII class acquiring in ctor, releasing in dtor
+//   KCORE_NO_THREAD_SAFETY_ANALYSIS
+//                            opt a function out; requires a comment proving
+//                            the lock-free access is published correctly
+//
+// gcc and msvc do not implement the analysis; the attributes expand to
+// nothing there, so annotated code compiles identically on every
+// toolchain. util/mutex.h provides the annotated Mutex/MutexLock pair
+// these attach to (std::mutex itself carries no capability attributes
+// under libstdc++, so the analysis cannot see std::lock_guard).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define KCORE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define KCORE_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define KCORE_CAPABILITY(x) KCORE_THREAD_ANNOTATION(capability(x))
+
+#define KCORE_SCOPED_CAPABILITY KCORE_THREAD_ANNOTATION(scoped_lockable)
+
+#define KCORE_GUARDED_BY(x) KCORE_THREAD_ANNOTATION(guarded_by(x))
+
+#define KCORE_PT_GUARDED_BY(x) KCORE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define KCORE_ACQUIRED_BEFORE(...) \
+  KCORE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define KCORE_ACQUIRED_AFTER(...) \
+  KCORE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define KCORE_REQUIRES(...) \
+  KCORE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define KCORE_REQUIRES_SHARED(...) \
+  KCORE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define KCORE_ACQUIRE(...) \
+  KCORE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define KCORE_ACQUIRE_SHARED(...) \
+  KCORE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define KCORE_RELEASE(...) \
+  KCORE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define KCORE_RELEASE_SHARED(...) \
+  KCORE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define KCORE_TRY_ACQUIRE(...) \
+  KCORE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define KCORE_EXCLUDES(...) KCORE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define KCORE_ASSERT_CAPABILITY(x) \
+  KCORE_THREAD_ANNOTATION(assert_capability(x))
+
+#define KCORE_RETURN_CAPABILITY(x) KCORE_THREAD_ANNOTATION(lock_returned(x))
+
+#define KCORE_NO_THREAD_SAFETY_ANALYSIS \
+  KCORE_THREAD_ANNOTATION(no_thread_safety_analysis)

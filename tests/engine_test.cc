@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
 #include "distsim/engine.h"
 #include "graph/generators.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace kcore::distsim {
@@ -416,6 +419,46 @@ TEST(Engine, QuiescenceHitsMaxRoundsOnRestlessProtocol) {
   Engine engine(g);
   EXPECT_EQ(engine.RunUntilQuiescent(proto, 7), 7);
   EXPECT_EQ(static_cast<int>(engine.history().size()), 8);  // init + 7
+}
+
+// Backs the thread-safety promise in util/logging.h: every node logs in
+// every round of a threaded run, so all pool workers hammer the logging
+// mutex at once. Each captured stderr line must be whole — an interleaved
+// or torn line means the internal lock is broken. Under KCORE_SANITIZE=
+// thread this battery also runs under ThreadSanitizer, which would flag
+// any unsynchronized access to the stream.
+TEST(Engine, ConcurrentLoggingFromPoolWorkersIsSerialized) {
+  class ChattyFlood : public Protocol {
+    void Init(NodeContext& ctx) override {
+      KCORE_LOG(kInfo) << "chatty init node " << ctx.id();
+      ctx.Broadcast({1.0});
+    }
+    void Round(NodeContext& ctx) override {
+      KCORE_LOG(kInfo) << "chatty round node " << ctx.id();
+      ctx.Broadcast({1.0});
+    }
+  } proto;
+  util::Rng rng(31);
+  const Graph g = graph::ErdosRenyiGnp(64, 0.1, rng);
+  Engine engine(g, 8);
+  const int rounds = 5;
+  testing::internal::CaptureStderr();
+  engine.Run(proto, rounds);
+  const std::string captured = testing::internal::GetCapturedStderr();
+  std::size_t chatty_lines = 0;
+  std::istringstream lines(captured);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("chatty") == std::string::npos) continue;
+    ++chatty_lines;
+    // A whole line has exactly one "[INFO ...]" prefix, at position 0;
+    // a write interleaved mid-line would splice a second prefix in.
+    EXPECT_EQ(line.rfind("[INFO ", 0), 0u) << "torn log line: " << line;
+    EXPECT_EQ(line.find('[', 1), std::string::npos)
+        << "interleaved log line: " << line;
+  }
+  // One line per Init plus one per node per round, none lost.
+  EXPECT_EQ(chatty_lines, 64u * (1 + rounds));
 }
 
 TEST(Engine, QuiescenceSeesVanishingBroadcastOfHaltedNodes) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "graph/bfs.h"
 #include "graph/components.h"
@@ -71,6 +72,45 @@ TEST(BarabasiAlbert, ConnectedWithExpectedEdgeCount) {
   // Heavy tail: max degree far above the mean.
   const double mean_deg = 2.0 * static_cast<double>(g.num_edges()) / n;
   EXPECT_GT(static_cast<double>(g.MaxDegree()), 4.0 * mean_deg);
+}
+
+// Regression for a live hash-order leak: BarabasiAlbert used to collect
+// each new node's attachment targets in an unordered_set and emit edges in
+// bucket-iteration order, so the edge list depended on the stdlib's hash
+// layout. Targets are now emitted in ascending order; pin that canonical
+// form so any future container swap breaks loudly instead of silently
+// shifting every downstream golden.
+TEST(BarabasiAlbert, CanonicalSortedAttachmentOrder) {
+  util::Rng rng(8);
+  const NodeId n = 500;
+  const NodeId k = 3;
+  const Graph g = BarabasiAlbert(n, k, rng);
+  // Every post-seed node contributes exactly k consecutive edges
+  // (v, t_1..t_k) with strictly ascending targets.
+  const EdgeId clique_edges = (k + 1) * k / 2;
+  for (NodeId v = k + 1; v < n; ++v) {
+    const EdgeId base = clique_edges + static_cast<EdgeId>(v - k - 1) * k;
+    for (NodeId j = 0; j < k; ++j) {
+      const Edge& e = g.edge(base + j);
+      EXPECT_EQ(e.u, v);
+      EXPECT_LT(e.v, v);
+      if (j > 0) {
+        EXPECT_LT(g.edge(base + j - 1).v, e.v)
+            << "attachment targets of node " << v << " not ascending";
+      }
+    }
+  }
+  // Seed-pinned fingerprint of the exact edge list: a stdlib-dependent
+  // iteration order anywhere in the generator changes this value.
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto mix = [&h](std::uint64_t x) {
+    h = (h ^ x) * 1099511628211ull;
+  };
+  for (const Edge& e : g.edges()) {
+    mix(e.u);
+    mix(e.v);
+  }
+  EXPECT_EQ(h, 18290286173305852661ull);
 }
 
 TEST(PowerLaw, DegreesWithinBounds) {

@@ -1,0 +1,39 @@
+// ThreadSanitizer canary: a DELIBERATE data race that must be detected.
+//
+// Only built under -DKCORE_SANITIZE=thread, and registered with ctest
+// as WILL_FAIL: the test passes exactly when TSan reports the race and
+// exits nonzero. If the TSan job were ever misconfigured — sanitizer
+// flag dropped, a blanket suppression added, exitcode forced to 0 —
+// this binary would exit 0 and the WILL_FAIL inversion would turn that
+// into a loud CI failure. The green TSan battery is only evidence of
+// race-freedom while this canary stays red.
+//
+// The race is the textbook one: two threads bump an unsynchronized
+// plain int. No atomics, no fences, no pool — nothing that could give
+// TSan a happens-before edge to forgive it with.
+
+#include <cstdio>
+#include <thread>
+
+namespace {
+
+int g_unsynchronized_counter = 0;  // written by both threads, no lock
+
+void Bump() {
+  for (int i = 0; i < 100000; ++i) ++g_unsynchronized_counter;
+}
+
+}  // namespace
+
+int main() {
+  std::thread a(Bump);
+  std::thread b(Bump);
+  a.join();
+  b.join();
+  // Reaching here with exit status 0 means TSan did NOT flag the race
+  // above (not built with -fsanitize=thread, or reports disabled) —
+  // WILL_FAIL then fails the ctest case, which is the point.
+  std::printf("canary ran to completion: counter=%d\n",
+              g_unsynchronized_counter);
+  return 0;
+}

@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Determinism lint: statically enforce the contracts of docs/ANALYSIS.md.
+
+The engine's value proposition is bit-identical results at any thread,
+rank, and transport configuration (docs/ARCHITECTURE.md, "The
+determinism contract"). The runtime batteries prove existing code keeps
+that promise; this lint stops NEW code from breaking it in the ways
+that are invisible until someone runs on a different libc, stdlib, or
+ASLR seed. Scanned tree: src/ (headers + sources).
+
+Rules (each can be waived per line, see below):
+
+  raw-rand        rand()/srand()/rand_r()/drand48()/random()/
+                  std::random_device outside src/util/rng* — all
+                  randomness must flow through the keyed, deterministic
+                  util::Rng streams.
+  wall-clock      time()/clock()/gettimeofday()/clock_gettime()/
+                  std::chrono::system_clock outside src/util/timer* —
+                  wall-clock reads in protocol or engine code leak
+                  scheduling into results. (steady_clock via util/timer
+                  is the sanctioned way to measure durations.)
+  unordered-iter  iteration over a std::unordered_map/unordered_set
+                  (range-for or .begin()) — hash-table iteration order
+                  is implementation-defined, so it must never reach an
+                  edge list, a message, or any other output. Membership
+                  tests and .size()/.count() are fine and not flagged.
+  pointer-order   ordered containers or comparators keyed on pointer
+                  values (std::map<T*, ...>, std::set<T*>,
+                  std::less<T*>) — pointer order is allocation order,
+                  i.e. ASLR-dependent nondeterminism.
+  unguarded-mutex a mutex member with no KCORE_GUARDED_BY /
+                  KCORE_PT_GUARDED_BY / KCORE_REQUIRES referencing it
+                  anywhere in the same file — every lock must say what
+                  it protects so the clang thread-safety leg can prove
+                  the locking discipline (src/util/thread_annotations.h).
+
+Escape hatch: a finding is waived by
+
+    // kcore-lint: allow(<rule>) <justification>
+
+on the offending line or the line directly above it. The justification
+is mandatory — an allowance without one is itself a finding. The
+allowance covers exactly one line (plus the comment line), not a block.
+
+Exit status: 0 clean, 1 with findings (printed as file:line: rule:
+message, one per line, deterministic order).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+RULE_NAMES = (
+    "raw-rand",
+    "wall-clock",
+    "unordered-iter",
+    "pointer-order",
+    "unguarded-mutex",
+)
+
+# Files whose whole purpose exempts them from a rule.
+RAW_RAND_EXEMPT = re.compile(r"util/rng\.(h|cc)$")
+WALL_CLOCK_EXEMPT = re.compile(r"util/(rng|timer)\.(h|cc)$")
+
+RAW_RAND_RE = re.compile(
+    r"\b(?:std::)?(?:rand|srand|rand_r|random|drand48|lrand48|mrand48|"
+    r"random_device)\s*(?:\(|\{)")
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:time|clock|gettimeofday|clock_gettime)\s*\(|"
+    r"\bsystem_clock\b")
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;({=]")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\([^;:()]*:\s*([\w.>-]+?)\s*\)")
+BEGIN_CALL_RE = re.compile(r"([\w.>-]+?)\.begin\s*\(\)")
+POINTER_ORDER_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset)\s*<\s*[\w:<> ]*\*|"
+    r"\bstd::less\s*<\s*[\w:<> ]*\*\s*>")
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:std::mutex|(?:util::)?Mutex)\s+(\w+)\s*;")
+GUARD_REF_RE = r"KCORE_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRED_(?:BEFORE|AFTER))\s*\(\s*{name}\s*[,)]"
+
+ALLOW_RE = re.compile(r"//\s*kcore-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)*'")
+
+
+def strip_code_line(line: str) -> str:
+    """Removes string/char literals and // comments so rule patterns
+    only see code. (Block comments are handled by the caller.)"""
+    line = STRING_RE.sub('""', line)
+    line = CHAR_RE.sub("''", line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def strip_block_comments(text: str) -> str:
+    """Blanks /* ... */ ranges, preserving line structure."""
+    out = []
+    i = 0
+    while True:
+        start = text.find("/*", i)
+        if start < 0:
+            out.append(text[i:])
+            break
+        out.append(text[i:start])
+        end = text.find("*/", start + 2)
+        if end < 0:
+            out.append("\n" * text.count("\n", start))
+            break
+        out.append("\n" * text.count("\n", start, end + 2))
+        i = end + 2
+    return "".join(out)
+
+
+def last_component(expr: str) -> str:
+    """`part.distinct` / `this->targets` -> the final identifier."""
+    return re.split(r"\.|->", expr)[-1]
+
+
+class FileLint:
+    def __init__(self, path: pathlib.Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.raw_lines = path.read_text().splitlines()
+        code = strip_block_comments("\n".join(self.raw_lines))
+        self.code_lines = [strip_code_line(l) for l in code.splitlines()]
+        self.findings = []
+        # Waivers: line -> set of rules allowed there. A waiver comment
+        # covers its own line and the next line.
+        self.allows = {}
+        for lineno, line in enumerate(self.raw_lines, 1):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            rule, justification = m.group(1), m.group(2).strip()
+            if rule not in RULE_NAMES:
+                self.report(lineno, "bad-allowance",
+                            f"unknown rule '{rule}' in kcore-lint allowance "
+                            f"(known: {', '.join(RULE_NAMES)})")
+                continue
+            if not justification:
+                self.report(lineno, "bad-allowance",
+                            f"kcore-lint allowance for '{rule}' has no "
+                            "justification — say why the rule does not "
+                            "apply here")
+                continue
+            self.allows.setdefault(lineno, set()).add(rule)
+            self.allows.setdefault(lineno + 1, set()).add(rule)
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        return rule in self.allows.get(lineno, set())
+
+    def report(self, lineno: int, rule: str, msg: str):
+        if rule in RULE_NAMES and self.allowed(lineno, rule):
+            return
+        self.findings.append((self.rel, lineno, rule, msg))
+
+    def run(self):
+        self.check_raw_rand()
+        self.check_wall_clock()
+        self.check_unordered_iter()
+        self.check_pointer_order()
+        self.check_unguarded_mutex()
+        return self.findings
+
+    def check_raw_rand(self):
+        if RAW_RAND_EXEMPT.search(self.rel):
+            return
+        for lineno, line in enumerate(self.code_lines, 1):
+            if RAW_RAND_RE.search(line):
+                self.report(lineno, "raw-rand",
+                            "raw randomness source — use the keyed "
+                            "util::Rng streams (util/rng.h)")
+
+    def check_wall_clock(self):
+        if WALL_CLOCK_EXEMPT.search(self.rel):
+            return
+        for lineno, line in enumerate(self.code_lines, 1):
+            if WALL_CLOCK_RE.search(line):
+                self.report(lineno, "wall-clock",
+                            "wall-clock read — time must not influence "
+                            "results; measure durations via util/timer.h")
+
+    def check_unordered_iter(self):
+        unordered = set()
+        for line in self.code_lines:
+            for m in UNORDERED_DECL_RE.finditer(line):
+                unordered.add(m.group(1))
+        if not unordered:
+            return
+        for lineno, line in enumerate(self.code_lines, 1):
+            names = [last_component(m.group(1))
+                     for m in RANGE_FOR_RE.finditer(line)]
+            names += [last_component(m.group(1))
+                      for m in BEGIN_CALL_RE.finditer(line)]
+            for name in names:
+                if name in unordered:
+                    self.report(
+                        lineno, "unordered-iter",
+                        f"iteration over unordered container '{name}' — "
+                        "hash order is implementation-defined; sort "
+                        "first or prove order cannot reach any output")
+                    break  # one finding per line is enough
+
+    def check_pointer_order(self):
+        for lineno, line in enumerate(self.code_lines, 1):
+            if POINTER_ORDER_RE.search(line):
+                self.report(lineno, "pointer-order",
+                            "ordering keyed on pointer values — pointer "
+                            "order is ASLR-dependent; key on ids instead")
+
+    def check_unguarded_mutex(self):
+        text = "\n".join(self.raw_lines)
+        for lineno, line in enumerate(self.code_lines, 1):
+            m = MUTEX_DECL_RE.match(line)
+            if not m:
+                continue
+            name = m.group(1)
+            if re.search(GUARD_REF_RE.format(name=re.escape(name)), text):
+                continue
+            self.report(
+                lineno, "unguarded-mutex",
+                f"mutex '{name}' has no KCORE_GUARDED_BY / KCORE_REQUIRES "
+                "referencing it — annotate what it protects "
+                "(util/thread_annotations.h)")
+
+
+def lint_tree(root: pathlib.Path, subdirs):
+    findings = []
+    for sub in subdirs:
+        base = root / sub
+        if not base.exists():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            findings.extend(FileLint(path, rel).run())
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="Determinism lint (see docs/ANALYSIS.md)")
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--subdir", action="append", default=None,
+                    help="tree(s) under root to scan (default: src)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print rule names, one per line, and exit")
+    args = ap.parse_args()
+    if args.list_rules:
+        for rule in RULE_NAMES:
+            print(rule)
+        return 0
+    root = pathlib.Path(args.root).resolve()
+    findings = lint_tree(root, args.subdir or ["src"])
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: {rule}: {msg}")
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("determinism_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/determinism_lint.py.
+
+Every rule must demonstrably (a) fire on a minimal bad snippet and
+(b) stay silent when the snippet carries a justified allowance — a lint
+that silently stopped matching is worse than no lint, because the tree
+looks clean. Run directly (python3 tools/determinism_lint_test.py) or
+via ctest (lint_fixtures).
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import determinism_lint as lint
+
+
+def run_on(snippet: str, rel: str = "src/fixture.cc"):
+    """Lints one fixture file; returns [(rule, lineno), ...]."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(snippet)
+        findings = lint.lint_tree(pathlib.Path(tmp), ["src"])
+    return [(rule, lineno) for _, lineno, rule, _ in findings]
+
+
+def rules_of(snippet: str, rel: str = "src/fixture.cc"):
+    return [rule for rule, _ in run_on(snippet, rel)]
+
+
+class RawRandTest(unittest.TestCase):
+    def test_fires_on_each_source(self):
+        for call in ("rand()", "srand(42)", "rand_r(&s)", "drand48()",
+                     "std::random_device{}"):
+            self.assertIn("raw-rand", rules_of(f"int x = {call};"),
+                          msg=call)
+
+    def test_exempt_inside_rng(self):
+        self.assertEqual(
+            rules_of("int x = rand();", rel="src/util/rng.cc"), [])
+
+    def test_silent_on_comment_and_string(self):
+        self.assertEqual(rules_of('// rand() is banned\n'
+                                  'const char* s = "rand()";\n'), [])
+
+    def test_silent_on_identifier_substring(self):
+        self.assertEqual(rules_of("int operand(int x);"), [])
+
+
+class WallClockTest(unittest.TestCase):
+    def test_fires(self):
+        for call in ("time(nullptr)", "clock()", "gettimeofday(&tv, 0)",
+                     "clock_gettime(CLOCK_REALTIME, &ts)",
+                     "std::chrono::system_clock::now()"):
+            self.assertIn("wall-clock", rules_of(f"auto t = {call};"),
+                          msg=call)
+
+    def test_exempt_inside_timer(self):
+        self.assertEqual(
+            rules_of("auto t = clock();", rel="src/util/timer.cc"), [])
+
+    def test_steady_clock_is_fine(self):
+        self.assertEqual(
+            rules_of("auto t = std::chrono::steady_clock::now();"), [])
+
+
+class UnorderedIterTest(unittest.TestCase):
+    def test_fires_on_range_for(self):
+        snippet = ("std::unordered_map<int, int> acc;\n"
+                   "for (const auto& kv : acc) use(kv);\n")
+        self.assertEqual(run_on(snippet), [("unordered-iter", 2)])
+
+    def test_fires_on_begin(self):
+        snippet = ("std::unordered_set<int> seen;\n"
+                   "auto it = seen.begin();\n")
+        self.assertEqual(run_on(snippet), [("unordered-iter", 2)])
+
+    def test_fires_through_member_access(self):
+        snippet = ("std::unordered_set<int> distinct;\n"
+                   "for (int v : part.distinct) use(v);\n")
+        self.assertEqual(run_on(snippet), [("unordered-iter", 2)])
+
+    def test_membership_and_size_are_fine(self):
+        snippet = ("std::unordered_set<int> seen;\n"
+                   "if (seen.count(3) > 0) use(seen.size());\n")
+        self.assertEqual(run_on(snippet), [])
+
+    def test_vector_iteration_is_fine(self):
+        snippet = ("std::vector<int> v;\n"
+                   "for (int x : v) use(x);\n")
+        self.assertEqual(run_on(snippet), [])
+
+
+class PointerOrderTest(unittest.TestCase):
+    def test_fires(self):
+        for decl in ("std::map<Node*, int> m;",
+                     "std::set<const Edge*> s;",
+                     "std::less<Node*> cmp;"):
+            self.assertIn("pointer-order", rules_of(decl), msg=decl)
+
+    def test_id_keyed_map_is_fine(self):
+        self.assertEqual(rules_of("std::map<NodeId, int> m;"), [])
+
+
+class UnguardedMutexTest(unittest.TestCase):
+    def test_fires_on_bare_member(self):
+        for decl in ("  std::mutex mu_;", "  util::Mutex mu_;",
+                     "  mutable Mutex state_mu_;"):
+            self.assertIn("unguarded-mutex", rules_of(decl), msg=decl)
+
+    def test_silent_when_guard_references_it(self):
+        snippet = ("  util::Mutex mu_;\n"
+                   "  int epoch_ KCORE_GUARDED_BY(mu_) = 0;\n")
+        self.assertEqual(run_on(snippet), [])
+
+    def test_requires_also_counts(self):
+        snippet = ("  std::mutex mu_;\n"
+                   "  void PublishLocked() KCORE_REQUIRES(mu_);\n")
+        self.assertEqual(run_on(snippet), [])
+
+
+class AllowanceTest(unittest.TestCase):
+    BAD = "for (const auto& kv : acc) use(kv);"
+    DECL = "std::unordered_map<int, int> acc;\n"
+
+    def test_same_line_allowance_suppresses(self):
+        snippet = (self.DECL + self.BAD +
+                   "  // kcore-lint: allow(unordered-iter) sorted below\n")
+        self.assertEqual(run_on(snippet), [])
+
+    def test_preceding_line_allowance_suppresses(self):
+        snippet = (self.DECL +
+                   "// kcore-lint: allow(unordered-iter) sorted below\n" +
+                   self.BAD + "\n")
+        self.assertEqual(run_on(snippet), [])
+
+    def test_allowance_does_not_cover_a_block(self):
+        snippet = (self.DECL +
+                   "// kcore-lint: allow(unordered-iter) sorted below\n" +
+                   self.BAD + "\n" + self.BAD + "\n")
+        self.assertEqual(run_on(snippet), [("unordered-iter", 4)])
+
+    def test_missing_justification_is_a_finding(self):
+        snippet = (self.DECL +
+                   "// kcore-lint: allow(unordered-iter)\n" + self.BAD)
+        rules = rules_of(snippet)
+        self.assertIn("bad-allowance", rules)
+        self.assertIn("unordered-iter", rules)  # bad waiver waives nothing
+
+    def test_unknown_rule_is_a_finding(self):
+        self.assertIn("bad-allowance",
+                      rules_of("// kcore-lint: allow(no-such-rule) because\n"))
+
+    def test_allowance_only_covers_named_rule(self):
+        snippet = ("std::mutex mu_;"
+                   "  // kcore-lint: allow(unordered-iter) wrong rule\n")
+        self.assertIn("unguarded-mutex", rules_of(snippet))
+
+
+class CliTest(unittest.TestCase):
+    SCRIPT = pathlib.Path(__file__).resolve().parent / "determinism_lint.py"
+
+    def run_cli(self, tree, *extra):
+        with tempfile.TemporaryDirectory() as tmp:
+            for rel, text in tree.items():
+                path = pathlib.Path(tmp) / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(text)
+            return subprocess.run(
+                [sys.executable, str(self.SCRIPT), "--root", tmp, *extra],
+                capture_output=True, text=True)
+
+    def test_exit_one_with_findings_and_stable_format(self):
+        proc = self.run_cli({"src/bad.cc": "int x = rand();\n"})
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("src/bad.cc:1: raw-rand:", proc.stdout)
+
+    def test_exit_zero_when_clean(self):
+        proc = self.run_cli({"src/good.cc": "int x = 3;\n"})
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("clean", proc.stdout)
+
+    def test_list_rules_covers_every_rule(self):
+        proc = subprocess.run(
+            [sys.executable, str(self.SCRIPT), "--list-rules"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0)
+        self.assertEqual(proc.stdout.split(), list(lint.RULE_NAMES))
+
+
+if __name__ == "__main__":
+    unittest.main()

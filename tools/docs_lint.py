@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs lint: keep docs/*.md from drifting out of the tree.
 
-Two checks, run in CI after the build (see .github/workflows/ci.yml):
+Three checks, run in CI after the build (see .github/workflows/ci.yml):
 
 1. Link check — every relative markdown link in docs/*.md, README.md,
    and tests/README.md must resolve to an existing file or directory
@@ -12,6 +12,10 @@ Two checks, run in CI after the build (see .github/workflows/ci.yml):
    renamed or removed. The help text is captured by the CI step and
    passed via --help-text; without it the flag check is skipped (link
    check still runs).
+3. Lint-rule check — docs/ANALYSIS.md must document every rule the
+   determinism lint enforces (tools/determinism_lint.py RULE_NAMES), so
+   adding a rule without documenting its contract and escape hatch
+   fails CI.
 
 Exit status: 0 clean, 1 with findings (each printed as file:line).
 """
@@ -20,6 +24,10 @@ import argparse
 import pathlib
 import re
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import determinism_lint
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"(?<![\w/-])--([a-zA-Z][a-zA-Z0-9_-]*)")
@@ -72,6 +80,22 @@ def check_flags(root: pathlib.Path, help_text: str):
     return findings
 
 
+def check_lint_rules(root: pathlib.Path):
+    analysis = root / "docs" / "ANALYSIS.md"
+    if not analysis.is_file():
+        return ["docs/ANALYSIS.md: missing — the analysis layer "
+                "(thread-safety annotations, TSan, determinism lint) "
+                "must be documented"]
+    text = analysis.read_text()
+    findings = []
+    for rule in determinism_lint.RULE_NAMES:
+        if f"`{rule}`" not in text:
+            findings.append(
+                f"docs/ANALYSIS.md: determinism-lint rule `{rule}` is "
+                "enforced but not documented")
+    return findings
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=".", help="repository root")
@@ -81,7 +105,7 @@ def main() -> int:
     args = ap.parse_args()
     root = pathlib.Path(args.root).resolve()
 
-    findings = check_links(root)
+    findings = check_links(root) + check_lint_rules(root)
     if args.help_text:
         help_text = pathlib.Path(args.help_text).read_text()
         findings += check_flags(root, help_text)
