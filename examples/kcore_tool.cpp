@@ -19,7 +19,9 @@
 // pack/alltoallv/unpack path that reports real wire bytes, or the
 // multi-process backend that forks --ranks worker processes and
 // exchanges over Unix-domain socketpairs (all bit-identical; see
-// docs/TRANSPORTS.md).
+// docs/TRANSPORTS.md). --per-rank-compute=true additionally moves the
+// compute phase into those workers (each owns its node slice end to
+// end; still bit-identical).
 //
 // Examples:
 //   kcore_tool generate --graph=ba --n=5000 --out=/tmp/ba.txt
@@ -108,6 +110,9 @@ int CmdCoreness(const Flags& flags) {
   opts.balance_shards = flags.GetBool("balance", false);
   opts.transport = kcore::examples::TransportFromFlags(flags);
   opts.ranks = kcore::examples::RanksFromFlags(flags);
+  kcore::examples::ValidateRankTopology(opts.ranks, g.num_nodes());
+  opts.per_rank_compute =
+      kcore::examples::PerRankComputeFromFlags(flags, opts.transport);
   const auto res = kcore::core::RunCompactElimination(g, opts);
   const auto exact = kcore::seq::WeightedCoreness(g);
   std::vector<double> ratios;
@@ -121,7 +126,7 @@ int CmdCoreness(const Flags& flags) {
   if (flags.GetBool("montresor")) {
     const auto conv = kcore::core::RunToConvergence(
         g, -1, opts.num_threads, opts.seed, opts.balance_shards,
-        opts.transport, opts.ranks);
+        opts.transport, opts.ranks, opts.per_rank_compute);
     std::printf("run-to-exact (Montresor): %d rounds, %zu messages\n",
                 conv.last_change_round, conv.totals.messages);
   }
@@ -151,13 +156,16 @@ int CmdOrientation(const Flags& flags) {
   const bool balance = flags.GetBool("balance", false);
   const auto transport = kcore::examples::TransportFromFlags(flags);
   const int ranks = kcore::examples::RanksFromFlags(flags);
+  kcore::examples::ValidateRankTopology(ranks, g.num_nodes());
+  const bool per_rank =
+      kcore::examples::PerRankComputeFromFlags(flags, transport);
   const int T = kcore::core::RoundsForEpsilon(g.num_nodes(), eps);
   const double rho = kcore::seq::MaxDensity(g);
   const auto ours = kcore::core::RunDistributedOrientation(
       g, T, kcore::core::ConflictRule::kLowerLoad, threads);
   const auto two_phase = kcore::core::RunTwoPhaseOrientation(
       g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance,
-      transport, ranks);
+      transport, ranks, per_rank);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
   kcore::util::Table t({"method", "max load", "load/rho*", "rounds"});
@@ -256,6 +264,8 @@ constexpr const char kUsage[] =
     "  --transport=T   shared|serialized|process message transport\n"
     "  --ranks=R       worker processes for --transport=process "
     "(default 1)\n"
+    "  --per-rank-compute=BOOL  run compute inside the rank workers "
+    "(process transport only)\n"
     "  --montresor     also run the run-to-convergence baseline "
     "(coreness)\n"
     "  --out=PATH      write per-node results (coreness) / generated "

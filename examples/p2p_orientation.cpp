@@ -13,7 +13,7 @@
 // Usage: p2p_orientation [--n=1500] [--eps=0.5] [--seed=3] [--threads=1]
 //                        [--balance=false]
 //                        [--transport=shared|serialized|process]
-//                        [--ranks=1]
+//                        [--ranks=1] [--per-rank-compute=false]
 //
 // --balance=true turns on the engine's degree-weighted shard balancing
 // (results are bit-identical; on this heavy-tailed overlay it evens out
@@ -43,7 +43,8 @@ int main(int argc, char** argv) {
         "usage: p2p_orientation [--n=1500] [--eps=0.5] [--seed=3]\n"
         "                       [--threads=1] [--balance=false]\n"
         "                       [--transport=shared|serialized|process]\n"
-        "                       [--ranks=1] [--help]\n",
+        "                       [--ranks=1] [--per-rank-compute=false]\n"
+        "                       [--help]\n",
         stdout);
     return 0;
   }
@@ -67,11 +68,14 @@ int main(int argc, char** argv) {
   const bool balance = flags.GetBool("balance", false);
   const auto transport = kcore::examples::TransportFromFlags(flags);
   const int ranks = kcore::examples::RanksFromFlags(flags);
+  kcore::examples::ValidateRankTopology(ranks, g.num_nodes());
+  const bool per_rank =
+      kcore::examples::PerRankComputeFromFlags(flags, transport);
   const auto ours = kcore::core::RunDistributedOrientation(
       g, T, kcore::core::ConflictRule::kLowerLoad, threads);
   const auto two_phase = kcore::core::RunTwoPhaseOrientation(
       g, T, eps, -1, threads, kcore::distsim::kDefaultMasterSeed, balance,
-      transport, ranks);
+      transport, ranks, per_rank);
   auto greedy = kcore::seq::GreedyOrientation(g);
   kcore::seq::LocalSearchImprove(g, greedy);
 

@@ -11,7 +11,7 @@
 // Usage: social_influence [--n=2000] [--eps=0.5] [--seed=7] [--topk=25]
 //                         [--threads=1] [--balance=false]
 //                         [--transport=shared|serialized|process]
-//                         [--ranks=1]
+//                         [--ranks=1] [--per-rank-compute=false]
 //
 // --balance=true enables degree-weighted shard balancing in the round
 // scheduler (bit-identical results; evens per-thread load on this
@@ -95,7 +95,8 @@ int main(int argc, char** argv) {
         "                        [--topk=25] [--threads=1] "
         "[--balance=false]\n"
         "                        [--transport=shared|serialized|process]\n"
-        "                        [--ranks=1] [--help]\n",
+        "                        [--ranks=1] [--per-rank-compute=false]\n"
+        "                        [--help]\n",
         stdout);
     return 0;
   }
@@ -120,6 +121,9 @@ int main(int argc, char** argv) {
   opts.balance_shards = flags.GetBool("balance", false);
   opts.transport = kcore::examples::TransportFromFlags(flags);
   opts.ranks = kcore::examples::RanksFromFlags(flags);
+  kcore::examples::ValidateRankTopology(opts.ranks, g.num_nodes());
+  opts.per_rank_compute =
+      kcore::examples::PerRankComputeFromFlags(flags, opts.transport);
   const auto res = kcore::core::RunCompactElimination(g, opts);
   std::printf("distributed coreness estimate: %d rounds, %zu messages\n", T,
               res.totals.messages);

@@ -5,6 +5,7 @@
 // examples reject junk the same way.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -43,6 +44,36 @@ inline int RanksFromFlags(const util::Flags& flags) {
     std::exit(2);
   }
   return static_cast<int>(ranks);
+}
+
+// The engine refuses rank topologies with more ranks than nodes (some
+// slice would be empty and the contiguous-slice ownership contract in
+// docs/ARCHITECTURE.md ambiguous). Catch that here so the tools exit
+// with a usage error instead of tripping the engine's internal check.
+inline void ValidateRankTopology(int ranks, std::uint32_t num_nodes) {
+  if (static_cast<std::uint32_t>(ranks) > num_nodes) {
+    std::fprintf(stderr,
+                 "error: --ranks=%d exceeds the graph's node count (%u); "
+                 "each rank needs a non-empty node slice\n",
+                 ranks, num_nodes);
+    std::exit(2);
+  }
+}
+
+// --per-rank-compute=BOOL (default false): run the compute phase inside
+// the transport's rank workers instead of in the coordinator (see
+// distsim::Engine::SetPerRankCompute). Only the process transport ships
+// per-rank compute, so anything else is a usage error rather than a
+// silent fallback.
+inline bool PerRankComputeFromFlags(const util::Flags& flags,
+                                    distsim::TransportKind kind) {
+  const bool per_rank = flags.GetBool("per-rank-compute", false);
+  if (per_rank && kind != distsim::TransportKind::kProcess) {
+    std::fprintf(stderr,
+                 "error: --per-rank-compute requires --transport=process\n");
+    std::exit(2);
+  }
+  return per_rank;
 }
 
 }  // namespace kcore::examples

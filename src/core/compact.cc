@@ -7,6 +7,7 @@
 
 #include "core/update.h"
 #include "util/logging.h"
+#include "util/wire.h"
 
 namespace kcore::core {
 
@@ -108,15 +109,45 @@ void CompactElimination::Round(NodeContext& ctx) {
   ctx.Broadcast({b_[v]});
 }
 
+void CompactElimination::SaveNodeState(NodeId v,
+                                       util::WireAppender& out) const {
+  out.Double(b_[v]);
+  out.Fixed64(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(last_change_[v])));
+  out.Varint(order_[v].size());
+  for (std::uint32_t i : order_[v]) out.Fixed32(i);
+  if (opts_.track_orientation) {
+    out.Varint(in_sets_[v].size());
+    for (std::uint32_t i : in_sets_[v]) out.Fixed32(i);
+  }
+}
+
+void CompactElimination::LoadNodeState(NodeId v, util::WireReader& in) {
+  b_[v] = in.Double();
+  last_change_[v] = static_cast<int>(static_cast<std::int64_t>(in.Fixed64()));
+  order_[v].resize(in.Varint());
+  for (std::uint32_t& i : order_[v]) i = in.Fixed32();
+  if (opts_.track_orientation) {
+    in_sets_[v].resize(in.Varint());
+    for (std::uint32_t& i : in_sets_[v]) i = in.Fixed32();
+  }
+  // scratch_values_[v] is sized in the constructor and content-free
+  // between rounds — nothing to restore.
+}
+
 CompactResult RunCompactElimination(const graph::Graph& g,
                                     const CompactOptions& opts) {
   KCORE_CHECK_MSG(opts.rounds >= 1, "need at least one round");
+  KCORE_CHECK_MSG(!(opts.record_rounds && opts.per_rank_compute),
+                  "record_rounds reads b after every round, but per-rank "
+                  "compute keeps b in the workers between rounds");
   distsim::Engine engine(g, opts.num_threads);
   engine.SetSeed(opts.seed);
   engine.SetShardBalancing(opts.balance_shards);
   engine.SetRebalanceInterval(opts.rebalance_rounds);
   engine.SetTransport(distsim::MakeTransport(opts.transport));
   engine.SetRankCount(opts.ranks);
+  engine.SetPerRankCompute(opts.per_rank_compute);
   CompactElimination proto(g, opts);
   CompactResult out;
   engine.Start(proto);
@@ -125,6 +156,7 @@ CompactResult RunCompactElimination(const graph::Graph& g,
     engine.Step(proto);
     if (opts.record_rounds) out.b_rounds.push_back(proto.b());
   }
+  engine.FetchRankState(proto);  // no-op unless per-rank compute
   out.b = proto.b();
   out.in_sets = proto.in_sets();
   out.history = engine.history();

@@ -63,6 +63,11 @@ struct CompactOptions {
   // is deterministic; the seed exists so randomized protocol variants
   // layered on this path (and the engine they share) stay replayable.
   std::uint64_t seed = distsim::kDefaultMasterSeed;
+  // Run the compute phase inside the transport's rank workers
+  // (distsim::Engine::SetPerRankCompute) — requires a process transport
+  // and ranks >= 1, and is incompatible with record_rounds (b lives in
+  // the workers between rounds). Results stay bit-identical.
+  bool per_rank_compute = false;
 };
 
 // T = ceil(log n / log(gamma/2)) for gamma > 2 (Theorem III.5).
@@ -76,6 +81,14 @@ class CompactElimination : public distsim::Protocol {
 
   void Init(distsim::NodeContext& ctx) override;
   void Round(distsim::NodeContext& ctx) override;
+
+  // Per-rank compute support: a node's state is its surviving number,
+  // its last-change round, its tie-break permutation, and (when
+  // orientation is tracked) its in-neighbor set. scratch_values_ is
+  // rebuilt, not shipped.
+  bool SupportsRankCompute() const override { return true; }
+  void SaveNodeState(graph::NodeId v, util::WireAppender& out) const override;
+  void LoadNodeState(graph::NodeId v, util::WireReader& in) override;
 
   // Current surviving numbers b_v.
   const std::vector<double>& b() const { return b_; }

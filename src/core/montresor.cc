@@ -8,7 +8,7 @@ ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
                                    int num_threads, std::uint64_t seed,
                                    bool balance_shards,
                                    distsim::TransportKind transport,
-                                   int ranks) {
+                                   int ranks, bool per_rank_compute) {
   if (max_rounds < 0) {
     max_rounds = static_cast<int>(g.num_nodes()) + 2;
   }
@@ -23,8 +23,10 @@ ConvergenceResult RunToConvergence(const graph::Graph& g, int max_rounds,
   engine.SetShardBalancing(balance_shards);
   engine.SetTransport(distsim::MakeTransport(transport));
   engine.SetRankCount(ranks);
+  engine.SetPerRankCompute(per_rank_compute);
   ConvergenceResult out;
   out.rounds_executed = engine.RunUntilQuiescent(proto, max_rounds);
+  engine.FetchRankState(proto);  // no-op unless per-rank compute
   out.coreness = proto.b();
   out.history = engine.history();
   out.totals = engine.totals();

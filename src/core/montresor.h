@@ -39,12 +39,15 @@ struct ConvergenceResult {
 // `transport` picks the simulator's message transport (bit-identical
 // results for every transport — only the wire accounting differs);
 // `ranks` sets the rank topology for multi-process transports (see
-// distsim::Engine::SetRankCount — ignored by in-process transports).
+// distsim::Engine::SetRankCount — ignored by in-process transports);
+// `per_rank_compute` runs the compute phase inside the transport's rank
+// workers (distsim::Engine::SetPerRankCompute, process transport only —
+// results stay bit-identical).
 ConvergenceResult RunToConvergence(
     const graph::Graph& g, int max_rounds = -1, int num_threads = 1,
     std::uint64_t seed = distsim::kDefaultMasterSeed,
     bool balance_shards = false,
     distsim::TransportKind transport = distsim::TransportKind::kSharedMemory,
-    int ranks = 1);
+    int ranks = 1, bool per_rank_compute = false);
 
 }  // namespace kcore::core

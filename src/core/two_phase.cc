@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/wire.h"
 
 namespace kcore::core {
 namespace {
@@ -46,6 +47,21 @@ class PeelingProtocol : public distsim::Protocol {
   // Round in which v peeled (-1 = never).
   const std::vector<int>& peel_round() const { return peel_round_; }
 
+  // Per-rank compute support. The threshold is immutable after
+  // construction (the workers inherit it through the fork), but it rides
+  // along anyway so the state blocks are self-contained.
+  bool SupportsRankCompute() const override { return true; }
+  void SaveNodeState(NodeId v, util::WireAppender& out) const override {
+    out.Double(thresholds_[v]);
+    out.Fixed64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(peel_round_[v])));
+  }
+  void LoadNodeState(NodeId v, util::WireReader& in) override {
+    thresholds_[v] = in.Double();
+    peel_round_[v] =
+        static_cast<int>(static_cast<std::int64_t>(in.Fixed64()));
+  }
+
  private:
   std::vector<double> thresholds_;
   std::vector<int> peel_round_;
@@ -58,7 +74,7 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
                                       int num_threads, std::uint64_t seed,
                                       bool balance_shards,
                                       distsim::TransportKind transport,
-                                      int ranks) {
+                                      int ranks, bool per_rank_compute) {
   KCORE_CHECK_MSG(eps > 0.0, "eps must be positive");
   CompactOptions copts;
   copts.rounds = phase1_rounds;
@@ -67,6 +83,7 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
   copts.balance_shards = balance_shards;
   copts.transport = transport;
   copts.ranks = ranks;
+  copts.per_rank_compute = per_rank_compute;
   CompactResult compact = RunCompactElimination(g, copts);
 
   TwoPhaseResult out;
@@ -96,6 +113,7 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
   engine.SetShardBalancing(balance_shards);
   engine.SetTransport(distsim::MakeTransport(transport));
   engine.SetRankCount(ranks);
+  engine.SetPerRankCompute(per_rank_compute);
   engine.Start(peel);
   int rounds = 0;
   while (rounds < max_phase2_rounds) {
@@ -103,6 +121,7 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
     ++rounds;
     if (engine.num_halted() == g.num_nodes()) break;
   }
+  engine.FetchRankState(peel);  // no-op unless per-rank compute
   out.phase2_rounds = rounds;
   out.phase2_history = engine.history();
   {
@@ -112,6 +131,9 @@ TwoPhaseResult RunTwoPhaseOrientation(const Graph& g, int phase1_rounds,
     out.totals.entries += t.entries;
     out.totals.bytes_sent += t.bytes_sent;
     out.totals.bytes_received += t.bytes_received;
+    out.totals.bcast_bytes_sent += t.bcast_bytes_sent;
+    out.totals.bcast_bytes_received += t.bcast_bytes_received;
+    out.totals.bcast_bytes_per_neighbor += t.bcast_bytes_per_neighbor;
   }
 
   // Edge assignment from peel rounds: first peeler takes the edge; same

@@ -48,13 +48,16 @@ struct TwoPhaseResult {
 // picks both phases' message transport (bit-identical results for every
 // transport — only the wire accounting differs); `ranks` sets the rank
 // topology for multi-process transports in both phases (see
-// distsim::Engine::SetRankCount — ignored by in-process transports).
+// distsim::Engine::SetRankCount — ignored by in-process transports);
+// `per_rank_compute` runs both phases' compute inside the transport's
+// rank workers (distsim::Engine::SetPerRankCompute, process transport
+// only — results stay bit-identical).
 TwoPhaseResult RunTwoPhaseOrientation(
     const graph::Graph& g, int phase1_rounds, double eps,
     int max_phase2_rounds = -1, int num_threads = 1,
     std::uint64_t seed = distsim::kDefaultMasterSeed,
     bool balance_shards = false,
     distsim::TransportKind transport = distsim::TransportKind::kSharedMemory,
-    int ranks = 1);
+    int ranks = 1, bool per_rank_compute = false);
 
 }  // namespace kcore::core

@@ -9,65 +9,117 @@
 #include "distsim/thread_pool.h"
 #include "distsim/transport.h"
 #include "util/logging.h"
+#include "util/wire.h"
 
 namespace kcore::distsim {
 
-NodeId NodeContext::n() const { return engine_->graph_.num_nodes(); }
+// NodeContext is a pure forwarder: every query lands on the runtime that
+// minted it — the engine (full graph) or a rank worker's slice runtime.
+
+NodeId NodeContext::n() const { return rt_->RtN(); }
 
 std::span<const graph::AdjEntry> NodeContext::neighbors() const {
-  return engine_->graph_.Neighbors(id_);
+  return rt_->RtNeighbors(id_);
 }
 
 double NodeContext::weighted_degree() const {
-  return engine_->graph_.WeightedDegree(id_);
+  return rt_->RtWeightedDegree(id_);
 }
 
 const Payload* NodeContext::NeighborBroadcast(std::size_t i) const {
-  const auto nbrs = neighbors();
-  KCORE_CHECK(i < nbrs.size());
-  const NodeId u = nbrs[i].to;
-  if (!engine_->prev_has_[u]) return nullptr;
-  return &engine_->prev_bcast_[u];
+  return rt_->RtNeighborBroadcast(id_, i);
 }
 
 std::span<const InMessage> NodeContext::Messages() const {
-  return engine_->inbox_[id_];
+  return rt_->RtMessages(id_);
 }
 
-void NodeContext::Broadcast(Payload p) {
-  if (engine_->payload_limit_ > 0) {
-    KCORE_CHECK_MSG(p.size() <= engine_->payload_limit_,
-                    "CONGEST violation: broadcast of " << p.size()
-                        << " entries exceeds the limit "
-                        << engine_->payload_limit_);
-  }
-  engine_->next_bcast_[id_] = std::move(p);
-  engine_->next_has_[id_] = 1;
-}
+void NodeContext::Broadcast(Payload p) { rt_->RtBroadcast(id_, std::move(p)); }
 
 void NodeContext::Send(NodeId neighbor, Payload p) {
+  rt_->RtSend(id_, neighbor, std::move(p));
+}
+
+util::Rng& NodeContext::Rng() { return rt_->RtRng(id_); }
+
+void NodeContext::Halt() { rt_->RtHalt(id_); }
+
+// Shared by the engine and the worker-side slice runtime so the CONGEST
+// checks stay identical (and so do their failure messages).
+void CheckPayloadLimit(std::size_t limit, std::size_t size, bool broadcast) {
+  if (limit == 0) return;
+  KCORE_CHECK_MSG(size <= limit,
+                  "CONGEST violation: " << (broadcast ? "broadcast" : "p2p message")
+                      << " of " << size << " entries exceeds the limit "
+                      << limit);
+}
+
+void CheckSendAdjacent(std::span<const graph::AdjEntry> nbrs, NodeId from,
+                       NodeId to) {
   // Locality check: only adjacent nodes are reachable.
-  const auto nbrs = neighbors();
   const auto it = std::lower_bound(
-      nbrs.begin(), nbrs.end(), neighbor,
+      nbrs.begin(), nbrs.end(), to,
       [](const graph::AdjEntry& a, NodeId x) { return a.to < x; });
-  KCORE_CHECK_MSG(it != nbrs.end() && it->to == neighbor,
-                  "Send target " << neighbor << " not adjacent to " << id_);
-  if (engine_->payload_limit_ > 0) {
-    KCORE_CHECK_MSG(p.size() <= engine_->payload_limit_,
-                    "CONGEST violation: p2p message of " << p.size()
-                        << " entries exceeds the limit "
-                        << engine_->payload_limit_);
-  }
-  engine_->outbox_[id_].push_back(OutMessage{neighbor, std::move(p)});
+  KCORE_CHECK_MSG(it != nbrs.end() && it->to == to,
+                  "Send target " << to << " not adjacent to " << from);
 }
 
-util::Rng& NodeContext::Rng() {
-  engine_->EnsureNodeRng();
-  return engine_->node_rng_[id_];
+void Protocol::SaveNodeState(NodeId v, util::WireAppender& out) const {
+  (void)v;
+  (void)out;
+  KCORE_CHECK_MSG(false,
+                  "protocol claims SupportsRankCompute() but does not "
+                  "implement SaveNodeState()");
 }
 
-void NodeContext::Halt() { engine_->halted_[id_] = 1; }
+void Protocol::LoadNodeState(NodeId v, util::WireReader& in) {
+  (void)v;
+  (void)in;
+  KCORE_CHECK_MSG(false,
+                  "protocol claims SupportsRankCompute() but does not "
+                  "implement LoadNodeState()");
+}
+
+NodeId Engine::RtN() const { return graph_.num_nodes(); }
+
+std::span<const graph::AdjEntry> Engine::RtNeighbors(NodeId v) const {
+  return graph_.Neighbors(v);
+}
+
+double Engine::RtWeightedDegree(NodeId v) const {
+  return graph_.WeightedDegree(v);
+}
+
+const Payload* Engine::RtNeighborBroadcast(NodeId v, std::size_t i) const {
+  const auto nbrs = graph_.Neighbors(v);
+  KCORE_CHECK(i < nbrs.size());
+  const NodeId u = nbrs[i].to;
+  if (!prev_has_[u]) return nullptr;
+  return &prev_bcast_[u];
+}
+
+std::span<const InMessage> Engine::RtMessages(NodeId v) const {
+  return inbox_[v];
+}
+
+void Engine::RtBroadcast(NodeId v, Payload p) {
+  CheckPayloadLimit(payload_limit_, p.size(), /*broadcast=*/true);
+  next_bcast_[v] = std::move(p);
+  next_has_[v] = 1;
+}
+
+void Engine::RtSend(NodeId v, NodeId neighbor, Payload p) {
+  CheckSendAdjacent(graph_.Neighbors(v), v, neighbor);
+  CheckPayloadLimit(payload_limit_, p.size(), /*broadcast=*/false);
+  outbox_[v].push_back(OutMessage{neighbor, std::move(p)});
+}
+
+util::Rng& Engine::RtRng(NodeId v) {
+  EnsureNodeRng();
+  return node_rng_[v];
+}
+
+void Engine::RtHalt(NodeId v) { halted_[v] = 1; }
 
 Engine::Engine(const graph::Graph& g, int num_threads)
     : graph_(g),
@@ -123,6 +175,18 @@ void Engine::SetRankCount(int ranks) {
                   "SetRankCount() must precede Start()");
   KCORE_CHECK_MSG(ranks >= 1, "rank count must be >= 1, got " << ranks);
   num_ranks_ = ranks;
+}
+
+void Engine::SetPerRankCompute(bool enabled) {
+  KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
+                  "SetPerRankCompute() must precede Start()");
+  per_rank_compute_ = enabled;
+}
+
+void Engine::SetGraphPath(std::string path) {
+  KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
+                  "SetGraphPath() must precede Start()");
+  graph_path_ = std::move(path);
 }
 
 void Engine::BuildShardBounds() {
@@ -197,7 +261,7 @@ std::size_t Engine::ComputeRange(Protocol& p, NodeId begin, NodeId end,
   for (NodeId v = begin; v < end; ++v) {
     if (halted_[v]) continue;
     ++executed;
-    NodeContext ctx(this, v, round);
+    NodeContext ctx = MakeContext(v, round);
     if (round == 0) {
       p.Init(ctx);
     } else {
@@ -214,6 +278,11 @@ struct Engine::CollectPartial {
   std::size_t entries = 0;
   std::size_t max_entries = 0;
   std::size_t p2p_messages = 0;
+  // Broadcast fan-out pricing (num_ranks > 1 only): wire bytes of
+  // shipping each broadcast once per remote neighbor-owning rank /
+  // once per remote neighbor.
+  std::size_t bcast_fanout_bytes = 0;
+  std::size_t bcast_neighbor_bytes = 0;
   std::unordered_set<std::uint64_t> distinct;
 };
 
@@ -249,6 +318,34 @@ void Engine::CensusRange(NodeId begin, NodeId end, CollectPartial& part,
         std::memcpy(&bits, &next_bcast_[v][0], sizeof(bits));
         part.distinct.insert(bits);
       }
+      if (num_ranks_ > 1) {
+        // Price the CONGEST broadcast fan-out this broadcast would cost
+        // a distributed backend: one encoded copy per REMOTE
+        // neighbor-owning rank (the rule the per-rank compute path
+        // actually pays, measured there and pinned equal to this
+        // analytic count by the conformance battery) vs one per remote
+        // neighbor. Adjacency is id-sorted and rank cells are ascending
+        // contiguous ranges, so owner ranks are non-decreasing along
+        // the walk — dedup is a single moving cursor, no per-neighbor
+        // search.
+        const std::uint64_t bytes = WireBroadcastBytes(v, next_bcast_[v]);
+        const int home = OwnerIndex(rank_bounds_.data(), num_ranks_, v);
+        int r = 0;
+        int last_remote = -1;
+        std::size_t remote_ranks = 0;
+        std::size_t remote_nbrs = 0;
+        for (const graph::AdjEntry& a : graph_.Neighbors(v)) {
+          while (a.to >= rank_bounds_[r + 1]) ++r;
+          if (r == home) continue;
+          ++remote_nbrs;
+          if (r != last_remote) {
+            ++remote_ranks;
+            last_remote = r;
+          }
+        }
+        part.bcast_fanout_bytes += bytes * remote_ranks;
+        part.bcast_neighbor_bytes += bytes * remote_nbrs;
+      }
     }
     for (const OutMessage& m : outbox_[v]) {
       part.messages += 1;
@@ -267,6 +364,9 @@ std::size_t Engine::CensusSequential(RoundStats& stats) {
   stats.messages += part.messages;
   stats.entries += part.entries;
   stats.distinct_values = part.distinct.size();
+  stats.bcast_bytes_sent += part.bcast_fanout_bytes;
+  stats.bcast_bytes_received += part.bcast_fanout_bytes;
+  stats.bcast_bytes_per_neighbor += part.bcast_neighbor_bytes;
   max_entries_per_message_ =
       std::max(max_entries_per_message_, part.max_entries);
   return part.p2p_messages;
@@ -295,6 +395,9 @@ std::size_t Engine::CensusParallel(RoundStats& stats) {
         CollectPartial& part = partials[shard];
         stats.messages += part.messages;
         stats.entries += part.entries;
+        stats.bcast_bytes_sent += part.bcast_fanout_bytes;
+        stats.bcast_bytes_received += part.bcast_fanout_bytes;
+        stats.bcast_bytes_per_neighbor += part.bcast_neighbor_bytes;
         max_entries_per_message_ =
             std::max(max_entries_per_message_, part.max_entries);
         total_p2p += part.p2p_messages;
@@ -403,28 +506,91 @@ void Engine::ComputePhase(Protocol& p, int round) {
 void Engine::Start(Protocol& p) {
   KCORE_CHECK_MSG(round_ == 0 && history_.empty(),
                   "Start() must be the first call");
+  // Rank-topology validation lives HERE, not in SetRankCount, because
+  // only now are both sides known: every rank must own a non-empty node
+  // slice (an empty slice would make rank_bounds ownership degenerate
+  // and a per-rank worker with nothing to compute), so ranks are capped
+  // by the node count. The one-node-zero-rank edge: an empty graph
+  // still admits the trivial 1-rank topology.
+  const NodeId n = graph_.num_nodes();
+  KCORE_CHECK_MSG(
+      static_cast<std::uint64_t>(num_ranks_) <= std::max<std::uint64_t>(n, 1),
+      "rank count " << num_ranks_ << " exceeds the node count " << n
+                    << " — every rank must own a non-empty node slice");
   // Rank topology: the equal-count ownership split, mirroring
   // ActiveBounds' equal-count construction but fixed for the whole run.
   // The transport's Start() hook runs BEFORE the first compute phase —
   // and therefore before the engine lazily creates its thread pool — so
   // a forking backend (ProcessTransport) forks while this engine has
   // spawned no threads.
-  const NodeId n = graph_.num_nodes();
   rank_bounds_.resize(static_cast<std::size_t>(num_ranks_) + 1);
   for (int r = 0; r < num_ranks_; ++r) {
     rank_bounds_[r] = ThreadPool::ShardBounds(0, n, r, num_ranks_).first;
   }
   rank_bounds_[num_ranks_] = n;
+  if (per_rank_compute_) {
+    // Coordinator mode: arm the transport with everything the workers
+    // need to own their slices (protocol for Save/LoadNodeState, graph
+    // or its binio path for the slice, seed for the per-node RNG
+    // streams, payload limit for the CONGEST checks), then fork and run
+    // round 0 worker-side.
+    KCORE_CHECK_MSG(transport_->SupportsRankCompute(),
+                    "per-rank compute needs a transport that supports it; '"
+                        << transport_->name() << "' does not");
+    KCORE_CHECK_MSG(p.SupportsRankCompute(),
+                    "per-rank compute needs a protocol implementing the "
+                    "Save/LoadNodeState hooks");
+    RankComputeSetup setup;
+    setup.protocol = &p;
+    setup.graph = &graph_;
+    setup.graph_path = graph_path_;
+    setup.seed = master_seed_;
+    setup.payload_limit = payload_limit_;
+    setup.track_quiescence = track_quiescence_;
+    transport_->PrepareRankCompute(setup);
+    transport_->Start(n, num_ranks_, rank_bounds_.data());
+    RankRound(0);
+    return;
+  }
   transport_->Start(n, num_ranks_, rank_bounds_.data());
   ComputePhase(p, 0);
   CollectRound(0);
 }
 
+void Engine::RankRound(int round) {
+  const RankRoundResult r = transport_->RankStep(round);
+  RoundStats stats;
+  stats.round = round;
+  stats.active_nodes = r.active_nodes;
+  stats.messages = r.messages;
+  stats.entries = r.entries;
+  stats.distinct_values = r.distinct_values;
+  stats.bytes_sent = r.bytes_sent;
+  stats.bytes_received = r.bytes_received;
+  stats.bcast_bytes_sent = r.bcast_bytes_sent;
+  stats.bcast_bytes_received = r.bcast_bytes_received;
+  stats.bcast_bytes_per_neighbor = r.bcast_bytes_per_neighbor;
+  max_entries_per_message_ = std::max(max_entries_per_message_, r.max_entries);
+  rank_num_halted_ = r.num_halted;
+  rank_changed_ = r.changed;
+  history_.push_back(stats);
+}
+
 RoundStats Engine::Step(Protocol& p) {
   const int round = ++round_;
+  if (per_rank_compute_) {
+    RankRound(round);
+    return history_.back();
+  }
   ComputePhase(p, round);
   CollectRound(round);
   return history_.back();
+}
+
+void Engine::FetchRankState(Protocol& p) {
+  if (!per_rank_compute_) return;
+  KCORE_CHECK_MSG(!history_.empty(), "FetchRankState() before Start()");
+  transport_->CollectRankState(p, prev_bcast_, prev_has_, halted_);
 }
 
 void Engine::Run(Protocol& p, int rounds) {
@@ -433,6 +599,23 @@ void Engine::Run(Protocol& p, int rounds) {
 }
 
 int Engine::RunUntilQuiescent(Protocol& p, int max_rounds) {
+  if (per_rank_compute_) {
+    // Quiescence is distributed: each worker reports whether its slice
+    // changed (owned inbox traffic or an owned broadcast differing from
+    // the prior round); slices partition the nodes, so the OR of the
+    // per-rank flags is exactly the global predicate below. The flag in
+    // the init frame makes workers keep the prior-broadcast copy only
+    // when someone will read it — set before Start() ships the frame.
+    track_quiescence_ = true;
+    Start(p);
+    int executed = 0;
+    while (executed < max_rounds) {
+      Step(p);
+      ++executed;
+      if (!rank_changed_) return executed;
+    }
+    return executed;
+  }
   Start(p);
   std::vector<Payload> prior = prev_bcast_;
   std::vector<char> prior_has = prev_has_;
@@ -473,12 +656,19 @@ Totals Engine::totals() const {
     t.entries += r.entries;
     t.bytes_sent += r.bytes_sent;
     t.bytes_received += r.bytes_received;
+    t.bcast_bytes_sent += r.bcast_bytes_sent;
+    t.bcast_bytes_received += r.bcast_bytes_received;
+    t.bcast_bytes_per_neighbor += r.bcast_bytes_per_neighbor;
   }
   t.max_entries_per_message = max_entries_per_message_;
   return t;
 }
 
 std::size_t Engine::num_halted() const {
+  // Coordinator mode: the workers own the halted flags; their summed
+  // slice counts from the last round's reports are the live answer
+  // (halted_ itself only syncs on FetchRankState).
+  if (per_rank_compute_ && !history_.empty()) return rank_num_halted_;
   std::size_t c = 0;
   for (char h : halted_) c += h ? 1 : 0;
   return c;

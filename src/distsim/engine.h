@@ -63,10 +63,16 @@
 //          over Unix-domain socketpairs; see docs/ARCHITECTURE.md and
 //          docs/TRANSPORTS.md for the rank topology and frame layout.
 //      Broadcasts stay in the engine's double-buffered shared arrays
-//      under every transport (a fully distributed engine would
-//      additionally fan each broadcast out once per neighbor-owning
-//      rank; that is the remaining piece, see ROADMAP). Rounds that
-//      stage no p2p traffic never invoke the transport at all.
+//      under every transport in this (default) in-engine compute mode;
+//      under a rank topology the census additionally prices the CONGEST
+//      broadcast fan-out — once per remote neighbor-owning rank — into
+//      RoundStats::bcast_bytes_*. With SetPerRankCompute the fan-out is
+//      real: compute moves into the rank workers, each round's
+//      broadcasts and p2p segments cross process boundaries peer to
+//      peer, and the engine merely merges the workers' RoundStats
+//      partials in rank order (bit-identical results — the conformance
+//      battery pins it). Rounds that stage no p2p traffic never invoke
+//      the transport at all.
 // Protocol::Init(ctx) stages the round-0 broadcasts.
 //
 // Randomness: NodeContext::Rng() hands each node its own util::Rng stream,
@@ -82,10 +88,16 @@
 #include <memory>
 #include <mutex>  // std::once_flag
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/rng.h"
+
+namespace kcore::util {
+class WireAppender;
+class WireReader;
+}  // namespace kcore::util
 
 namespace kcore::distsim {
 
@@ -121,6 +133,23 @@ struct RoundStats {
   // thread count — for SerializedTransport.
   std::size_t bytes_sent = 0;
   std::size_t bytes_received = 0;
+  // CONGEST broadcast fan-out accounting, populated only under a rank
+  // topology (num_ranks > 1; all zero otherwise, broadcasts being free
+  // shared-memory reads at one rank). bcast_bytes_sent is the wire
+  // volume of shipping each staged broadcast ONCE PER remote
+  // neighbor-owning RANK — the fan-out rule the per-rank backend
+  // actually pays (WireBroadcastBytes in transport.h);
+  // bcast_bytes_per_neighbor is the naive once-per-remote-neighbor
+  // volume a broadcast-unaware backend would pay. On dense graphs the
+  // former is strictly smaller (many neighbors share a rank). Kept out
+  // of bytes_sent, which stays p2p-only (its rank-independence is part
+  // of the conformance contract). With in-engine compute the fields are
+  // analytic (what the exchange WOULD cost); with per-rank compute
+  // (SetPerRankCompute) they are measured off the actual segments — the
+  // conformance battery pins the two equal.
+  std::size_t bcast_bytes_sent = 0;
+  std::size_t bcast_bytes_received = 0;
+  std::size_t bcast_bytes_per_neighbor = 0;
 };
 
 // Default master seed for the per-node RNG streams ("kcore" in ASCII).
@@ -136,9 +165,13 @@ struct Totals {
   // Summed per-round transport wire volume (see RoundStats::bytes_sent).
   std::size_t bytes_sent = 0;
   std::size_t bytes_received = 0;
+  // Summed broadcast fan-out volume (see RoundStats::bcast_bytes_sent).
+  std::size_t bcast_bytes_sent = 0;
+  std::size_t bcast_bytes_received = 0;
+  std::size_t bcast_bytes_per_neighbor = 0;
 };
 
-class Engine;
+class NodeRuntime;
 
 // The per-node view handed to a protocol. Only local information is
 // reachable from here.
@@ -179,13 +212,54 @@ class NodeContext {
   void Halt();
 
  private:
-  friend class Engine;
-  NodeContext(Engine* e, NodeId id, int round) noexcept
-      : engine_(e), id_(id), round_(round) {}
-  Engine* engine_;
+  friend class NodeRuntime;
+  NodeContext(NodeRuntime* rt, NodeId id, int round) noexcept
+      : rt_(rt), id_(id), round_(round) {}
+  NodeRuntime* rt_;
   NodeId id_;
   int round_;
 };
+
+// What a NodeContext delegates to: the engine's full-graph state
+// (Engine privately implements this), or a rank worker's slice state
+// (the per-rank compute path of process_transport.cc). Protocol code is
+// oblivious to which — NodeContext is its only window, so the same
+// Init/Round bodies run unchanged in-engine or inside a forked worker
+// that holds just its node slice. The virtuals are private: only
+// NodeContext may call them, and only a runtime may mint contexts
+// (MakeContext), so the locality guarantee cannot be bypassed by
+// holding a runtime pointer.
+class NodeRuntime {
+ public:
+  virtual ~NodeRuntime() = default;
+
+ protected:
+  NodeContext MakeContext(NodeId id, int round) noexcept;
+
+ private:
+  friend class NodeContext;
+  virtual NodeId RtN() const = 0;
+  virtual std::span<const graph::AdjEntry> RtNeighbors(NodeId v) const = 0;
+  virtual double RtWeightedDegree(NodeId v) const = 0;
+  virtual const Payload* RtNeighborBroadcast(NodeId v, std::size_t i) const = 0;
+  virtual std::span<const InMessage> RtMessages(NodeId v) const = 0;
+  virtual void RtBroadcast(NodeId v, Payload p) = 0;
+  virtual void RtSend(NodeId v, NodeId neighbor, Payload p) = 0;
+  virtual util::Rng& RtRng(NodeId v) = 0;
+  virtual void RtHalt(NodeId v) = 0;
+};
+
+inline NodeContext NodeRuntime::MakeContext(NodeId id, int round) noexcept {
+  return NodeContext(this, id, round);
+}
+
+// CONGEST / locality enforcement shared by the engine's runtime and the
+// worker-side slice runtime (process_transport.cc), so both compute
+// modes fail the same way with the same message. KCORE_CHECK-fail on
+// violation; no-ops when the limit is 0 / the target is adjacent.
+void CheckPayloadLimit(std::size_t limit, std::size_t size, bool broadcast);
+void CheckSendAdjacent(std::span<const graph::AdjEntry> nbrs, NodeId from,
+                       NodeId to);
 
 // A distributed protocol: per-node init and per-node round logic. The
 // protocol object owns all per-node state (indexed by node id). Both
@@ -197,12 +271,25 @@ class Protocol {
   virtual ~Protocol() = default;
   virtual void Init(NodeContext& ctx) = 0;
   virtual void Round(NodeContext& ctx) = 0;
+
+  // Per-rank compute opt-in (Engine::SetPerRankCompute): a protocol
+  // that returns true here must round-trip node v's COMPLETE per-node
+  // state through Save/LoadNodeState — every slot Init/Round reads or
+  // writes for v beyond the broadcasts, messages, and RNG stream the
+  // runtime carries. The engine ships each node's state to its owning
+  // rank worker at Start and fetches it back via Engine::FetchRankState;
+  // a lossy round-trip diverges from the in-engine path and fails the
+  // conformance battery. The default Save/Load abort, so forgetting an
+  // override cannot silently drop state.
+  virtual bool SupportsRankCompute() const { return false; }
+  virtual void SaveNodeState(NodeId v, util::WireAppender& out) const;
+  virtual void LoadNodeState(NodeId v, util::WireReader& in);
 };
 
 class ThreadPool;
 class Transport;
 
-class Engine {
+class Engine : private NodeRuntime {
  public:
   // Graphs below this many nodes run sequentially even when num_threads >
   // 1: the pool's dispatch barrier costs more than the phases themselves
@@ -258,6 +345,42 @@ class Engine {
   // Must precede Start(). Default 1.
   void SetRankCount(int ranks);
   int num_ranks() const { return num_ranks_; }
+
+  // Per-rank compute (ROADMAP item 1): each rank WORKER owns its node
+  // slice end to end. At Start() the engine ships every worker its graph
+  // slice (wire-serialized, or loaded worker-side via
+  // graph/binio.h LoadBinarySlice when SetGraphPath names the source
+  // file), its nodes' protocol state (Protocol::SaveNodeState), the
+  // master seed (workers rebuild the identical per-node RNG streams via
+  // util::Rng::ForkKeyed), and the payload limit. Each round the worker
+  // runs the compute phase over its slice locally, exchanges p2p
+  // segments AND the once-per-neighbor-owning-rank broadcast fan-out
+  // peer to peer, and returns only a RoundStats partial; this engine
+  // degrades to a coordinator that drives rounds and merges partials in
+  // fixed rank order — results stay bit-identical to in-engine compute
+  // (the conformance battery pins it). Requires a transport whose
+  // SupportsRankCompute() is true (ProcessTransport) and a protocol
+  // implementing the Save/LoadNodeState hooks. While enabled, halted(v)
+  // and inbox(v) reflect worker state only after FetchRankState().
+  // Must precede Start(). Default off.
+  void SetPerRankCompute(bool enabled);
+  bool per_rank_compute() const { return per_rank_compute_; }
+
+  // Optional: the binary-format file (graph/binio.h) this engine's
+  // graph was loaded from. With per-rank compute, workers then mmap and
+  // load their own slice (LoadBinarySlice) instead of receiving a
+  // wire-serialized copy — the ingestion path a multi-machine deployment
+  // would use. The file must describe exactly the engine's graph.
+  // Must precede Start().
+  void SetGraphPath(std::string path);
+  const std::string& graph_path() const { return graph_path_; }
+
+  // Per-rank compute only (no-op otherwise): pulls every node's
+  // protocol state (Protocol::LoadNodeState), halted flag, and current
+  // broadcast back from its owning rank worker into this process, so
+  // drivers can read per-node protocol members after (or between)
+  // rounds. Callable any time after Start().
+  void FetchRankState(Protocol& p);
   // The node→rank ownership map: num_ranks() + 1 ascending boundaries,
   // rank r owns [rank_bounds()[r], rank_bounds()[r+1]). Built at
   // Start(); empty before.
@@ -308,7 +431,18 @@ class Engine {
   std::span<const InMessage> inbox(NodeId v) const { return inbox_[v]; }
 
  private:
-  friend class NodeContext;
+  // NodeRuntime: the full-graph implementation NodeContext delegates to
+  // when compute runs in-engine (per-rank workers substitute their own
+  // slice runtime in process_transport.cc).
+  NodeId RtN() const override;
+  std::span<const graph::AdjEntry> RtNeighbors(NodeId v) const override;
+  double RtWeightedDegree(NodeId v) const override;
+  const Payload* RtNeighborBroadcast(NodeId v, std::size_t i) const override;
+  std::span<const InMessage> RtMessages(NodeId v) const override;
+  void RtBroadcast(NodeId v, Payload p) override;
+  void RtSend(NodeId v, NodeId neighbor, Payload p) override;
+  util::Rng& RtRng(NodeId v) override;
+  void RtHalt(NodeId v) override;
 
   // Per-shard census accumulator (defined in engine.cc).
   struct CollectPartial;
@@ -332,6 +466,9 @@ class Engine {
   std::size_t CensusSequential(RoundStats& stats);
   std::size_t CensusParallel(RoundStats& stats);
   void CollectRound(int round);
+  // One coordinator-side round under per-rank compute: drive the
+  // transport's RankStep and append the merged stats to the history.
+  void RankRound(int round);
   // The node-id partition active this round: shard_bounds_ when balancing
   // is on, the cached equal-count split (or the trivial single-shard
   // partition when sequential) otherwise. Census, transport exchange, and
@@ -375,6 +512,15 @@ class Engine {
   // boundaries, built at Start(), fixed for the run.
   int num_ranks_ = 1;
   std::vector<std::uint64_t> rank_bounds_;
+  // Per-rank compute mode (SetPerRankCompute): the engine is a
+  // coordinator; these mirror the workers' merged per-round reports.
+  bool per_rank_compute_ = false;
+  std::string graph_path_;
+  // Shipped to workers in the init frame so they track slice quiescence
+  // only when RunUntilQuiescent needs it; set before Start() there.
+  bool track_quiescence_ = false;
+  std::size_t rank_num_halted_ = 0;
+  bool rank_changed_ = false;
   int round_ = 0;
 
   // Double-buffered broadcasts: prev_ visible to readers, next_ written by

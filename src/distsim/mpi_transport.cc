@@ -20,7 +20,17 @@
 // default test suite (the container has no MPI toolchain), hence
 // "experimental" — treat it as a worked example of porting the frame
 // protocol onto a real collective, and validate with the conformance
-// battery under mpirun before relying on it.
+// battery under mpirun before relying on it (CI runs tools/mpi_smoke
+// under mpirun -np 4 when the toolchain is present).
+//
+// Per-rank compute (Engine::SetPerRankCompute) is NOT supported here:
+// this backend stays a byte shuttle — the compute phase runs on rank 0
+// and only packed segments cross ranks. SupportsRankCompute() is left
+// at the base-class default (false), so an engine configured for
+// per-rank compute on this transport fails loudly at Start() instead
+// of silently computing on the hub. Porting it means replaying
+// ProcessTransport's INIT/STEP/COLL frames over MPI_Send and running
+// SliceRuntime (process_transport.cc) inside each rank's receive loop.
 #include "distsim/process_transport.h"
 
 #ifdef KCORE_WITH_MPI

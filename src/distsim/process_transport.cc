@@ -3,15 +3,19 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <unordered_set>
 
 #include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "distsim/engine.h"
+#include "graph/binio.h"
 #include "util/fdio.h"
 #include "util/logging.h"
 #include "util/wire.h"
@@ -30,6 +34,15 @@ using graph::NodeId;
 // its sendcounts), then displ[R] contiguous payload bytes.
 constexpr std::uint64_t kOpRound = 0x444e554f52ULL;     // "ROUND"
 constexpr std::uint64_t kOpShutdown = 0x504f5453ULL;    // "STOP"
+// Per-rank compute opcodes. kOpRankInit is followed by a fixed64 body
+// length and the init body (seed, limits, rank bounds, graph slice,
+// per-node protocol state); kOpRankStep by a fixed64 round number (the
+// worker replies fixed64 body length + stats-partial body); kOpRankCollect
+// stands alone (the worker replies fixed64 body length + per-node state
+// body). Layouts are tabulated in docs/TRANSPORTS.md.
+constexpr std::uint64_t kOpRankInit = 0x54494e49ULL;     // "INIT"
+constexpr std::uint64_t kOpRankStep = 0x50455453ULL;     // "STEP"
+constexpr std::uint64_t kOpRankCollect = 0x4c4c4f43ULL;  // "COLL"
 
 // ---------------------------------------------------------------------
 // Worker side. Everything below runs in a forked child whose only links
@@ -250,6 +263,503 @@ void ExchangeWithPeers(int rank, int num_ranks, const std::vector<int>& peer,
   }
 }
 
+// ---------------------------------------------------------------------
+// Per-rank compute worker. The worker owns its node slice end to end:
+// slice graph, protocol state for owned nodes, broadcast double-buffers,
+// inboxes/outboxes, RNG streams. Each round it runs the compute phase
+// locally and exchanges composite peer bodies
+// [fixed64 p2p_len][p2p segment][broadcast segment] over the SAME
+// socketpair alltoallv as the byte-shuttle mode — the broadcast segment
+// realizes the CONGEST fan-out rule (one copy per remote
+// neighbor-owning rank, deduped before packing).
+// ---------------------------------------------------------------------
+
+class SliceRuntime final : public NodeRuntime {
+ public:
+  SliceRuntime(int rank, int num_ranks, Protocol* protocol)
+      : rank_(rank), num_ranks_(num_ranks), protocol_(protocol) {}
+
+  // Parses the init-frame body; dies (never returns to a broken state)
+  // on malformed input.
+  void InitFromBody(const std::vector<std::uint8_t>& body);
+
+  // One synchronous round (compute, census, pack, peer exchange,
+  // decode, publish); fills `reply` with the stats-partial body.
+  void RunRound(int round, const std::vector<int>& peer,
+                std::vector<std::uint8_t>& reply);
+
+  // Fills `reply` with the collect body: per owned node, the halted
+  // flag, the current (prev) broadcast, and the protocol state.
+  void Collect(std::vector<std::uint8_t>& reply);
+
+ private:
+  // NodeRuntime over the slice. Owned nodes see exactly the full-graph
+  // view: a slice graph keeps every edge incident to the owned range,
+  // id-sorted, so Neighbors/Degree/WeightedDegree agree with the
+  // engine's bit for bit.
+  NodeId RtN() const override { return n_; }
+  std::span<const graph::AdjEntry> RtNeighbors(NodeId v) const override {
+    return slice_.Neighbors(v);
+  }
+  double RtWeightedDegree(NodeId v) const override {
+    return slice_.WeightedDegree(v);
+  }
+  const Payload* RtNeighborBroadcast(NodeId v, std::size_t i) const override {
+    const auto nbrs = slice_.Neighbors(v);
+    KCORE_CHECK(i < nbrs.size());
+    const NodeId u = nbrs[i].to;
+    if (!prev_has_[u]) return nullptr;
+    return &prev_bcast_[u];
+  }
+  std::span<const InMessage> RtMessages(NodeId v) const override {
+    return inbox_[v];
+  }
+  void RtBroadcast(NodeId v, Payload p) override {
+    CheckPayloadLimit(payload_limit_, p.size(), /*broadcast=*/true);
+    next_bcast_[v] = std::move(p);
+    next_has_[v] = 1;
+  }
+  void RtSend(NodeId v, NodeId neighbor, Payload p) override {
+    CheckSendAdjacent(slice_.Neighbors(v), v, neighbor);
+    CheckPayloadLimit(payload_limit_, p.size(), /*broadcast=*/false);
+    outbox_[v].push_back(OutMessage{neighbor, std::move(p)});
+  }
+  util::Rng& RtRng(NodeId v) override {
+    // Same construction as Engine::EnsureNodeRng, restricted to the
+    // owned slots: keyed forks off the master are state-pure, so stream
+    // (seed, v) is bit-identical whether built here or in-engine.
+    if (!node_rng_ready_) {
+      util::Rng master(seed_);
+      node_rng_.reserve(hi_ - lo_);
+      for (NodeId u = lo_; u < hi_; ++u) {
+        node_rng_.push_back(master.ForkKeyed(u));
+      }
+      node_rng_ready_ = true;
+    }
+    return node_rng_[v - lo_];
+  }
+  void RtHalt(NodeId v) override { halted_[v] = 1; }
+
+  int rank_;
+  int num_ranks_;
+  Protocol* protocol_;
+  graph::Graph slice_;
+  std::vector<std::uint64_t> rank_bounds_;
+  NodeId n_ = 0;
+  NodeId lo_ = 0, hi_ = 0;  // owned node range
+  std::uint64_t seed_ = 0;
+  std::size_t payload_limit_ = 0;
+  bool track_quiescence_ = false;
+
+  // Full-size-n arrays so node ids index directly; remote slots of
+  // prev_* hold only what the fan-out delivered (tracked in
+  // remote_live_ for O(received) clearing), everything else is owned.
+  std::vector<Payload> prev_bcast_, next_bcast_, prior_bcast_;
+  std::vector<char> prev_has_, next_has_, prior_has_;
+  std::vector<char> halted_;
+  std::vector<std::vector<OutMessage>> outbox_;
+  std::vector<std::vector<InMessage>> inbox_;
+  std::vector<NodeId> remote_live_;
+
+  bool node_rng_ready_ = false;
+  std::vector<util::Rng> node_rng_;  // indexed v - lo_
+
+  // Round scratch, persistent so steady-state rounds reallocate little.
+  std::vector<std::uint64_t> p2p_row_, p2p_displ_;
+  std::vector<std::uint8_t> p2p_buf_, bcast_scratch_, send_buf_;
+  std::vector<std::vector<std::uint8_t>> bcast_buf_;  // one per dst rank
+  std::vector<std::uint64_t> counts_, displ_;
+  std::vector<std::vector<std::uint8_t>> recv_seg_;
+};
+
+void SliceRuntime::InitFromBody(const std::vector<std::uint8_t>& body) {
+  util::WireReader r(body.data(), body.size());
+  std::uint64_t x = 0;
+  if (!r.TryFixed64(&seed_)) WorkerDie(rank_, "truncated init frame (seed)");
+  if (!r.TryVarint(&x)) WorkerDie(rank_, "truncated init frame (limit)");
+  payload_limit_ = static_cast<std::size_t>(x);
+  if (!r.TryVarint(&x)) WorkerDie(rank_, "truncated init frame (flags)");
+  track_quiescence_ = x != 0;
+  if (!r.TryVarint(&x)) WorkerDie(rank_, "truncated init frame (n)");
+  n_ = static_cast<NodeId>(x);
+  if (!r.TryVarint(&x) || static_cast<int>(x) != num_ranks_) {
+    WorkerDie(rank_, "init frame rank-count mismatch");
+  }
+  rank_bounds_.resize(static_cast<std::size_t>(num_ranks_) + 1);
+  for (std::uint64_t& b : rank_bounds_) {
+    if (!r.TryFixed64(&b)) WorkerDie(rank_, "truncated init frame (bounds)");
+  }
+  lo_ = static_cast<NodeId>(rank_bounds_[rank_]);
+  hi_ = static_cast<NodeId>(rank_bounds_[rank_ + 1]);
+
+  std::uint64_t mode = 0;
+  if (!r.TryVarint(&mode)) WorkerDie(rank_, "truncated init frame (mode)");
+  if (mode == 0) {
+    // Wire-serialized slice: every edge incident to [lo, hi), in global
+    // edge-id order, so parallel-edge tie order — and therefore the
+    // (to, edge)-sorted adjacency — matches the full graph's.
+    std::uint64_t m = 0;
+    if (!r.TryVarint(&m)) WorkerDie(rank_, "truncated init frame (edges)");
+    graph::GraphBuilder b(n_);
+    b.Reserve(m);
+    for (std::uint64_t e = 0; e < m; ++e) {
+      std::uint64_t u = 0, v = 0;
+      double w = 0.0;
+      if (!r.TryVarint(&u) || !r.TryVarint(&v) || !r.TryDouble(&w)) {
+        WorkerDie(rank_, "truncated init frame (edge record)");
+      }
+      b.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    }
+    slice_ = std::move(b).Build();
+  } else {
+    // binio path: mmap the file and decode only slice-incident edges —
+    // the rank-sliced ingestion contract of graph/binio.h.
+    std::uint64_t len = 0;
+    if (!r.TryVarint(&len)) WorkerDie(rank_, "truncated init frame (path)");
+    std::string path(len, '\0');
+    if (!r.TryRaw(path.data(), len)) {
+      WorkerDie(rank_, "truncated init frame (path bytes)");
+    }
+    auto loaded = graph::LoadBinarySlice(path, lo_, hi_);
+    if (!loaded) WorkerDie(rank_, "LoadBinarySlice failed for the init path");
+    slice_ = std::move(loaded->graph);
+  }
+  if (slice_.num_nodes() != n_) {
+    WorkerDie(rank_, "slice graph node count disagrees with init frame");
+  }
+
+  prev_bcast_.resize(n_);
+  next_bcast_.resize(n_);
+  prior_bcast_.resize(n_);
+  prev_has_.assign(n_, 0);
+  next_has_.assign(n_, 0);
+  prior_has_.assign(n_, 0);
+  halted_.assign(n_, 0);
+  outbox_.resize(n_);
+  inbox_.resize(n_);
+  bcast_buf_.resize(num_ranks_);
+  recv_seg_.resize(num_ranks_);
+
+  // Per-owned-node protocol state. Each block must consume exactly its
+  // declared length: a Save/Load drift would otherwise shift every
+  // later node's state and corrupt silently.
+  std::vector<std::uint8_t> state;
+  for (NodeId v = lo_; v < hi_; ++v) {
+    std::uint64_t len = 0;
+    if (!r.TryVarint(&len)) WorkerDie(rank_, "truncated init frame (state)");
+    state.resize(len);
+    if (!r.TryRaw(state.data(), len)) {
+      WorkerDie(rank_, "truncated init frame (state bytes)");
+    }
+    util::WireReader sr(state.data(), state.size());
+    protocol_->LoadNodeState(v, sr);
+    if (sr.failed() || sr.remaining() != 0) {
+      WorkerDie(rank_, "protocol state block length mismatch");
+    }
+  }
+  if (r.failed() || r.remaining() != 0) {
+    WorkerDie(rank_, "trailing bytes in init frame");
+  }
+}
+
+void SliceRuntime::RunRound(int round, const std::vector<int>& peer,
+                            std::vector<std::uint8_t>& reply) {
+  const int R = num_ranks_;
+
+  // 1. Compute phase over the owned slice (sequential within a worker;
+  // per-rank parallelism is the processes themselves).
+  std::size_t active = 0;
+  for (NodeId v = lo_; v < hi_; ++v) {
+    if (halted_[v]) continue;
+    ++active;
+    NodeContext ctx = MakeContext(v, round);
+    if (round == 0) {
+      protocol_->Init(ctx);
+    } else {
+      protocol_->Round(ctx);
+    }
+  }
+
+  // 2. Census over the owned slice — the same formulas as the engine's
+  // CensusRange, restricted to senders this rank owns (senders are
+  // partitioned by rank, so the parent's merged sums match the
+  // in-engine census exactly).
+  std::size_t messages = 0, entries = 0, max_entries = 0;
+  std::unordered_set<std::uint64_t> distinct;
+  for (NodeId v = lo_; v < hi_; ++v) {
+    if (next_has_[v]) {
+      const std::size_t deg = slice_.Degree(v);
+      messages += deg;
+      entries += deg * next_bcast_[v].size();
+      max_entries = std::max(max_entries, next_bcast_[v].size());
+      if (!next_bcast_[v].empty()) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(double));
+        std::memcpy(&bits, &next_bcast_[v][0], sizeof(bits));
+        distinct.insert(bits);
+      }
+    }
+    for (const OutMessage& m : outbox_[v]) {
+      messages += 1;
+      entries += m.payload.size();
+      max_entries = std::max(max_entries, m.payload.size());
+    }
+  }
+
+  // 3a. Pack this rank's p2p segments (shared codec — encodings, and
+  // therefore the byte accounting, identical to the in-engine path).
+  p2p_row_.assign(R, 0);
+  CountSegmentBytes(rank_bounds_.data(), R, outbox_, lo_, hi_,
+                    p2p_row_.data());
+  p2p_displ_.assign(R + 1, 0);
+  for (int d = 0; d < R; ++d) p2p_displ_[d + 1] = p2p_displ_[d] + p2p_row_[d];
+  p2p_buf_.resize(p2p_displ_[R]);
+  {
+    std::vector<util::WireWriter> seg;
+    seg.reserve(R);
+    for (int d = 0; d < R; ++d) {
+      std::uint8_t* base = p2p_buf_.data() + p2p_displ_[d];
+      seg.emplace_back(base, base + p2p_row_[d]);
+    }
+    PackSegments(rank_bounds_.data(), R, outbox_, lo_, hi_, seg.data());
+  }
+  const std::uint64_t p2p_sent = p2p_displ_[R];  // diagonal included
+
+  // 3b. Pack the broadcast fan-out: each owned broadcast is encoded
+  // ONCE and its bytes appended to each remote neighbor-owning rank's
+  // segment — dedup by a moving rank cursor over the id-sorted
+  // adjacency (owner ranks are non-decreasing along it), never once
+  // per neighbor.
+  std::uint64_t bcast_sent = 0, bcast_per_nbr = 0;
+  for (int d = 0; d < R; ++d) bcast_buf_[d].clear();
+  for (NodeId v = lo_; v < hi_; ++v) {
+    if (!next_has_[v]) continue;
+    bcast_scratch_.clear();
+    util::WireAppender enc(bcast_scratch_);
+    enc.Varint(v);
+    enc.Varint(next_bcast_[v].size());
+    for (double x : next_bcast_[v]) enc.Double(x);
+    const std::uint64_t bytes = bcast_scratch_.size();
+    int r = 0;
+    int last_remote = -1;
+    std::size_t remote_nbrs = 0;
+    for (const graph::AdjEntry& a : slice_.Neighbors(v)) {
+      while (a.to >= rank_bounds_[r + 1]) ++r;
+      if (r == rank_) continue;
+      ++remote_nbrs;
+      if (r != last_remote) {
+        util::WireAppender(bcast_buf_[r])
+            .Raw(bcast_scratch_.data(), bcast_scratch_.size());
+        bcast_sent += bytes;
+        last_remote = r;
+      }
+    }
+    bcast_per_nbr += bytes * remote_nbrs;
+  }
+
+  // 3c. Composite peer bodies: [fixed64 p2p_len][p2p seg][bcast seg],
+  // contiguous per dst for ExchangeWithPeers' counts/displ contract.
+  send_buf_.clear();
+  counts_.assign(R, 0);
+  displ_.assign(R + 1, 0);
+  {
+    util::WireAppender out(send_buf_);
+    for (int d = 0; d < R; ++d) {
+      displ_[d] = send_buf_.size();
+      if (d != rank_) {
+        out.Fixed64(p2p_row_[d]);
+        out.Raw(p2p_buf_.data() + p2p_displ_[d], p2p_row_[d]);
+        out.Raw(bcast_buf_[d].data(), bcast_buf_[d].size());
+      }
+      counts_[d] = send_buf_.size() - displ_[d];
+    }
+    displ_[R] = send_buf_.size();
+  }
+
+  // 4. The same nonblocking socketpair alltoallv as byte-shuttle mode.
+  for (auto& seg : recv_seg_) seg.clear();
+  ExchangeWithPeers(rank_, R, peer, send_buf_, counts_, displ_, recv_seg_);
+
+  // 5. Deliver p2p into the owned inboxes, ascending src rank (the
+  // diagonal segment decodes at its own position, s == rank, keeping
+  // inboxes sender-id-sorted — the conformance contract).
+  for (NodeId v = lo_; v < hi_; ++v) inbox_[v].clear();
+  std::uint64_t p2p_received = 0;
+  std::vector<util::WireReader> tail;
+  tail.reserve(R);
+  for (int s = 0; s < R; ++s) {
+    if (s == rank_) {
+      DecodeSegment(p2p_buf_.data() + p2p_displ_[rank_], p2p_row_[rank_],
+                    lo_, hi_, inbox_);
+      p2p_received += p2p_row_[rank_];
+      tail.emplace_back(nullptr, 0);
+      continue;
+    }
+    util::WireReader pr(recv_seg_[s].data(), recv_seg_[s].size());
+    const std::uint64_t p2p_len = pr.Fixed64();
+    if (p2p_len + 8 > recv_seg_[s].size()) {
+      WorkerDie(rank_, "peer body shorter than its p2p length header");
+    }
+    DecodeSegment(recv_seg_[s].data() + 8, p2p_len, lo_, hi_, inbox_);
+    p2p_received += p2p_len;
+    tail.emplace_back(recv_seg_[s].data() + 8 + p2p_len,
+                      recv_seg_[s].size() - 8 - p2p_len);
+  }
+
+  // 6. Publish broadcasts. Owned slots double-buffer locally; remote
+  // slots are cleared (only those the previous round set) and refilled
+  // from the peers' broadcast segments — disjoint id ranges per src
+  // rank, so decode order across peers cannot matter.
+  for (NodeId u : remote_live_) prev_has_[u] = 0;
+  remote_live_.clear();
+  for (NodeId v = lo_; v < hi_; ++v) {
+    std::swap(prev_bcast_[v], next_bcast_[v]);
+    prev_has_[v] = next_has_[v];
+    next_has_[v] = 0;
+  }
+  std::uint64_t bcast_received = 0;
+  for (int s = 0; s < R; ++s) {
+    if (s == rank_) continue;
+    util::WireReader& br = tail[s];
+    bcast_received += br.remaining();
+    while (br.remaining() > 0) {
+      const NodeId u = static_cast<NodeId>(br.Varint());
+      if (u < rank_bounds_[s] || u >= rank_bounds_[s + 1]) {
+        WorkerDie(rank_, "broadcast fan-out from a rank that does not own "
+                         "the broadcaster");
+      }
+      const std::uint64_t len = br.Varint();
+      prev_bcast_[u].resize(len);
+      for (std::uint64_t k = 0; k < len; ++k) prev_bcast_[u][k] = br.Double();
+      prev_has_[u] = 1;
+      remote_live_.push_back(u);
+    }
+    if (br.failed()) WorkerDie(rank_, "malformed broadcast segment");
+  }
+
+  // 7. Slice quiescence: owned inbox traffic, or an owned broadcast
+  // differing from the prior round. Slices partition the nodes, so the
+  // parent's OR over ranks equals the engine's global predicate. Round
+  // 0 only seeds the prior snapshot (its flag is never read).
+  bool changed = true;
+  if (track_quiescence_) {
+    if (round > 0) {
+      changed = false;
+      for (NodeId v = lo_; v < hi_ && !changed; ++v) {
+        changed = !inbox_[v].empty();
+      }
+      for (NodeId v = lo_; v < hi_ && !changed; ++v) {
+        changed = prev_has_[v] != prior_has_[v] ||
+                  (prev_has_[v] && prev_bcast_[v] != prior_bcast_[v]);
+      }
+    }
+    for (NodeId v = lo_; v < hi_; ++v) {
+      prior_bcast_[v] = prev_bcast_[v];
+      prior_has_[v] = prev_has_[v];
+    }
+  }
+
+  std::size_t halted_count = 0;
+  for (NodeId v = lo_; v < hi_; ++v) halted_count += halted_[v] ? 1 : 0;
+
+  // 8. The stats-partial reply. Distinct values travel as a sorted
+  // bit-pattern list so the parent can union them exactly.
+  // kcore-lint: allow(unordered-iter) output fully sorted before use
+  std::vector<std::uint64_t> dv(distinct.begin(), distinct.end());
+  std::sort(dv.begin(), dv.end());
+  reply.clear();
+  util::WireAppender a(reply);
+  a.Varint(active);
+  a.Varint(messages);
+  a.Varint(entries);
+  a.Varint(max_entries);
+  a.Varint(p2p_sent);
+  a.Varint(p2p_received);
+  a.Varint(bcast_sent);
+  a.Varint(bcast_received);
+  a.Varint(bcast_per_nbr);
+  a.Varint(halted_count);
+  a.Varint(changed ? 1 : 0);
+  a.Varint(dv.size());
+  for (std::uint64_t bits : dv) a.Fixed64(bits);
+}
+
+void SliceRuntime::Collect(std::vector<std::uint8_t>& reply) {
+  reply.clear();
+  util::WireAppender a(reply);
+  std::vector<std::uint8_t> state;
+  for (NodeId v = lo_; v < hi_; ++v) {
+    a.Varint(halted_[v] ? 1 : 0);
+    a.Varint(prev_has_[v] ? 1 : 0);
+    if (prev_has_[v]) {
+      a.Varint(prev_bcast_[v].size());
+      for (double x : prev_bcast_[v]) a.Double(x);
+    }
+    state.clear();
+    util::WireAppender sa(state);
+    protocol_->SaveNodeState(v, sa);
+    a.Varint(state.size());
+    a.Raw(state.data(), state.size());
+  }
+}
+
+// A per-rank compute worker's life: one init frame, then step/collect
+// frames until shutdown or parent EOF.
+[[noreturn]] void RankWorkerMain(int rank, int num_ranks, int parent_fd,
+                                 const std::vector<int>& peer,
+                                 Protocol* protocol) {
+  for (int d = 0; d < num_ranks; ++d) {
+    if (d != rank && !util::SetNonBlocking(peer[d], true)) {
+      WorkerDie(rank, "cannot make peer socket nonblocking");
+    }
+  }
+
+  SliceRuntime rt(rank, num_ranks, protocol);
+  {
+    std::uint8_t hdr[16];
+    if (!util::ReadFully(parent_fd, hdr, 16)) _exit(0);  // parent gone
+    util::WireReader hr(hdr, 16);
+    if (hr.Fixed64() != kOpRankInit) {
+      WorkerDie(rank, "expected init frame first");
+    }
+    std::vector<std::uint8_t> body(hr.Fixed64());
+    if (!body.empty() &&
+        !util::ReadFully(parent_fd, body.data(), body.size())) {
+      WorkerDie(rank, "truncated init frame");
+    }
+    rt.InitFromBody(body);
+  }
+
+  std::vector<std::uint8_t> reply;
+  std::uint8_t len8[8];
+  for (;;) {
+    std::uint8_t op8[8];
+    if (!util::ReadFully(parent_fd, op8, 8)) _exit(0);  // parent gone
+    const std::uint64_t op = util::WireReader(op8, 8).Fixed64();
+    if (op == kOpShutdown) _exit(0);
+    if (op == kOpRankStep) {
+      std::uint8_t round8[8];
+      if (!util::ReadFully(parent_fd, round8, 8)) {
+        WorkerDie(rank, "truncated step frame");
+      }
+      const int round =
+          static_cast<int>(util::WireReader(round8, 8).Fixed64());
+      rt.RunRound(round, peer, reply);
+    } else if (op == kOpRankCollect) {
+      rt.Collect(reply);
+    } else {
+      WorkerDie(rank, "bad opcode from parent");
+    }
+    util::WireWriter w(len8, len8 + 8);
+    w.Fixed64(reply.size());
+    if (!util::WriteFully(parent_fd, len8, 8) ||
+        (!reply.empty() &&
+         !util::WriteFully(parent_fd, reply.data(), reply.size()))) {
+      WorkerDie(rank, "parent died (rank reply)");
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -327,11 +837,53 @@ std::uint64_t UnpackRankBuffers(
 
 ProcessTransport::~ProcessTransport() { Shutdown(); }
 
+namespace {
+
+// Test-only startup fault injection (InjectStartFault): which 1-based
+// resource allocation of the next TryStart fails, and the call-order
+// counter that TryStart resets on entry. socketpair() and fork() calls
+// share one counter so a test can hit any point of the topology build.
+int g_fault_nth = 0;
+int g_alloc_count = 0;
+
+bool AllocFaultArmed() {
+  ++g_alloc_count;
+  if (g_fault_nth != 0 && g_alloc_count == g_fault_nth) {
+    g_fault_nth = 0;  // one-shot
+    errno = EMFILE;
+    return true;
+  }
+  return false;
+}
+
+int CheckedSocketpair(int fds[2]) {
+  if (AllocFaultArmed()) return -1;
+  return ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
+}
+
+pid_t CheckedFork() {
+  if (AllocFaultArmed()) return -1;
+  return ::fork();
+}
+
+}  // namespace
+
+void ProcessTransport::InjectStartFault(int nth) { g_fault_nth = nth; }
+
 void ProcessTransport::Start(NodeId n, int num_ranks,
                              const std::uint64_t* rank_bounds) {
+  std::string error;
+  KCORE_CHECK_MSG(TryStart(n, num_ranks, rank_bounds, &error),
+                  "ProcessTransport::Start failed: " << error);
+}
+
+bool ProcessTransport::TryStart(NodeId n, int num_ranks,
+                                const std::uint64_t* rank_bounds,
+                                std::string* error) {
   KCORE_CHECK_MSG(!started_, "ProcessTransport::Start() called twice");
   KCORE_CHECK_MSG(num_ranks >= 1, "ProcessTransport needs >= 1 rank, got "
                                       << num_ranks);
+  g_alloc_count = 0;
   n_ = n;
   num_ranks_ = num_ranks;
   rank_bounds_.assign(rank_bounds, rank_bounds + num_ranks + 1);
@@ -353,30 +905,83 @@ void ProcessTransport::Start(NodeId n, int num_ranks,
   // All socketpairs are created before the first fork so every worker
   // sees the complete topology and can close exactly what it does not
   // own. pc[r] = parent<->worker r; pp[i][j] (i < j) = worker i <->
-  // worker j, end [0] for the lower rank.
-  std::vector<std::array<int, 2>> pc(R);
+  // worker j, end [0] for the lower rank. Every slot starts at -1 so
+  // the failure paths can close exactly what exists.
+  std::vector<std::array<int, 2>> pc(R, {-1, -1});
   std::vector<std::vector<std::array<int, 2>>> pp(R);
+  for (int r = 0; r < R; ++r) pp[r].assign(R, {-1, -1});
+
+  auto close_all = [&] {
+    for (auto& p : pc) {
+      for (int& fd : p) {
+        if (fd >= 0) {
+          ::close(fd);
+          fd = -1;
+        }
+      }
+    }
+    for (auto& row : pp) {
+      for (auto& p : row) {
+        for (int& fd : p) {
+          if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+          }
+        }
+      }
+    }
+  };
+
   for (int r = 0; r < R; ++r) {
-    KCORE_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, pc[r].data()) == 0,
-                    "socketpair(parent, rank " << r << ") failed, errno "
-                        << errno);
-    pp[r].assign(R, {-1, -1});
+    if (CheckedSocketpair(pc[r].data()) != 0) {
+      const int err = errno;
+      pc[r] = {-1, -1};  // contents are undefined after a failed call
+      close_all();
+      *error = "socketpair(parent, rank " + std::to_string(r) +
+               ") failed, errno " + std::to_string(err);
+      return false;
+    }
   }
   for (int i = 0; i < R; ++i) {
     for (int j = i + 1; j < R; ++j) {
-      KCORE_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0,
-                                   pp[i][j].data()) == 0,
-                      "socketpair(rank " << i << ", rank " << j
-                                         << ") failed, errno " << errno);
+      if (CheckedSocketpair(pp[i][j].data()) != 0) {
+        const int err = errno;
+        pp[i][j] = {-1, -1};
+        close_all();
+        *error = "socketpair(rank " + std::to_string(i) + ", rank " +
+                 std::to_string(j) + ") failed, errno " + std::to_string(err);
+        return false;
+      }
     }
   }
 
   pids_.assign(R, -1);
   parent_fd_.assign(R, -1);
   for (int r = 0; r < R; ++r) {
-    const pid_t pid = ::fork();
-    KCORE_CHECK_MSG(pid >= 0, "fork of rank " << r << " failed, errno "
-                                              << errno);
+    const pid_t pid = CheckedFork();
+    if (pid < 0) {
+      const int err = errno;
+      // Unwind: closing every fd first makes each already-forked worker
+      // (blocked reading its parent pair) see EOF and exit; the kill is
+      // belt-and-braces for a worker wedged elsewhere, and the blocking
+      // reap guarantees no zombie outlives the failed start.
+      close_all();
+      for (int q = 0; q < r; ++q) {
+        if (pids_[q] < 0) continue;
+        ::kill(pids_[q], SIGKILL);
+        pid_t got;
+        int status = 0;
+        do {
+          got = ::waitpid(pids_[q], &status, 0);
+        } while (got < 0 && errno == EINTR);
+        pids_[q] = -1;
+      }
+      pids_.clear();
+      parent_fd_.clear();
+      *error = "fork of rank " + std::to_string(r) + " failed, errno " +
+               std::to_string(err);
+      return false;
+    }
     if (pid == 0) {
       // Worker r: keep its parent-pair end and its peer ends, close the
       // rest (including every other worker's fds, inherited because all
@@ -400,6 +1005,13 @@ void ProcessTransport::Start(NodeId n, int num_ranks,
           }
         }
       }
+      // Neither main ever returns. A rank-compute worker inherits the
+      // protocol object through the fork (PrepareRankCompute ran before
+      // this point), but its authoritative per-node state arrives over
+      // the socket in the init frame.
+      if (rank_compute_) {
+        RankWorkerMain(r, R, pc[r][1], peer, rank_setup_.protocol);
+      }
       WorkerMain(r, R, pc[r][1], peer);  // never returns
     }
     pids_[r] = pid;
@@ -419,6 +1031,193 @@ void ProcessTransport::Start(NodeId n, int num_ranks,
     }
   }
   started_ = true;
+
+  if (rank_compute_) SendRankInitFrames();
+  return true;
+}
+
+void ProcessTransport::SendRankInitFrames() {
+  const int R = num_ranks_;
+  const RankComputeSetup& s = rank_setup_;
+  const std::uint64_t* rb = rank_bounds_.data();
+  std::vector<std::uint8_t> state;
+  for (int r = 0; r < R; ++r) {
+    body_.clear();
+    util::WireAppender a(body_);
+    a.Fixed64(s.seed);
+    a.Varint(s.payload_limit);
+    a.Varint(s.track_quiescence ? 1 : 0);
+    a.Varint(n_);
+    a.Varint(static_cast<std::uint64_t>(R));
+    for (std::uint64_t b : rank_bounds_) a.Fixed64(b);
+    if (!s.graph_path.empty()) {
+      a.Varint(1);  // mode: worker-side LoadBinarySlice
+      a.Varint(s.graph_path.size());
+      a.Raw(s.graph_path.data(), s.graph_path.size());
+    } else {
+      // Mode 0: wire-serialize rank r's slice — every edge incident to
+      // [rb[r], rb[r+1]), in global edge-id order so the worker-built
+      // adjacency (sorted by (to, edge)) matches the full graph's
+      // parallel-edge tie order bit for bit.
+      a.Varint(0);
+      std::uint64_t m_r = 0;
+      for (const graph::Edge& e : s.graph->edges()) {
+        if (OwnerIndex(rb, R, e.u) == r || OwnerIndex(rb, R, e.v) == r) ++m_r;
+      }
+      a.Varint(m_r);
+      for (const graph::Edge& e : s.graph->edges()) {
+        if (OwnerIndex(rb, R, e.u) != r && OwnerIndex(rb, R, e.v) != r) {
+          continue;
+        }
+        a.Varint(e.u);
+        a.Varint(e.v);
+        a.Double(e.w);
+      }
+    }
+    for (NodeId v = static_cast<NodeId>(rb[r]);
+         v < static_cast<NodeId>(rb[r + 1]); ++v) {
+      state.clear();
+      util::WireAppender sa(state);
+      s.protocol->SaveNodeState(v, sa);
+      a.Varint(state.size());
+      a.Raw(state.data(), state.size());
+    }
+
+    std::uint8_t hdr[16];
+    util::WireWriter w(hdr, hdr + 16);
+    w.Fixed64(kOpRankInit);
+    w.Fixed64(body_.size());
+    if (!util::WriteFully(parent_fd_[r], hdr, 16) ||
+        (!body_.empty() &&
+         !util::WriteFully(parent_fd_[r], body_.data(), body_.size()))) {
+      ReportDeadWorker(r, "receiving its init frame");
+    }
+  }
+}
+
+void ProcessTransport::PrepareRankCompute(const RankComputeSetup& setup) {
+  KCORE_CHECK_MSG(!started_,
+                  "PrepareRankCompute must precede ProcessTransport::Start()");
+  KCORE_CHECK_MSG(setup.protocol != nullptr,
+                  "PrepareRankCompute needs a protocol");
+  KCORE_CHECK_MSG(setup.graph != nullptr || !setup.graph_path.empty(),
+                  "PrepareRankCompute needs a graph or a graph path");
+  rank_setup_ = setup;
+  rank_compute_ = true;
+}
+
+RankRoundResult ProcessTransport::RankStep(int round) {
+  {
+    util::MutexLock lk(teardown_mu_);
+    KCORE_CHECK_MSG(started_ && !shutdown_,
+                    "ProcessTransport::RankStep outside Start()..Shutdown()");
+  }
+  KCORE_CHECK_MSG(rank_compute_,
+                  "RankStep without PrepareRankCompute — the workers are "
+                  "running the byte-shuttle loop");
+  const int R = num_ranks_;
+  std::uint8_t hdr[16];
+  util::WireWriter w(hdr, hdr + 16);
+  w.Fixed64(kOpRankStep);
+  w.Fixed64(static_cast<std::uint64_t>(round));
+  for (int r = 0; r < R; ++r) {
+    if (!util::WriteFully(parent_fd_[r], hdr, 16)) {
+      ReportDeadWorker(r, "receiving its step frame");
+    }
+  }
+
+  // Merge the stats partials in fixed rank order: sums for the volume
+  // counters, max for max_entries, OR for the quiescence flag, and an
+  // exact union for the distinct-value census (slices can broadcast the
+  // same value, so summing per-slice counts would overcount).
+  RankRoundResult out{};
+  std::unordered_set<std::uint64_t> distinct;
+  for (int r = 0; r < R; ++r) {
+    std::uint8_t len8[8];
+    if (!util::ReadFully(parent_fd_[r], len8, 8)) {
+      ReportDeadWorker(r, "returning its round stats");
+    }
+    reply_.resize(util::WireReader(len8, 8).Fixed64());
+    if (!reply_.empty() &&
+        !util::ReadFully(parent_fd_[r], reply_.data(), reply_.size())) {
+      ReportDeadWorker(r, "returning its round stats");
+    }
+    util::WireReader br(reply_.data(), reply_.size());
+    out.active_nodes += br.Varint();
+    out.messages += br.Varint();
+    out.entries += br.Varint();
+    out.max_entries = std::max(out.max_entries,
+                               static_cast<std::size_t>(br.Varint()));
+    out.bytes_sent += br.Varint();
+    out.bytes_received += br.Varint();
+    out.bcast_bytes_sent += br.Varint();
+    out.bcast_bytes_received += br.Varint();
+    out.bcast_bytes_per_neighbor += br.Varint();
+    out.num_halted += br.Varint();
+    out.changed = br.Varint() != 0 || out.changed;
+    const std::uint64_t k = br.Varint();
+    for (std::uint64_t i = 0; i < k; ++i) distinct.insert(br.Fixed64());
+    KCORE_CHECK_MSG(!br.failed() && br.remaining() == 0,
+                    "malformed stats reply from rank " << r);
+  }
+  out.distinct_values = distinct.size();
+  return out;
+}
+
+void ProcessTransport::CollectRankState(Protocol& p,
+                                        std::vector<Payload>& prev_bcast,
+                                        std::vector<char>& prev_has,
+                                        std::vector<char>& halted) {
+  {
+    util::MutexLock lk(teardown_mu_);
+    KCORE_CHECK_MSG(
+        started_ && !shutdown_,
+        "ProcessTransport::CollectRankState outside Start()..Shutdown()");
+  }
+  KCORE_CHECK_MSG(rank_compute_, "CollectRankState without PrepareRankCompute");
+  const int R = num_ranks_;
+  std::uint8_t op8[8];
+  util::WireWriter w(op8, op8 + 8);
+  w.Fixed64(kOpRankCollect);
+  for (int r = 0; r < R; ++r) {
+    if (!util::WriteFully(parent_fd_[r], op8, 8)) {
+      ReportDeadWorker(r, "receiving its collect frame");
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    std::uint8_t len8[8];
+    if (!util::ReadFully(parent_fd_[r], len8, 8)) {
+      ReportDeadWorker(r, "returning its collected state");
+    }
+    reply_.resize(util::WireReader(len8, 8).Fixed64());
+    if (!reply_.empty() &&
+        !util::ReadFully(parent_fd_[r], reply_.data(), reply_.size())) {
+      ReportDeadWorker(r, "returning its collected state");
+    }
+    util::WireReader br(reply_.data(), reply_.size());
+    for (NodeId v = static_cast<NodeId>(rank_bounds_[r]);
+         v < static_cast<NodeId>(rank_bounds_[r + 1]); ++v) {
+      halted[v] = br.Varint() != 0 ? 1 : 0;
+      const bool has = br.Varint() != 0;
+      prev_has[v] = has ? 1 : 0;
+      if (has) {
+        prev_bcast[v].resize(br.Varint());
+        for (double& x : prev_bcast[v]) x = br.Double();
+      } else {
+        prev_bcast[v].clear();
+      }
+      const std::uint64_t state_len = br.Varint();
+      body_.resize(state_len);
+      KCORE_CHECK_MSG(br.TryRaw(body_.data(), state_len),
+                      "truncated collect body from rank " << r);
+      util::WireReader sr(body_.data(), body_.size());
+      p.LoadNodeState(v, sr);
+      KCORE_CHECK_MSG(!sr.failed() && sr.remaining() == 0,
+                      "protocol state block length mismatch for node " << v);
+    }
+    KCORE_CHECK_MSG(!br.failed() && br.remaining() == 0,
+                    "malformed collect reply from rank " << r);
+  }
 }
 
 void ProcessTransport::ReportDeadWorker(int rank, const char* stage) {

@@ -54,6 +54,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "distsim/transport.h"
@@ -76,9 +77,44 @@ class ProcessTransport final : public Transport {
   // Forks num_ranks workers and wires the socketpair topology: one
   // parent<->worker pair per rank plus one pair per unordered worker
   // pair. Called exactly once by Engine::Start() while the engine is
-  // still single-threaded.
+  // still single-threaded. KCORE_CHECK-fails if the topology cannot be
+  // built (TryStart is the non-aborting flavor).
   void Start(graph::NodeId n, int num_ranks,
              const std::uint64_t* rank_bounds) override;
+
+  // Non-aborting topology construction: returns false (and fills
+  // *error) when a socketpair() or fork() fails mid-topology — after
+  // closing every fd created so far and killing + reaping every worker
+  // already forked, so a failed start leaks neither descriptors nor
+  // zombie children and the transport can be started again (or
+  // discarded) cleanly.
+  bool TryStart(graph::NodeId n, int num_ranks,
+                const std::uint64_t* rank_bounds, std::string* error);
+
+  // Test-only fault injection for the startup failure path: the nth
+  // (1-based) resource allocation of the next TryStart/Start —
+  // socketpair() and fork() calls counted together in call order —
+  // fails with a synthetic EMFILE. One-shot: disarms when it fires;
+  // pass 0 to disarm manually. Not thread-safe (tests only).
+  static void InjectStartFault(int nth);
+
+  // Per-rank compute (Engine::SetPerRankCompute): Start() forks workers
+  // that own their node slice end to end — slice graph (wire-serialized
+  // from the setup's Graph, or loaded worker-side via LoadBinarySlice
+  // when graph_path is set), per-node protocol state
+  // (Protocol::Save/LoadNodeState), and per-node RNG streams rebuilt
+  // from the master seed. Each RankStep drives one synchronous round:
+  // workers run the compute phase over their slice, exchange p2p
+  // segments AND the once-per-neighbor-owning-rank broadcast fan-out
+  // over the same peer socketpairs, and return RoundStats partials the
+  // parent merges in fixed rank order. The init/step/collect frame
+  // layouts are tabulated in docs/TRANSPORTS.md.
+  bool SupportsRankCompute() const override { return true; }
+  void PrepareRankCompute(const RankComputeSetup& setup) override;
+  RankRoundResult RankStep(int round) override;
+  void CollectRankState(Protocol& p, std::vector<Payload>& prev_bcast,
+                        std::vector<char>& prev_has,
+                        std::vector<char>& halted) override;
 
   // One round's exchange: pack by (src rank, dst rank), ship every src
   // rank its framed send buffer, let the workers run the socketpair
@@ -103,6 +139,11 @@ class ProcessTransport final : public Transport {
   // KCORE_CHECK-fails with the rank's wait status after an EPIPE/EOF on
   // its socket. Never returns.
   [[noreturn]] void ReportDeadWorker(int rank, const char* stage);
+
+  // Builds and ships every rank its init frame (per-rank compute only):
+  // seed, limits, rank bounds, graph slice (wire edges or binio path),
+  // and the per-owned-node protocol state blocks.
+  void SendRankInitFrames();
 
   graph::NodeId n_ = 0;
   int num_ranks_ = 0;
@@ -130,6 +171,15 @@ class ProcessTransport final : public Transport {
   std::vector<std::vector<std::uint8_t>> recv_buf_;  // one per dst rank
   std::vector<std::uint8_t> frame_;       // outgoing frame-header scratch
   std::vector<std::uint8_t> reply_rows_;  // incoming reply-row scratch
+
+  // Per-rank compute state: armed by PrepareRankCompute before Start()
+  // forks (so workers inherit the setup — and through it the protocol
+  // object — copy-on-write; the authoritative per-node state still
+  // crosses the socket in the init frames).
+  bool rank_compute_ = false;
+  RankComputeSetup rank_setup_;
+  std::vector<std::uint8_t> body_;   // frame-body scratch (init/step/collect)
+  std::vector<std::uint8_t> reply_;  // worker reply-body scratch
 };
 
 // Hub-side orchestration shared by the socketpair and MPI flavors

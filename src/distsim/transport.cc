@@ -42,6 +42,34 @@ std::uint64_t WireMessageBytes(std::uint64_t from, const OutMessage& m) {
          util::VarintSize(m.payload.size()) + 8 * m.payload.size();
 }
 
+std::uint64_t WireBroadcastBytes(std::uint64_t v, const Payload& p) {
+  return util::VarintSize(v) + util::VarintSize(p.size()) + 8 * p.size();
+}
+
+void Transport::PrepareRankCompute(const RankComputeSetup& setup) {
+  (void)setup;
+  KCORE_CHECK_MSG(false, "transport '" << name()
+                             << "' does not support per-rank compute");
+}
+
+RankRoundResult Transport::RankStep(int round) {
+  (void)round;
+  KCORE_CHECK_MSG(false, "transport '" << name()
+                             << "' does not support per-rank compute");
+  return RankRoundResult{};
+}
+
+void Transport::CollectRankState(Protocol& p, std::vector<Payload>& prev_bcast,
+                                 std::vector<char>& prev_has,
+                                 std::vector<char>& halted) {
+  (void)p;
+  (void)prev_bcast;
+  (void)prev_has;
+  (void)halted;
+  KCORE_CHECK_MSG(false, "transport '" << name()
+                             << "' does not support per-rank compute");
+}
+
 // (Empty cells [b, b) can never own anything — upper_bound steps past
 // them.)
 int OwnerIndex(const std::uint64_t* bounds, int cells, NodeId u) {

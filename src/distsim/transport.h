@@ -57,6 +57,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -90,6 +91,17 @@ enum class TransportKind {
 // payload entry. Absolute (never partition-relative), so byte totals
 // are identical across thread counts, rank counts, and backends.
 std::uint64_t WireMessageBytes(std::uint64_t from, const OutMessage& m);
+
+// Exact bytes one staged broadcast occupies in a packed broadcast
+// segment: varint broadcaster id + varint payload length + 8 bytes per
+// entry. The CONGEST fan-out rule: exactly ONE copy of this ships to
+// each REMOTE rank owning at least one of the broadcaster's neighbors
+// (never once per neighbor — dedup before packing), and none to the
+// broadcaster's own rank, where the value is a shared-memory read.
+// Absolute encoding, so the analytic in-engine census
+// (RoundStats::bcast_bytes_*) and the per-rank measured volume agree
+// byte for byte.
+std::uint64_t WireBroadcastBytes(std::uint64_t v, const Payload& p);
 
 // Index of the partition cell owning node u (empty cells own nothing).
 int OwnerIndex(const std::uint64_t* bounds, int cells, graph::NodeId u);
@@ -173,6 +185,38 @@ struct ExchangeContext {
 void ClearAndReserveInboxes(const ExchangeContext& ctx, std::uint64_t begin,
                             std::uint64_t end);
 
+// Everything a rank-compute transport needs to arm its workers before
+// Start() forks them (Engine::Start builds this when SetPerRankCompute
+// is on). All pointers are engine-owned and outlive the transport.
+struct RankComputeSetup {
+  Protocol* protocol = nullptr;          // Save/LoadNodeState source/sink
+  const graph::Graph* graph = nullptr;   // wire-serialized slice source
+  // Non-empty: the binary graph file (graph/binio.h) to LoadBinarySlice
+  // worker-side instead of shipping the slice over the socket.
+  std::string graph_path;
+  std::uint64_t seed = 0;                // master seed for ForkKeyed streams
+  std::size_t payload_limit = 0;         // CONGEST limit (0 = off)
+  bool track_quiescence = false;         // workers report slice changes
+};
+
+// One round's merged worker reports under per-rank compute — the
+// RoundStats partials summed in fixed rank order, plus the control
+// signals the coordinator loop needs (halted census, quiescence flag).
+struct RankRoundResult {
+  std::size_t active_nodes = 0;
+  std::size_t messages = 0;
+  std::size_t entries = 0;
+  std::size_t max_entries = 0;
+  std::size_t distinct_values = 0;  // size of the union of slice sets
+  std::size_t bytes_sent = 0;       // p2p segment bytes, diagonal included
+  std::size_t bytes_received = 0;
+  std::size_t bcast_bytes_sent = 0;  // fan-out copies actually shipped
+  std::size_t bcast_bytes_received = 0;
+  std::size_t bcast_bytes_per_neighbor = 0;  // the naive baseline volume
+  std::size_t num_halted = 0;  // summed over slices = global count
+  bool changed = false;        // OR of per-slice change flags
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -192,6 +236,21 @@ class Transport {
   }
   // Delivers every staged message (see the conformance contract above).
   virtual WireVolume Exchange(const ExchangeContext& ctx) = 0;
+
+  // Per-rank compute hooks (Engine::SetPerRankCompute). A transport that
+  // returns true from SupportsRankCompute() runs the protocol INSIDE its
+  // rank workers: PrepareRankCompute arms the setup before Start()
+  // forks, RankStep drives one synchronous round across every worker and
+  // returns the merged stats, and CollectRankState pulls per-node
+  // protocol state / broadcasts / halted flags back into the engine's
+  // arrays. The defaults reject the mode (KCORE_CHECK), so an engine
+  // misconfigured onto an in-process transport fails loudly at Start.
+  virtual bool SupportsRankCompute() const { return false; }
+  virtual void PrepareRankCompute(const RankComputeSetup& setup);
+  virtual RankRoundResult RankStep(int round);
+  virtual void CollectRankState(Protocol& p, std::vector<Payload>& prev_bcast,
+                                std::vector<char>& prev_has,
+                                std::vector<char>& halted);
 };
 
 // Zero-copy in-place delivery; the default.

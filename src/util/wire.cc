@@ -50,6 +50,38 @@ void WireWriter::Double(double d) {
   Fixed64(bits);
 }
 
+void WireAppender::Varint(std::uint64_t x) {
+  while (x >= 0x80) {
+    out_.push_back(static_cast<std::uint8_t>(x) | 0x80);
+    x >>= 7;
+  }
+  out_.push_back(static_cast<std::uint8_t>(x));
+}
+
+void WireAppender::Fixed32(std::uint32_t bits) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void WireAppender::Fixed64(std::uint64_t bits) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void WireAppender::Double(double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(double));
+  std::memcpy(&bits, &d, sizeof(bits));
+  Fixed64(bits);
+}
+
+void WireAppender::Raw(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), p, p + len);
+}
+
 bool WireReader::TryVarint(std::uint64_t* out) {
   if (failed_) return false;
   std::uint64_t x = 0;

@@ -21,16 +21,20 @@
 //     decode identical bit patterns, which the simulator's bit-determinism
 //     contract requires.
 //
-// Writers operate on a pre-sized region (the transport computes exact
-// byte counts in its census pass, so encoding never reallocates);
-// overrunning the region is a KCORE_CHECK failure, not a silent
-// corruption. Readers come in checked (KCORE_CHECK on malformed input —
-// for internal buffers where corruption is a bug) and Try* (bool-return —
-// for callers that can recover) flavors.
+// Writers come in two flavors: WireWriter operates on a pre-sized region
+// (the transport computes exact byte counts in its census pass, so
+// encoding never reallocates; overrunning the region is a KCORE_CHECK
+// failure, not a silent corruption), and WireAppender grows a
+// caller-owned std::vector for frames whose length is only known after
+// encoding (the per-rank compute control frames of
+// distsim/process_transport.cc). Readers come in checked (KCORE_CHECK on
+// malformed input — for internal buffers where corruption is a bug) and
+// Try* (bool-return — for callers that can recover) flavors.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace kcore::util {
 
@@ -63,6 +67,28 @@ class WireWriter {
   std::uint8_t* begin_;
   std::uint8_t* p_;
   std::uint8_t* end_;
+};
+
+// Appends the same encodings to a growing byte vector — for frames whose
+// exact size is cheaper to discover by encoding than to precompute. The
+// vector is caller-owned (so scratch persists across frames); Appender
+// writes start at the vector's current end.
+class WireAppender {
+ public:
+  explicit WireAppender(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void Varint(std::uint64_t x);
+  void Fixed32(std::uint32_t bits);
+  void Fixed64(std::uint64_t bits);
+  void Double(double d);
+  // Appends `len` raw bytes (a blob whose length a preceding varint
+  // carries).
+  void Raw(const void* data, std::size_t len);
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
 };
 
 // Decodes from [data, data + size). Try* getters return false — and mark

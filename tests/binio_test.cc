@@ -313,5 +313,49 @@ TEST(BinIo, SliceLoadingCoversEveryEdgeExactlyByOwnership) {
   std::remove(path.c_str());
 }
 
+// Rank-boundary pins for the per-rank compute init path: an empty slice
+// mid-topology (rank_bounds with lo == hi) and the last rank's
+// upper-bound handling — the classic off-by-one places.
+TEST(BinIo, SliceBoundaryCasesMatchRankBoundsContract) {
+  util::Rng rng(56);
+  const Graph g = BarabasiAlbert(120, 3, rng);
+  const std::string path = TempPath("slice_edges");
+  ASSERT_TRUE(SaveBinary(g, path));
+  const NodeId n = g.num_nodes();
+
+  // Empty mid-range slice, the shape a degenerate rank_bounds row
+  // produces: full id space back, zero edges, no error.
+  const auto empty_mid = LoadBinarySlice(path, 60, 60);
+  ASSERT_TRUE(empty_mid.has_value());
+  EXPECT_EQ(empty_mid->graph.num_nodes(), n);
+  EXPECT_EQ(empty_mid->graph.num_edges(), 0u);
+
+  // Last rank: [x, n) must include node n - 1's incident edges...
+  const auto last = LoadBinarySlice(path, n - 30, n);
+  ASSERT_TRUE(last.has_value());
+  bool saw_last_node = false;
+  for (const Edge& e : last->graph.edges()) {
+    EXPECT_TRUE((e.u >= n - 30 && e.u < n) || (e.v >= n - 30 && e.v < n));
+    if (e.u == n - 1 || e.v == n - 1) saw_last_node = true;
+  }
+  EXPECT_TRUE(saw_last_node) << "last node's edges missing from last slice";
+  EXPECT_EQ(last->graph.Degree(n - 1), g.Degree(n - 1));
+
+  // ...and [x, n - 1) must NOT treat n - 1 as owned: every loaded edge
+  // still touches the half-open range.
+  const auto clipped = LoadBinarySlice(path, n - 30, n - 1);
+  ASSERT_TRUE(clipped.has_value());
+  for (const Edge& e : clipped->graph.edges()) {
+    EXPECT_TRUE((e.u >= n - 30 && e.u < n - 1) ||
+                (e.v >= n - 30 && e.v < n - 1));
+  }
+
+  // A one-node last slice is fine too (the ranks == n extreme).
+  const auto one = LoadBinarySlice(path, n - 1, n);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->graph.Degree(n - 1), g.Degree(n - 1));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace kcore::graph

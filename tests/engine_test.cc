@@ -5,6 +5,7 @@
 #include <string>
 
 #include "distsim/engine.h"
+#include "distsim/transport.h"
 #include "graph/generators.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -459,6 +460,62 @@ TEST(Engine, ConcurrentLoggingFromPoolWorkersIsSerialized) {
   }
   // One line per Init plus one per node per round, none lost.
   EXPECT_EQ(chatty_lines, 64u * (1 + rounds));
+}
+
+// Rank-topology validation: junk rank counts fail loudly at the API
+// boundary, not as a crash (or an empty-slice hang) deep in a transport.
+TEST(Engine, RejectsNonPositiveRankCounts) {
+  const Graph g = graph::Cycle(10);
+  Engine engine(g);
+  EXPECT_DEATH(engine.SetRankCount(0), "rank count must be >= 1");
+  EXPECT_DEATH(engine.SetRankCount(-3), "rank count must be >= 1");
+}
+
+TEST(Engine, RejectsMoreRanksThanNodesAtStart) {
+  // 12 ranks over 10 nodes would give at least one rank an empty slice;
+  // Start refuses with an actionable message instead of forking workers
+  // that own nothing.
+  class Silent : public Protocol {
+    void Init(NodeContext&) override {}
+    void Round(NodeContext&) override {}
+  } proto;
+  const Graph g = graph::Cycle(10);
+  Engine engine(g);
+  engine.SetRankCount(12);
+  EXPECT_DEATH(engine.Start(proto), "exceeds the node count");
+}
+
+// Per-rank compute preconditions fail loudly too: a transport without
+// rank workers cannot host the compute phase, and a protocol without
+// Save/LoadNodeState cannot ship its state.
+TEST(Engine, PerRankComputeRequiresACapableTransport) {
+  class Silent : public Protocol {
+    void Init(NodeContext&) override {}
+    void Round(NodeContext&) override {}
+  } proto;
+  const Graph g = graph::Cycle(10);
+  Engine engine(g);  // default shared-memory transport
+  engine.SetPerRankCompute(true);
+  EXPECT_DEATH(engine.Start(proto), "needs a transport that supports it");
+}
+
+TEST(Engine, PerRankComputeRequiresProtocolStateHooks) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  class Silent : public Protocol {  // no SupportsRankCompute override
+    void Init(NodeContext&) override {}
+    void Round(NodeContext&) override {}
+  };
+  EXPECT_DEATH(
+      {
+        const Graph g = graph::Cycle(10);
+        Engine engine(g);
+        engine.SetTransport(MakeTransport(TransportKind::kProcess));
+        engine.SetRankCount(2);
+        engine.SetPerRankCompute(true);
+        Silent proto;
+        engine.Start(proto);
+      },
+      "Save/LoadNodeState");
 }
 
 TEST(Engine, QuiescenceSeesVanishingBroadcastOfHaltedNodes) {

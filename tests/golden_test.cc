@@ -7,13 +7,14 @@
 // the stats accounting shows up as a one-line diff instead of a silent
 // drift across PRs.
 //
-// Every golden is rendered three times per test: from the canonical
+// Every golden is rendered four times per test: from the canonical
 // sequential shared-memory run (which is what the file pins), from an
-// 8-thread serialized-transport run with degree-weighted balancing, and
-// from a 2-thread 3-rank multi-process (forked workers + socketpair
-// exchange) run — all three must render identically, so the golden also
-// re-proves the transport and scheduler determinism contracts on every
-// graph.
+// 8-thread serialized-transport run with degree-weighted balancing, from
+// a 2-thread 3-rank multi-process (forked workers + socketpair exchange)
+// run, and from that same process topology with per-rank compute (the
+// workers own the compute phase end to end) — all four must render
+// identically, so the golden also re-proves the transport, scheduler,
+// and per-rank determinism contracts on every graph.
 //
 // The graphs use unit edge weights ON PURPOSE: every surviving-number
 // update is then integer-valued sums and comparisons, which are
@@ -61,6 +62,7 @@ struct RunConfig {
   bool balance = false;
   TransportKind transport = TransportKind::kSharedMemory;
   int ranks = 1;
+  bool per_rank = false;  // compute inside the rank workers
 };
 
 constexpr RunConfig kCanonical{1, false, TransportKind::kSharedMemory, 1};
@@ -68,9 +70,13 @@ constexpr RunConfig kCanonical{1, false, TransportKind::kSharedMemory, 1};
 // the multi-process backend (forked workers + socketpair exchange; these
 // drivers are broadcast-only, so its render pins the engine-side rank
 // plumbing and the worker lifecycle under every driver rather than wire
-// traffic — the conformance battery covers the loaded exchange).
+// traffic — the conformance battery covers the loaded exchange). The
+// per-rank config reruns the same process topology with the compute
+// phase inside the workers (state shipped over the wire both ways), so
+// each golden also pins the worker-owned compute path bit-for-bit.
 constexpr RunConfig kThreaded{8, true, TransportKind::kSerialized, 1};
 constexpr RunConfig kProcessCfg{2, false, TransportKind::kProcess, 3};
+constexpr RunConfig kPerRankCfg{2, false, TransportKind::kProcess, 3, true};
 
 struct GoldenGraph {
   const char* name;
@@ -171,6 +177,7 @@ std::string RenderCompact(const GoldenGraph& gg, const RunConfig& cfg) {
   opts.balance_shards = cfg.balance;
   opts.transport = cfg.transport;
   opts.ranks = cfg.ranks;
+  opts.per_rank_compute = cfg.per_rank;
   const core::CompactResult res = core::RunCompactElimination(gg.g, opts);
 
   std::string out = Header("compact", gg);
@@ -184,7 +191,7 @@ std::string RenderCompact(const GoldenGraph& gg, const RunConfig& cfg) {
 std::string RenderMontresor(const GoldenGraph& gg, const RunConfig& cfg) {
   const core::ConvergenceResult res = core::RunToConvergence(
       gg.g, -1, cfg.threads, distsim::kDefaultMasterSeed, cfg.balance,
-      cfg.transport, cfg.ranks);
+      cfg.transport, cfg.ranks, cfg.per_rank);
 
   std::string out = Header("montresor", gg);
   out += "rounds_executed " + std::to_string(res.rounds_executed) + "\n";
@@ -199,7 +206,7 @@ std::string RenderTwoPhase(const GoldenGraph& gg, const RunConfig& cfg) {
   const int T = core::RoundsForEpsilon(gg.g.num_nodes(), kEps);
   const core::TwoPhaseResult res = core::RunTwoPhaseOrientation(
       gg.g, T, kEps, -1, cfg.threads, distsim::kDefaultMasterSeed,
-      cfg.balance, cfg.transport, cfg.ranks);
+      cfg.balance, cfg.transport, cfg.ranks, cfg.per_rank);
 
   std::string out = Header("twophase", gg);
   out += "phase1_rounds " + std::to_string(res.phase1_rounds) + "\n";
@@ -277,6 +284,8 @@ TEST(Golden, CompactElimination) {
         << "threaded serialized run diverged from the sequential render";
     EXPECT_EQ(RenderCompact(gg, kProcessCfg), canonical)
         << "multi-process run diverged from the sequential render";
+    EXPECT_EQ(RenderCompact(gg, kPerRankCfg), canonical)
+        << "per-rank compute run diverged from the sequential render";
     CheckGolden(std::string("compact_") + gg.name, canonical);
   }
 }
@@ -289,6 +298,8 @@ TEST(Golden, MontresorConvergence) {
         << "threaded serialized run diverged from the sequential render";
     EXPECT_EQ(RenderMontresor(gg, kProcessCfg), canonical)
         << "multi-process run diverged from the sequential render";
+    EXPECT_EQ(RenderMontresor(gg, kPerRankCfg), canonical)
+        << "per-rank compute run diverged from the sequential render";
     CheckGolden(std::string("montresor_") + gg.name, canonical);
   }
 }
@@ -301,6 +312,8 @@ TEST(Golden, TwoPhaseOrientation) {
         << "threaded serialized run diverged from the sequential render";
     EXPECT_EQ(RenderTwoPhase(gg, kProcessCfg), canonical)
         << "multi-process run diverged from the sequential render";
+    EXPECT_EQ(RenderTwoPhase(gg, kPerRankCfg), canonical)
+        << "per-rank compute run diverged from the sequential render";
     CheckGolden(std::string("twophase_") + gg.name, canonical);
   }
 }

@@ -527,6 +527,36 @@ TEST(SchedulerDeterminism, WeightedShardsSharedVsSerializedTransport) {
   EXPECT_GT(eser.totals().bytes_sent, 0u);
 }
 
+TEST(SchedulerDeterminism, PerRankComputeAgreesWithThreadedScheduler) {
+  // The per-rank compute path replaces the thread-pool sweep with forked
+  // rank workers, each computing its own contiguous slice — a third
+  // scheduler implementation that must land on the same bits as the
+  // sequential and 8-thread in-process runs, and must do so run over run
+  // (worker scheduling, socket interleaving, and fork timing are all
+  // invisible).
+  const graph::Graph g = TestGraph(111);
+  core::CompactOptions seq;
+  seq.rounds = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  seq.track_orientation = true;
+  core::CompactOptions thr = seq;
+  thr.num_threads = 8;
+  core::CompactOptions ranked = seq;
+  ranked.transport = distsim::TransportKind::kProcess;
+  ranked.ranks = 3;
+  ranked.per_rank_compute = true;
+  const core::CompactResult r1 = core::RunCompactElimination(g, seq);
+  const core::CompactResult r8 = core::RunCompactElimination(g, thr);
+  const core::CompactResult rp = core::RunCompactElimination(g, ranked);
+  const core::CompactResult rp2 = core::RunCompactElimination(g, ranked);
+  EXPECT_EQ(r1.b, r8.b);
+  EXPECT_EQ(r1.b, rp.b);
+  EXPECT_EQ(r1.in_sets, rp.in_sets);
+  ExpectSameHistory(r1.history, rp.history);
+  EXPECT_EQ(rp.b, rp2.b);
+  EXPECT_EQ(rp.totals.bytes_sent, rp2.totals.bytes_sent);
+  EXPECT_EQ(rp.totals.bcast_bytes_sent, rp2.totals.bcast_bytes_sent);
+}
+
 TEST(SchedulerDeterminism, MasterSeedActuallyFeedsTheStreams) {
   // Different master seeds must produce different randomized runs —
   // otherwise the determinism tests above would pass vacuously.

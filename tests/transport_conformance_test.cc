@@ -23,21 +23,28 @@
 // abort naming the rank, not a hang).
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include <dirent.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "core/compact.h"
 #include "core/montresor.h"
+#include "core/two_phase.h"
 #include "distsim/engine.h"
 #include "distsim/process_transport.h"
 #include "distsim/transport.h"
+#include "graph/binio.h"
 #include "graph/generators.h"
 #include "util/rng.h"
+#include "util/wire.h"
 
 namespace kcore {
 namespace {
@@ -143,6 +150,17 @@ std::vector<std::size_t> BytesPerRound(const Engine& e) {
   return out;
 }
 
+// Mixin giving the digest protocols below per-rank compute support: the
+// only per-node state beyond the runtime's is one digest word.
+#define KCORE_DIGEST_RANK_STATE()                                           \
+  bool SupportsRankCompute() const override { return true; }                \
+  void SaveNodeState(NodeId v, util::WireAppender& out) const override {    \
+    out.Fixed64(digest_[v]);                                                \
+  }                                                                         \
+  void LoadNodeState(NodeId v, util::WireReader& in) override {             \
+    digest_[v] = in.Fixed64();                                              \
+  }
+
 // P2P-heavy: variable-size payloads (including EMPTY ones and bit-tricky
 // doubles: -0.0, a denormal, a huge magnitude) to round-dependent
 // neighbor subsets.
@@ -158,6 +176,8 @@ class P2PWave : public distsim::Protocol {
   }
 
   const std::vector<std::uint64_t>& digest() const { return digest_; }
+
+  KCORE_DIGEST_RANK_STATE()
 
  private:
   void SendWave(NodeContext& ctx) {
@@ -214,6 +234,8 @@ class BroadcastOnly : public distsim::Protocol {
 
   const std::vector<std::uint64_t>& digest() const { return digest_; }
 
+  KCORE_DIGEST_RANK_STATE()
+
  private:
   void Shout(NodeContext& ctx) {
     const NodeId v = ctx.id();
@@ -248,6 +270,8 @@ class BurstySilence : public distsim::Protocol {
 
   const std::vector<std::uint64_t>& digest() const { return digest_; }
 
+  KCORE_DIGEST_RANK_STATE()
+
  private:
   void MaybeBurst(NodeContext& ctx) {
     if (ctx.round() % 4 != 1) return;
@@ -278,6 +302,8 @@ class StarFunnel : public distsim::Protocol {
   }
 
   const std::vector<std::uint64_t>& digest() const { return digest_; }
+
+  KCORE_DIGEST_RANK_STATE()
 
  private:
   void Send(NodeContext& ctx) {
@@ -321,6 +347,14 @@ class SeededGossip : public distsim::Protocol {
   }
 
   const std::vector<double>& value() const { return value_; }
+
+  bool SupportsRankCompute() const override { return true; }
+  void SaveNodeState(NodeId v, util::WireAppender& out) const override {
+    out.Double(value_[v]);
+  }
+  void LoadNodeState(NodeId v, util::WireReader& in) override {
+    value_[v] = in.Double();
+  }
 
  private:
   std::vector<double> value_;
@@ -636,6 +670,350 @@ TEST(ProcessTransportDeathTest, KilledWorkerAbortsWithRank) {
         for (int t = 0; t < 50; ++t) e.Step(p);
       },
       "process transport rank 2 died");
+}
+
+// A worker killed mid-run, then an ORDERLY Shutdown (no exchange in
+// between, so ReportDeadWorker never fires): the dead rank is reaped
+// exactly once, counted unclean exactly once, and the second Shutdown
+// repeats the verdict without touching waitpid again (a double reap of a
+// recycled pid would be a stranger's process).
+TEST(ProcessTransportLifecycle, KillThenShutdownCountsUncleanOnce) {
+  util::Rng rng(311);
+  const graph::Graph g = graph::BarabasiAlbert(400, 3, rng);
+  auto owned = std::make_unique<ProcessTransport>();
+  ProcessTransport* transport = owned.get();
+  P2PWave p(g.num_nodes());
+  Engine e(g, 1);
+  e.SetRankCount(4);
+  e.SetTransport(std::move(owned));
+  RunRounds(e, p, 3);
+
+  std::vector<pid_t> pids;
+  for (int r = 0; r < 4; ++r) pids.push_back(transport->worker_pid(r));
+  ::kill(pids[1], SIGKILL);
+
+  EXPECT_FALSE(transport->Shutdown()) << "a SIGKILLed worker is not clean";
+  EXPECT_FALSE(transport->Shutdown()) << "the verdict must be stable";
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NE(::kill(pids[r], 0), 0)
+        << "worker " << r << " survived shutdown";
+  }
+  // Every worker was reaped by the first Shutdown: no children remain
+  // anywhere on this process (a leftover zombie would show up here).
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+// ---------------------------------------------------------------------
+// Startup failure path (TryStart): a socketpair() or fork() failing
+// mid-topology must leak neither file descriptors nor child processes.
+// InjectStartFault makes the Nth resource allocation fail with a
+// synthetic EMFILE; with 4 ranks the build makes 4 parent pairs, 6 peer
+// pairs, and 4 forks = 14 allocations, so the sweep hits every phase of
+// the construction (first/last socketpair, first/mid/last fork).
+// ---------------------------------------------------------------------
+
+std::size_t CountOpenFds() {
+  std::size_t count = 0;
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return 0;
+  while (::readdir(d) != nullptr) ++count;
+  ::closedir(d);
+  return count;
+}
+
+TEST(ProcessTransportStartFailure, NthAllocationFailureLeaksNothing) {
+  const graph::NodeId n = 300;
+  const std::uint64_t bounds[] = {0, 75, 150, 225, 300};
+  const int kAllocations = 4 + 6 + 4;  // parent pairs + peer pairs + forks
+  for (int nth = 1; nth <= kAllocations; ++nth) {
+    SCOPED_TRACE(::testing::Message() << "failing allocation " << nth);
+    ProcessTransport t;
+    const std::size_t fds_before = CountOpenFds();
+    ProcessTransport::InjectStartFault(nth);
+    std::string error;
+    EXPECT_FALSE(t.TryStart(n, 4, bounds, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(t.started());
+    EXPECT_EQ(CountOpenFds(), fds_before) << "fd leak: " << error;
+    // Every already-forked worker was killed and reaped before TryStart
+    // returned — no children (zombie or live) outlive the failure.
+    errno = 0;
+    EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1) << error;
+    EXPECT_EQ(errno, ECHILD) << error;
+  }
+  // The failure is not sticky: a fresh attempt builds the full topology.
+  ProcessTransport t;
+  std::string error;
+  EXPECT_TRUE(t.TryStart(n, 4, bounds, &error)) << error;
+  EXPECT_TRUE(t.started());
+  EXPECT_TRUE(t.Shutdown());
+}
+
+// ---------------------------------------------------------------------
+// Per-rank compute: the compute phase runs INSIDE the rank workers
+// (Engine::SetPerRankCompute) — each worker owns its slice's protocol
+// state, RNG streams, and broadcasts, exchanges p2p + broadcast fan-out
+// peer-to-peer, and returns stats partials. Everything observable must
+// stay bit-identical to the in-engine compute path at every rank/thread
+// combination; the engine's thread count must be completely orthogonal
+// (workers compute sequentially — threads only ever touched the
+// in-engine phases).
+// ---------------------------------------------------------------------
+
+constexpr struct {
+  int ranks;
+  int threads;
+} kPerRankMatrix[] = {{1, 1}, {1, 8}, {2, 1}, {2, 8}, {8, 1}, {8, 8}};
+
+TEST(PerRankCompute, P2PWaveMatrixMatchesSequentialBaseline) {
+  util::Rng rng(401);
+  const graph::Graph g = graph::BarabasiAlbert(900, 4, rng);
+  P2PWave base(g.num_nodes());
+  Engine eb(g, 1);
+  eb.SetTransport(MakeTransport(TransportKind::kSerialized));
+  RunRounds(eb, base, 10);
+  const std::vector<std::size_t> reference_bytes = BytesPerRound(eb);
+
+  for (const auto& cfg : kPerRankMatrix) {
+    SCOPED_TRACE(::testing::Message()
+                 << "ranks=" << cfg.ranks << " threads=" << cfg.threads);
+    P2PWave p(g.num_nodes());
+    Engine e(g, cfg.threads);
+    e.SetParallelCutoff(1);
+    UseTransport(e, TransportKind::kProcess, cfg.threads, cfg.ranks);
+    e.SetPerRankCompute(true);
+    RunRounds(e, p, 10);
+    e.FetchRankState(p);
+    EXPECT_EQ(p.digest(), base.digest());
+    ExpectSameLogicalHistory(e.history(), eb.history());
+    ExpectWireAccounting(e, TransportKind::kProcess);
+    // p2p byte accounting is the shared absolute encoding: identical to
+    // the serialized backend's at every rank count.
+    EXPECT_EQ(BytesPerRound(e), reference_bytes);
+  }
+}
+
+TEST(PerRankCompute, SilentRoundsReportZeroBytes) {
+  util::Rng rng(402);
+  const graph::Graph g = graph::BarabasiAlbert(700, 3, rng);
+  BurstySilence base(g.num_nodes());
+  Engine eb(g, 1);
+  eb.SetTransport(MakeTransport(TransportKind::kSerialized));
+  RunRounds(eb, base, 13);
+
+  BurstySilence p(g.num_nodes());
+  Engine e(g, 1);
+  UseTransport(e, TransportKind::kProcess, 1, 4);
+  e.SetPerRankCompute(true);
+  RunRounds(e, p, 13);
+  e.FetchRankState(p);
+  EXPECT_EQ(p.digest(), base.digest());
+  // The workers run their peer exchange every round, but framing
+  // overhead is not payload: silent rounds report exactly 0 bytes, just
+  // like the in-engine path — and loud rounds the identical count.
+  EXPECT_EQ(BytesPerRound(e), BytesPerRound(eb));
+  for (const RoundStats& r : e.history()) {
+    if (r.round % 4 != 1) EXPECT_EQ(r.bytes_sent, 0u) << "round " << r.round;
+  }
+}
+
+TEST(PerRankCompute, SeededGossipRngStreamsBitIdentical) {
+  util::Rng rng(403);
+  const graph::Graph g = graph::PowerLawConfiguration(1100, 2.2, 2, 120, rng);
+  SeededGossip base(g.num_nodes());
+  Engine eb(g, 1);
+  eb.SetSeed(777);
+  RunRounds(eb, base, 12);
+
+  for (const auto& cfg : kPerRankMatrix) {
+    SCOPED_TRACE(::testing::Message()
+                 << "ranks=" << cfg.ranks << " threads=" << cfg.threads);
+    SeededGossip p(g.num_nodes());
+    Engine e(g, cfg.threads);
+    e.SetSeed(777);
+    e.SetParallelCutoff(1);
+    UseTransport(e, TransportKind::kProcess, cfg.threads, cfg.ranks);
+    e.SetPerRankCompute(true);
+    RunRounds(e, p, 12);
+    e.FetchRankState(p);
+    // The workers rebuild their nodes' RNG streams from the master seed
+    // (ForkKeyed is state-pure), so every draw matches the in-engine
+    // streams bit for bit.
+    EXPECT_EQ(p.value(), base.value());
+    ExpectSameLogicalHistory(e.history(), eb.history());
+  }
+}
+
+TEST(PerRankCompute, CompactCorenessMatrixBitIdentical) {
+  util::Rng rng(404);
+  const graph::Graph g = graph::BarabasiAlbert(800, 4, rng);
+  core::CompactOptions base_opts;
+  base_opts.rounds = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  base_opts.track_orientation = true;
+  const core::CompactResult base = core::RunCompactElimination(g, base_opts);
+
+  for (const auto& cfg : kPerRankMatrix) {
+    SCOPED_TRACE(::testing::Message()
+                 << "ranks=" << cfg.ranks << " threads=" << cfg.threads);
+    core::CompactOptions opts = base_opts;
+    opts.num_threads = cfg.threads;
+    opts.transport = TransportKind::kProcess;
+    opts.ranks = cfg.ranks;
+    opts.per_rank_compute = true;
+    const core::CompactResult res = core::RunCompactElimination(g, opts);
+    EXPECT_EQ(res.b, base.b);
+    EXPECT_EQ(res.in_sets, base.in_sets);
+    ExpectSameLogicalHistory(res.history, base.history);
+  }
+}
+
+TEST(PerRankCompute, MontresorQuiescenceMatchesInEngine) {
+  util::Rng rng(405);
+  const graph::Graph g = graph::BarabasiAlbert(600, 3, rng);
+  const core::ConvergenceResult base = core::RunToConvergence(g, -1, 1);
+
+  for (int ranks : {2, 8}) {
+    SCOPED_TRACE(ranks);
+    const core::ConvergenceResult res = core::RunToConvergence(
+        g, -1, 1, distsim::kDefaultMasterSeed, /*balance_shards=*/false,
+        TransportKind::kProcess, ranks, /*per_rank_compute=*/true);
+    EXPECT_EQ(res.coreness, base.coreness);
+    // Distributed quiescence (OR of per-slice change flags) detects the
+    // fixpoint in exactly the same round as the global predicate.
+    EXPECT_EQ(res.rounds_executed, base.rounds_executed);
+    EXPECT_EQ(res.last_change_round, base.last_change_round);
+    ExpectSameLogicalHistory(res.history, base.history);
+  }
+}
+
+TEST(PerRankCompute, TwoPhaseOrientationMatchesInEngine) {
+  util::Rng rng(406);
+  const graph::Graph g = graph::BarabasiAlbert(500, 4, rng);
+  const int t = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  const core::TwoPhaseResult base = core::RunTwoPhaseOrientation(g, t, 0.5);
+
+  const core::TwoPhaseResult res = core::RunTwoPhaseOrientation(
+      g, t, 0.5, -1, 1, distsim::kDefaultMasterSeed,
+      /*balance_shards=*/false, TransportKind::kProcess, /*ranks=*/4,
+      /*per_rank_compute=*/true);
+  EXPECT_EQ(res.b, base.b);
+  // Peeling halts nodes worker-side; the merged halted census drives the
+  // driver's stopping rule to the identical round.
+  EXPECT_EQ(res.phase2_rounds, base.phase2_rounds);
+  EXPECT_EQ(res.forced_edges, base.forced_edges);
+  ExpectSameLogicalHistory(res.phase2_history, base.phase2_history);
+}
+
+// SetGraphPath switches the init frames from wire-serialized slices to
+// worker-side LoadBinarySlice against the binary graph format — the
+// rank_bounds ingestion contract of graph/binio.h. Results must not
+// care which road the slice took.
+TEST(PerRankCompute, BinioSliceLoadMatchesWireSerializedSlice) {
+  util::Rng rng(409);
+  const graph::Graph g = graph::BarabasiAlbert(650, 4, rng);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/per_rank_slice.kcg";
+  ASSERT_TRUE(graph::SaveBinary(g, path));
+
+  P2PWave base(g.num_nodes());
+  Engine eb(g, 1);
+  RunRounds(eb, base, 9);
+
+  for (int ranks : {2, 5}) {
+    SCOPED_TRACE(ranks);
+    P2PWave p(g.num_nodes());
+    Engine e(g, 1);
+    UseTransport(e, TransportKind::kProcess, 1, ranks);
+    e.SetPerRankCompute(true);
+    e.SetGraphPath(path);
+    RunRounds(e, p, 9);
+    e.FetchRankState(p);
+    EXPECT_EQ(p.digest(), base.digest());
+    ExpectSameLogicalHistory(e.history(), eb.history());
+  }
+  std::remove(path.c_str());
+}
+
+// The broadcast fan-out accounting: the coordinator's ANALYTIC census
+// (in-engine compute, rank topology known) must equal the workers'
+// MEASURED bytes (per-rank compute, actual fan-out segments packed) —
+// round by round, field by field.
+TEST(PerRankCompute, BroadcastFanOutAnalyticMatchesMeasured) {
+  util::Rng rng(407);
+  const graph::Graph g = graph::BarabasiAlbert(700, 4, rng);
+  core::CompactOptions opts;
+  opts.rounds = core::RoundsForEpsilon(g.num_nodes(), 0.5);
+  opts.transport = TransportKind::kProcess;
+  opts.ranks = 4;
+  const core::CompactResult analytic = core::RunCompactElimination(g, opts);
+  opts.per_rank_compute = true;
+  const core::CompactResult measured = core::RunCompactElimination(g, opts);
+
+  ASSERT_EQ(analytic.history.size(), measured.history.size());
+  for (std::size_t i = 0; i < analytic.history.size(); ++i) {
+    EXPECT_EQ(measured.history[i].bcast_bytes_sent,
+              analytic.history[i].bcast_bytes_sent)
+        << "round " << i;
+    EXPECT_EQ(measured.history[i].bcast_bytes_received,
+              analytic.history[i].bcast_bytes_received)
+        << "round " << i;
+    EXPECT_EQ(measured.history[i].bcast_bytes_per_neighbor,
+              analytic.history[i].bcast_bytes_per_neighbor)
+        << "round " << i;
+    // What ships is what lands: fan-out copies are point-to-point.
+    EXPECT_EQ(measured.history[i].bcast_bytes_sent,
+              measured.history[i].bcast_bytes_received)
+        << "round " << i;
+  }
+  EXPECT_EQ(measured.totals.bcast_bytes_sent, analytic.totals.bcast_bytes_sent);
+  EXPECT_EQ(measured.totals.bcast_bytes_per_neighbor,
+            analytic.totals.bcast_bytes_per_neighbor);
+}
+
+// On a dense graph the fan-out rule is the whole point: one copy per
+// remote neighbor-owning rank beats one per remote neighbor STRICTLY —
+// K_64 over 4 ranks fans each broadcast to at most 3 rank copies instead
+// of 48 per-neighbor copies.
+TEST(PerRankCompute, DenseGraphFanOutBeatsPerNeighborStrictly) {
+  const graph::Graph g = graph::Complete(64);
+  core::CompactOptions opts;
+  opts.rounds = 4;
+  opts.transport = TransportKind::kProcess;
+  opts.ranks = 4;
+  opts.per_rank_compute = true;
+  const core::CompactResult res = core::RunCompactElimination(g, opts);
+  EXPECT_GT(res.totals.bcast_bytes_sent, 0u);
+  EXPECT_LT(res.totals.bcast_bytes_sent,
+            res.totals.bcast_bytes_per_neighbor);
+  // The exact ratio on K_64 / 4 ranks: every node has 48 remote
+  // neighbors in exactly 3 remote ranks.
+  EXPECT_EQ(res.totals.bcast_bytes_per_neighbor,
+            res.totals.bcast_bytes_sent / 3 * 48);
+  // Coreness is untouched by the topology: K_64 is its own 63-core
+  // (weighted degree 63 for every node).
+  for (double b : res.b) EXPECT_GE(b, 63.0);
+}
+
+// At a single rank there is no remote neighbor, hence no fan-out and no
+// broadcast bytes at all — and the in-engine path only reports the
+// analytic numbers when a real rank topology exists.
+TEST(PerRankCompute, SingleRankHasZeroBroadcastBytes) {
+  util::Rng rng(408);
+  const graph::Graph g = graph::BarabasiAlbert(300, 3, rng);
+  for (bool per_rank : {false, true}) {
+    SCOPED_TRACE(per_rank);
+    core::CompactOptions opts;
+    opts.rounds = 5;
+    opts.transport = TransportKind::kProcess;
+    opts.ranks = 1;
+    opts.per_rank_compute = per_rank;
+    const core::CompactResult res = core::RunCompactElimination(g, opts);
+    EXPECT_EQ(res.totals.bcast_bytes_sent, 0u);
+    EXPECT_EQ(res.totals.bcast_bytes_received, 0u);
+    EXPECT_EQ(res.totals.bcast_bytes_per_neighbor, 0u);
+  }
 }
 
 }  // namespace
