@@ -5,16 +5,154 @@
 // the number of disjoint subsets returned, and the round budget of each
 // phase. Expected shape: best density >= rho*/gamma always, usually much
 // closer; rounds ~ 4T + O(1) with T = ceil(log n / log(gamma/2)).
+//
+// An [engine] section times the four-phase pipeline on the engine's
+// parallel/transport axes — sequential reference vs 8 threads, the
+// serialized transport, and a 2-rank multi-process run with per-rank
+// compute — and cross-checks every row against the sequential run
+// (surviving numbers bitwise, leaders, selections, subset densities), so
+// a scaling win can never hide a correctness regression.
+//
+// --json=PATH writes every section's rows to the committed
+// BENCH_densest.json results file (the bench/json.h trajectory
+// convention).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/common.h"
+#include "bench/json.h"
 #include "core/compact.h"
 #include "core/densest.h"
+#include "distsim/transport.h"
 #include "seq/charikar.h"
 #include "seq/densest_exact.h"
+#include "util/flags.h"
 #include "util/table.h"
+#include "util/timer.h"
 
-int main() {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_densest [options]\n"
+    "\n"
+    "  --json=PATH  write all rows as JSON (the BENCH_densest.json row\n"
+    "               format)\n"
+    "  --help       this text\n";
+
+bool SameResult(const kcore::core::WeakDensestResult& a,
+                const kcore::core::WeakDensestResult& b) {
+  if (a.b != b.b || a.leader_of != b.leader_of || a.selected != b.selected ||
+      a.best_density != b.best_density ||
+      a.subsets.size() != b.subsets.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.subsets.size(); ++i) {
+    if (a.subsets[i].leader != b.subsets[i].leader ||
+        a.subsets[i].members != b.subsets[i].members ||
+        a.subsets[i].density != b.subsets[i].density) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunEngineSection(kcore::bench::JsonDoc* doc) {
+  kcore::util::Rng rng(13);
+  const kcore::graph::Graph g = kcore::graph::BarabasiAlbert(2000, 4, rng);
+  const double gamma = 3.0;
+  std::printf(
+      "\n[engine] four-phase pipeline on BA n=%u m=%zu, gamma=%.1f\n",
+      g.num_nodes(), g.num_edges(), gamma);
+
+  struct Config {
+    const char* label;
+    kcore::distsim::TransportKind transport;
+    int threads;
+    int ranks;
+    bool per_rank;
+  };
+  const Config configs[] = {
+      {"shared/1thr", kcore::distsim::TransportKind::kSharedMemory, 1, 1,
+       false},
+      {"shared/8thr", kcore::distsim::TransportKind::kSharedMemory, 8, 1,
+       false},
+      {"serialized/8thr", kcore::distsim::TransportKind::kSerialized, 8, 1,
+       false},
+      {"process/2ranks/per-rank", kcore::distsim::TransportKind::kProcess, 2,
+       2, true},
+  };
+  kcore::util::Table t({"config", "threads", "ranks", "seconds",
+                        "rounds_per_sec", "speedup", "bit_identical"});
+  kcore::core::WeakDensestResult reference;
+  double seq_seconds = 0.0;
+  bool ok = true;
+  for (const Config& c : configs) {
+    kcore::core::WeakDensestOptions opts;
+    opts.gamma = gamma;
+    opts.num_threads = c.threads;
+    opts.transport = c.transport;
+    opts.ranks = c.ranks;
+    opts.per_rank_compute = c.per_rank;
+    double best = -1.0;
+    kcore::core::WeakDensestResult res;
+    for (int rep = 0; rep < 3; ++rep) {
+      kcore::util::Timer timer;
+      res = kcore::core::RunWeakDensest(g, opts);
+      const double s = timer.Seconds();
+      if (best < 0.0 || s < best) best = s;
+    }
+    if (seq_seconds == 0.0) {
+      seq_seconds = best;
+      reference = res;
+    }
+    const bool same = SameResult(res, reference);
+    ok &= same;
+    const double rps = static_cast<double>(res.rounds_total) / best;
+    t.Row()
+        .Str(c.label)
+        .Int(c.threads)
+        .Int(c.ranks)
+        .Dbl(best, 3)
+        .Dbl(rps, 1)
+        .Dbl(seq_seconds / best, 2)
+        .Str(same ? "yes" : "NO — BUG");
+    if (doc != nullptr) {
+      doc->AddRow()
+          .Str("section", "engine")
+          .Str("config", c.label)
+          .Int("n", g.num_nodes())
+          .Int("edges", static_cast<long long>(g.num_edges()))
+          .Int("threads", c.threads)
+          .Int("ranks", c.ranks)
+          .Bool("per_rank", c.per_rank)
+          .Int("rounds", res.rounds_total)
+          .Num("seconds", best)
+          .Num("rounds_per_sec", rps)
+          .Num("speedup", seq_seconds / best)
+          .Bool("bit_identical", same);
+    }
+  }
+  t.Print();
+  if (!ok) {
+    std::fprintf(stderr, "engine rows diverged from the sequential run\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kcore::util::Flags flags;
+  flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  kcore::bench::JsonDoc doc("densest");
+  kcore::bench::JsonDoc* docp = flags.Has("json") ? &doc : nullptr;
+
   std::printf("EXP-4: weak densest subset (Theorem I.3)\n\n");
   kcore::util::Table t({"graph", "n", "gamma", "rho*", "charikar", "best S_i",
                         "best/rho*", "rho*/gamma", "#subsets",
@@ -29,6 +167,7 @@ int main() {
       std::snprintf(rounds, sizeof(rounds), "%d+%d+%d+%d=%d",
                     r.rounds_phase1, r.rounds_phase2, r.rounds_phase3,
                     r.rounds_phase4, r.rounds_total);
+      const bool holds = r.best_density * gamma + 1e-7 >= rho;
       t.Row()
           .Str(w.name)
           .UInt(g.num_nodes())
@@ -40,12 +179,36 @@ int main() {
           .Dbl(rho / gamma, 3)
           .UInt(r.subsets.size())
           .Str(rounds)
-          .Str(r.best_density * gamma + 1e-7 >= rho ? "yes" : "NO");
+          .Str(holds ? "yes" : "NO");
+      if (docp != nullptr) {
+        docp->AddRow()
+            .Str("section", "quality")
+            .Str("graph", w.name)
+            .Int("n", g.num_nodes())
+            .Num("gamma", gamma)
+            .Num("rho_star", rho)
+            .Num("charikar", charikar)
+            .Num("best_density", r.best_density)
+            .Int("subsets", static_cast<long long>(r.subsets.size()))
+            .Int("rounds_total", r.rounds_total)
+            .Bool("holds", holds);
+      }
     }
   }
   t.Print();
   std::printf(
       "\nShape check: best/rho* >= 1/gamma everywhere (Definition IV.1); "
       "typically best/rho* is close to 1.\n");
+
+  if (int rc = RunEngineSection(docp)) return rc;
+
+  if (docp != nullptr) {
+    const std::string path = flags.GetString("json");
+    if (!doc.WriteFile(path)) {
+      std::fprintf(stderr, "bench_densest: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+  }
   return 0;
 }

@@ -6,19 +6,142 @@
 // r * n^{1/T} * rho*, and the greedy-peeling densest quality (factor r).
 // Expected shape: the graph-case behaviour generalizes with the 2 -> r
 // factor swap; convergence stays a few rounds on random hypergraphs.
+//
+// An [engine] section times the distsim port (helim_protocol.h) of the
+// same iteration over the clique-expansion substrate — sequential
+// reference vs 8 threads, the serialized transport, and a 2-rank
+// multi-process run with per-rank compute — and cross-checks every row
+// bit for bit against the sequential oracle HyperSurvivingNumbers, so a
+// scaling win can never hide a correctness regression.
+//
+// --json=PATH writes every section's rows to the committed
+// BENCH_hypergraph.json results file (the bench/json.h trajectory
+// convention).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/json.h"
+#include "distsim/transport.h"
 #include "hyper/helim.h"
+#include "hyper/helim_protocol.h"
 #include "hyper/hypergraph.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 using kcore::hyper::Hypergraph;
 using kcore::hyper::NodeId;
 
-int main() {
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bench_hypergraph [options]\n"
+    "\n"
+    "  --json=PATH  write all rows as JSON (the BENCH_hypergraph.json\n"
+    "               row format)\n"
+    "  --help       this text\n";
+
+int RunEngineSection(kcore::bench::JsonDoc* doc) {
+  // Big enough that the substrate clears the engine's 256-node parallel
+  // cutoff and the 8-thread rows really shard.
+  kcore::util::Rng rng(43);
+  const NodeId n = 2000;
+  const Hypergraph h = kcore::hyper::RandomUniform(n, 3 * n, 3, rng);
+  const int T = 10;
+  const auto oracle = kcore::hyper::HyperSurvivingNumbers(h, T);
+  std::printf(
+      "\n[engine] distsim port on the clique expansion, n=%u edges=%zu "
+      "T=%d\n",
+      n, h.num_edges(), T);
+
+  struct Config {
+    const char* label;
+    kcore::distsim::TransportKind transport;
+    int threads;
+    int ranks;
+    bool per_rank;
+  };
+  const Config configs[] = {
+      {"shared/1thr", kcore::distsim::TransportKind::kSharedMemory, 1, 1,
+       false},
+      {"shared/8thr", kcore::distsim::TransportKind::kSharedMemory, 8, 1,
+       false},
+      {"serialized/8thr", kcore::distsim::TransportKind::kSerialized, 8, 1,
+       false},
+      {"process/2ranks/per-rank", kcore::distsim::TransportKind::kProcess, 2,
+       2, true},
+  };
+  kcore::util::Table t({"config", "threads", "ranks", "seconds",
+                        "rounds_per_sec", "speedup", "bit_identical"});
+  double seq_seconds = 0.0;
+  bool ok = true;
+  for (const Config& c : configs) {
+    kcore::hyper::HyperElimOptions opts;
+    opts.rounds = T;
+    opts.num_threads = c.threads;
+    opts.transport = c.transport;
+    opts.ranks = c.ranks;
+    opts.per_rank_compute = c.per_rank;
+    double best = -1.0;
+    std::vector<double> b;
+    for (int rep = 0; rep < 3; ++rep) {
+      kcore::util::Timer timer;
+      auto res = kcore::hyper::RunHyperElimination(h, opts);
+      const double s = timer.Seconds();
+      if (best < 0.0 || s < best) best = s;
+      b = std::move(res.b);
+    }
+    if (seq_seconds == 0.0) seq_seconds = best;
+    const bool same = b == oracle;
+    ok &= same;
+    t.Row()
+        .Str(c.label)
+        .Int(c.threads)
+        .Int(c.ranks)
+        .Dbl(best, 3)
+        .Dbl(static_cast<double>(T) / best, 1)
+        .Dbl(seq_seconds / best, 2)
+        .Str(same ? "yes" : "NO — BUG");
+    if (doc != nullptr) {
+      doc->AddRow()
+          .Str("section", "engine")
+          .Str("config", c.label)
+          .Int("n", n)
+          .Int("edges", static_cast<long long>(h.num_edges()))
+          .Int("threads", c.threads)
+          .Int("ranks", c.ranks)
+          .Bool("per_rank", c.per_rank)
+          .Int("rounds", T)
+          .Num("seconds", best)
+          .Num("rounds_per_sec", static_cast<double>(T) / best)
+          .Num("speedup", seq_seconds / best)
+          .Bool("bit_identical", same);
+    }
+  }
+  t.Print();
+  if (!ok) {
+    std::fprintf(stderr, "engine rows diverged from the oracle\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kcore::util::Flags flags;
+  flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  kcore::bench::JsonDoc doc("hypergraph");
+  kcore::bench::JsonDoc* docp = flags.Has("json") ? &doc : nullptr;
+
   std::printf(
       "EXP-11: hypergraph elimination (rank-r generalization of "
       "Theorem I.1)\n\n");
@@ -50,6 +173,7 @@ int main() {
                            std::pow(static_cast<double>(n),
                                     1.0 / static_cast<double>(T)) *
                            rho;
+      const bool holds = mx_beta <= bound + 1e-6;
       t.Row()
           .UInt(r)
           .UInt(n)
@@ -59,7 +183,20 @@ int main() {
           .Dbl(mean, 3)
           .Dbl(mx_beta, 2)
           .Dbl(bound, 2)
-          .Str(mx_beta <= bound + 1e-6 ? "yes" : "NO");
+          .Str(holds ? "yes" : "NO");
+      if (docp != nullptr) {
+        docp->AddRow()
+            .Str("section", "elimination")
+            .Int("rank", static_cast<long long>(r))
+            .Int("n", n)
+            .Int("edges", static_cast<long long>(h.num_edges()))
+            .Int("T", T)
+            .Num("max_beta_over_c", mx_ratio)
+            .Num("mean_beta_over_c", mean)
+            .Num("max_beta", mx_beta)
+            .Num("bound", bound)
+            .Bool("holds", holds);
+      }
     }
   }
   t.Print();
@@ -70,12 +207,29 @@ int main() {
     const Hypergraph h = kcore::hyper::RandomUniform(500, 1500, r, rng);
     const double rho = kcore::hyper::HyperDensestExact(h).density;
     const double greedy = kcore::hyper::HyperDensestGreedy(h).density;
-    t2.Row()
-        .UInt(r)
-        .Dbl(rho, 3)
-        .Dbl(greedy, 3)
-        .Str(greedy * static_cast<double>(r) + 1e-7 >= rho ? "yes" : "NO");
+    const bool holds = greedy * static_cast<double>(r) + 1e-7 >= rho;
+    t2.Row().UInt(r).Dbl(rho, 3).Dbl(greedy, 3).Str(holds ? "yes" : "NO");
+    if (docp != nullptr) {
+      docp->AddRow()
+          .Str("section", "greedy-densest")
+          .Int("rank", static_cast<long long>(r))
+          .Num("rho_star", rho)
+          .Num("greedy", greedy)
+          .Bool("holds", holds);
+    }
   }
   t2.Print();
+
+  if (int rc = RunEngineSection(docp)) return rc;
+
+  if (docp != nullptr) {
+    const std::string path = flags.GetString("json");
+    if (!doc.WriteFile(path)) {
+      std::fprintf(stderr, "bench_hypergraph: cannot write %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+  }
   return 0;
 }

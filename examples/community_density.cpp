@@ -12,6 +12,8 @@
 // against the planted structure and the exact rho*.
 //
 // Usage: community_density [--n=600] [--gamma=3] [--seed=11]
+//                          [--threads=1] [--transport=shared] [--ranks=1]
+//                          [--per-rank-compute=false]
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -21,6 +23,7 @@
 #include "graph/graph.h"
 #include "seq/charikar.h"
 #include "seq/densest_exact.h"
+#include "transport_flag.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -28,20 +31,43 @@
 int main(int argc, char** argv) {
   kcore::util::Flags flags;
   flags.Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::fputs(
+        "usage: community_density [--n=600] [--gamma=3] [--seed=11]\n"
+        "                         [--threads=1]\n"
+        "                         [--transport=shared|serialized|process]\n"
+        "                         [--ranks=1] [--per-rank-compute=false]\n"
+        "                         [--help]\n",
+        stdout);
+    return 0;
+  }
   const auto n = static_cast<kcore::graph::NodeId>(flags.GetInt("n", 600));
   const double gamma = flags.GetDouble("gamma", 3.0);
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const kcore::distsim::TransportKind transport =
+      kcore::examples::TransportFromFlags(flags);
+  const int ranks = kcore::examples::RanksFromFlags(flags);
+  const bool per_rank =
+      kcore::examples::PerRankComputeFromFlags(flags, transport);
   kcore::util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 11)));
 
   // Planted communities of different densities + sparse background.
   const kcore::graph::NodeId communities = 6;
   const kcore::graph::Graph g =
       kcore::graph::PlantedPartition(n, communities, 0.25, 0.004, rng);
+  kcore::examples::ValidateRankTopology(ranks, g.num_nodes());
   std::printf("graph: n=%u m=%zu communities=%u\n", g.num_nodes(),
               g.num_edges(), communities);
 
   const double rho = kcore::seq::MaxDensity(g);
   const auto charikar = kcore::seq::CharikarDensest(g);
-  const auto r = kcore::core::RunWeakDensest(g, gamma);
+  kcore::core::WeakDensestOptions opts;
+  opts.gamma = gamma;
+  opts.num_threads = threads;
+  opts.transport = transport;
+  opts.ranks = ranks;
+  opts.per_rank_compute = per_rank;
+  const auto r = kcore::core::RunWeakDensest(g, opts);
 
   std::printf(
       "rho* = %.3f (exact, flow); Charikar 2-approx = %.3f\n"

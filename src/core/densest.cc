@@ -6,6 +6,7 @@
 #include <map>
 
 #include "util/logging.h"
+#include "util/wire.h"
 
 namespace kcore::core {
 namespace {
@@ -107,6 +108,26 @@ class BfsForestProtocol : public distsim::Protocol {
     }
   }
 
+  // Per-rank compute: a node's state is its adopted leader tuple, its
+  // parent pointer, its ack flag, and its children list.
+  bool SupportsRankCompute() const override { return true; }
+  void SaveNodeState(NodeId v, util::WireAppender& out) const override {
+    out.Double(leader_b_[v]);
+    out.Fixed32(leader_id_[v]);
+    out.Fixed32(parent_[v]);
+    out.Varint(static_cast<std::uint64_t>(acked_[v]));
+    out.Varint(children_[v].size());
+    for (NodeId c : children_[v]) out.Fixed32(c);
+  }
+  void LoadNodeState(NodeId v, util::WireReader& in) override {
+    leader_b_[v] = in.Double();
+    leader_id_[v] = in.Fixed32();
+    parent_[v] = in.Fixed32();
+    acked_[v] = static_cast<char>(in.Varint());
+    children_[v].resize(in.Varint());
+    for (NodeId& c : children_[v]) c = in.Fixed32();
+  }
+
   const std::vector<double>& leader_b() const { return leader_b_; }
   const std::vector<NodeId>& leader_id() const { return leader_id_; }
   const std::vector<NodeId>& parent() const { return parent_; }
@@ -169,6 +190,29 @@ class TreeEliminationProtocol : public distsim::Protocol {
       return;
     }
     ctx.Broadcast({static_cast<double>(leader_id_[v])});
+  }
+
+  // Per-rank compute: a node's state is its activity flag and its
+  // per-round survival/degree records; the leader tables are
+  // constructor-provided read-only context.
+  bool SupportsRankCompute() const override { return true; }
+  void SaveNodeState(NodeId v, util::WireAppender& out) const override {
+    out.Varint(static_cast<std::uint64_t>(active_[v]));
+    out.Varint(num_[v].size());
+    for (int t = 0; t < T_; ++t) {
+      out.Varint(static_cast<std::uint64_t>(num_[v][t]));
+      out.Double(deg_[v][t]);
+    }
+  }
+  void LoadNodeState(NodeId v, util::WireReader& in) override {
+    active_[v] = static_cast<char>(in.Varint());
+    const std::size_t T = in.Varint();
+    num_[v].resize(T);
+    deg_[v].resize(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      num_[v][t] = static_cast<char>(in.Varint());
+      deg_[v][t] = in.Double();
+    }
   }
 
   const std::vector<std::vector<char>>& num() const { return num_; }
@@ -240,6 +284,33 @@ class AggregationProtocol : public distsim::Protocol {
       }
     }
     MaybeSendUp(ctx);
+  }
+
+  // Per-rank compute: a node's state is its aggregation accumulators and
+  // the convergecast progress flags; the forest pointers and own-survival
+  // arrays are constructor-provided read-only context.
+  bool SupportsRankCompute() const override { return true; }
+  void SaveNodeState(NodeId v, util::WireAppender& out) const override {
+    out.Varint(pending_[v]);
+    out.Varint(static_cast<std::uint64_t>(sent_up_[v]));
+    out.Varint(static_cast<std::uint64_t>(selected_[v]));
+    out.Varint(agg_num_[v].size());
+    for (int t = 0; t < T_; ++t) {
+      out.Double(agg_num_[v][t]);
+      out.Double(agg_deg_[v][t]);
+    }
+  }
+  void LoadNodeState(NodeId v, util::WireReader& in) override {
+    pending_[v] = in.Varint();
+    sent_up_[v] = static_cast<char>(in.Varint());
+    selected_[v] = static_cast<char>(in.Varint());
+    const std::size_t T = in.Varint();
+    agg_num_[v].resize(T);
+    agg_deg_[v].resize(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      agg_num_[v][t] = in.Double();
+      agg_deg_[v][t] = in.Double();
+    }
   }
 
   const std::vector<char>& selected() const { return selected_; }
@@ -368,6 +439,37 @@ class PipelinedAggregationProtocol : public distsim::Protocol {
     Progress(ctx);
   }
 
+  // Per-rank compute: the batch variant's state plus the pipeline
+  // cursors (per-entry completion counts and the next entry to stream).
+  bool SupportsRankCompute() const override { return true; }
+  void SaveNodeState(NodeId v, util::WireAppender& out) const override {
+    out.Varint(static_cast<std::uint64_t>(decided_[v]));
+    out.Varint(static_cast<std::uint64_t>(selected_[v]));
+    out.Fixed64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(next_send_[v])));
+    out.Varint(agg_num_[v].size());
+    for (int t = 0; t < T_; ++t) {
+      out.Double(agg_num_[v][t]);
+      out.Double(agg_deg_[v][t]);
+      out.Varint(got_[v][t]);
+    }
+  }
+  void LoadNodeState(NodeId v, util::WireReader& in) override {
+    decided_[v] = static_cast<char>(in.Varint());
+    selected_[v] = static_cast<char>(in.Varint());
+    next_send_[v] =
+        static_cast<int>(static_cast<std::int64_t>(in.Fixed64()));
+    const std::size_t T = in.Varint();
+    agg_num_[v].resize(T);
+    agg_deg_[v].resize(T);
+    got_[v].resize(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      agg_num_[v][t] = in.Double();
+      agg_deg_[v][t] = in.Double();
+      got_[v][t] = in.Varint();
+    }
+  }
+
   const std::vector<char>& selected() const { return selected_; }
 
  private:
@@ -442,6 +544,18 @@ class PipelinedAggregationProtocol : public distsim::Protocol {
   const std::vector<std::vector<char>>& own_num_;
 };
 
+// Applies the options' shared engine surface to one phase's engine; every
+// phase runs under the same seed, balancing, transport, and rank
+// topology.
+void ConfigureEngine(distsim::Engine& engine,
+                     const WeakDensestOptions& options) {
+  engine.SetSeed(options.seed);
+  engine.SetShardBalancing(options.balance_shards);
+  engine.SetTransport(distsim::MakeTransport(options.transport));
+  engine.SetRankCount(options.ranks);
+  engine.SetPerRankCompute(options.per_rank_compute);
+}
+
 void AddTotals(distsim::Totals& acc, const distsim::Totals& t) {
   acc.rounds += t.rounds;
   acc.messages += t.messages;
@@ -478,6 +592,11 @@ WeakDensestResult RunWeakDensest(const Graph& g,
   CompactOptions copts;
   copts.rounds = T;
   copts.num_threads = num_threads;
+  copts.balance_shards = options.balance_shards;
+  copts.transport = options.transport;
+  copts.ranks = options.ranks;
+  copts.seed = options.seed;
+  copts.per_rank_compute = options.per_rank_compute;
   CompactResult compact = RunCompactElimination(g, copts);
   out.b = compact.b;
   out.rounds_phase1 = T;
@@ -487,7 +606,9 @@ WeakDensestResult RunWeakDensest(const Graph& g,
   BfsForestProtocol bfs(g, compact.b, T);
   {
     distsim::Engine engine(g, num_threads);
+    ConfigureEngine(engine, options);
     engine.Run(bfs, T + 3);
+    engine.FetchRankState(bfs);  // no-op unless per-rank compute
     out.rounds_phase2 = T + 3;
     AddTotals(out.totals, engine.totals());
   }
@@ -506,7 +627,9 @@ WeakDensestResult RunWeakDensest(const Graph& g,
                                participates, T);
   {
     distsim::Engine engine(g, num_threads);
+    ConfigureEngine(engine, options);
     engine.Run(elim, T);
+    engine.FetchRankState(elim);  // no-op unless per-rank compute
     out.rounds_phase3 = T;
     AddTotals(out.totals, engine.totals());
   }
@@ -518,7 +641,9 @@ WeakDensestResult RunWeakDensest(const Graph& g,
     PipelinedAggregationProtocol agg(g, bfs.leader_b(), parent, children,
                                      elim.num(), elim.deg(), T, gamma);
     distsim::Engine engine(g, num_threads);
+    ConfigureEngine(engine, options);
     const int executed = engine.RunUntilQuiescent(agg, 4 * T + 8);
+    engine.FetchRankState(agg);  // no-op unless per-rank compute
     out.rounds_phase4 = executed;
     AddTotals(out.totals, engine.totals());
     selected = agg.selected();
@@ -526,7 +651,9 @@ WeakDensestResult RunWeakDensest(const Graph& g,
     AggregationProtocol agg(g, bfs.leader_b(), parent, children, elim.num(),
                             elim.deg(), T, gamma);
     distsim::Engine engine(g, num_threads);
+    ConfigureEngine(engine, options);
     const int executed = engine.RunUntilQuiescent(agg, 3 * T + 8);
+    engine.FetchRankState(agg);  // no-op unless per-rank compute
     out.rounds_phase4 = executed;
     AddTotals(out.totals, engine.totals());
     selected = agg.selected();

@@ -71,6 +71,17 @@ struct WeakDensestOptions {
   //         per message, CONGEST-compatible, ~T extra rounds).
   // Both produce bit-identical selections (tested).
   bool pipelined_aggregation = false;
+  // Engine surface shared by all four phases (see CompactOptions for the
+  // field semantics); results are bit-identical under every combination.
+  bool balance_shards = false;
+  distsim::TransportKind transport = distsim::TransportKind::kSharedMemory;
+  int ranks = 1;
+  std::uint64_t seed = distsim::kDefaultMasterSeed;
+  // Run every phase's compute inside the transport's rank workers — all
+  // four phase protocols implement the SaveNodeState/LoadNodeState
+  // round-trip, so the forest pointers, per-round survival arrays, and
+  // aggregated density ratios all ship over the wire.
+  bool per_rank_compute = false;
 };
 
 // Runs the full pipeline with approximation target gamma > 2

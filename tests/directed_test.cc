@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
 
 #include "directed/dcore.h"
+#include "directed/dcore_protocol.h"
 #include "directed/digraph.h"
+#include "distsim/transport.h"
 #include "graph/generators.h"
 #include "seq/kcore.h"
 #include "util/rng.h"
@@ -113,6 +118,123 @@ TEST(DCoreSurviving, ConvergesToCorenessOnSmallGraphs) {
       // in/out constraints interact), so only the direction is asserted.
       EXPECT_GE(beta[v], exact.in_coreness[v] - 1e-9);
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Engine port: RunDCoreElimination must reproduce the sequential oracle
+// DCoreSurvivingNumbers bit for bit, under every engine configuration.
+
+void ExpectBitsEqual(const std::vector<double>& got,
+                     const std::vector<double>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got[v]),
+              std::bit_cast<std::uint64_t>(want[v]))
+        << label << " v=" << v << " got=" << got[v] << " want=" << want[v];
+  }
+}
+
+class DCoreElimEngineVsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(DCoreElimEngineVsOracle, BitExactOnRandomDigraphs) {
+  util::Rng rng(6100 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(30));
+  const Digraph g = RandomDigraph(n, 0.15, rng);
+  for (double l : {0.0, 1.0, 2.0, 3.0}) {
+    for (int T : {1, 2, 5}) {
+      const auto oracle = DCoreSurvivingNumbers(g, l, T);
+      DCoreElimOptions opts;
+      opts.rounds = T;
+      const auto engine = RunDCoreElimination(g, l, opts);
+      ExpectBitsEqual(engine.b, oracle, "shared/1thr");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DCoreElimEngineVsOracle,
+                         ::testing::Range(0, 12));
+
+TEST(DCoreElimEngine, ThreadsTransportsRanksBitIdentical) {
+  util::Rng rng(6200);
+  const Digraph g = RandomDigraph(300, 0.02, rng);
+  const double l = 2.0;
+  const int T = 4;
+  const auto oracle = DCoreSurvivingNumbers(g, l, T);
+
+  struct Config {
+    const char* label;
+    distsim::TransportKind transport;
+    int threads;
+    int ranks;
+    bool per_rank;
+  };
+  const Config configs[] = {
+      {"shared/1thr", distsim::TransportKind::kSharedMemory, 1, 1, false},
+      {"shared/8thr", distsim::TransportKind::kSharedMemory, 8, 1, false},
+      {"serialized/8thr", distsim::TransportKind::kSerialized, 8, 1, false},
+      {"process/1thr/2ranks", distsim::TransportKind::kProcess, 1, 2, false},
+      {"process/8thr/8ranks", distsim::TransportKind::kProcess, 8, 8, false},
+      {"per-rank/1thr/2ranks", distsim::TransportKind::kProcess, 1, 2, true},
+      {"per-rank/8thr/8ranks", distsim::TransportKind::kProcess, 8, 8, true},
+  };
+  for (const Config& c : configs) {
+    DCoreElimOptions opts;
+    opts.rounds = T;
+    opts.num_threads = c.threads;
+    opts.transport = c.transport;
+    opts.ranks = c.ranks;
+    opts.per_rank_compute = c.per_rank;
+    const auto engine = RunDCoreElimination(g, l, opts);
+    ExpectBitsEqual(engine.b, oracle, c.label);
+  }
+}
+
+TEST(DCoreElimEngine, DeactivatedNodesEndAtZero) {
+  util::Rng rng(6300);
+  const Digraph g = RandomDigraph(60, 0.1, rng);
+  DCoreElimOptions opts;
+  opts.rounds = 8;
+  const auto res = RunDCoreElimination(g, 3.0, opts);
+  for (NodeId v = 0; v < 60; ++v) {
+    if (!res.active[v]) {
+      EXPECT_EQ(res.b[v], 0.0) << "v=" << v;
+    } else {
+      EXPECT_GT(res.b[v], 0.0) << "v=" << v;
+    }
+  }
+}
+
+TEST(DCoreElimEngine, DirectedCycleSurvivesExactlyAtOne) {
+  DigraphBuilder b(5);
+  for (NodeId v = 0; v < 5; ++v) b.AddArc(v, (v + 1) % 5, 1.0);
+  const Digraph g = std::move(b).Build();
+  DCoreElimOptions opts;
+  opts.rounds = 6;
+  const auto keep = RunDCoreElimination(g, 1.0, opts);
+  const auto kill = RunDCoreElimination(g, 2.0, opts);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(keep.active[v]);
+    EXPECT_DOUBLE_EQ(keep.b[v], 1.0);
+    EXPECT_FALSE(kill.active[v]);
+    EXPECT_DOUBLE_EQ(kill.b[v], 0.0);
+  }
+  // The oracles agree on both thresholds.
+  ExpectBitsEqual(keep.b, DCoreSurvivingNumbers(g, 1.0, 6), "cycle l=1");
+  ExpectBitsEqual(kill.b, DCoreSurvivingNumbers(g, 2.0, 6), "cycle l=2");
+}
+
+TEST(DCoreElimEngine, HistoryShowsDeactivationAsHalts) {
+  // Once a node fails the out-degree constraint it halts; active_nodes
+  // in the history must be non-increasing after init.
+  util::Rng rng(6400);
+  const Digraph g = RandomDigraph(80, 0.08, rng);
+  DCoreElimOptions opts;
+  opts.rounds = 6;
+  const auto res = RunDCoreElimination(g, 2.0, opts);
+  ASSERT_GE(res.history.size(), 2u);
+  for (std::size_t i = 2; i < res.history.size(); ++i) {
+    EXPECT_LE(res.history[i].active_nodes, res.history[i - 1].active_nodes);
   }
 }
 

@@ -1,6 +1,8 @@
 // Golden-file regression tests: fixed-seed end-to-end outputs of the
 // three coreness drivers (Compact / Montresor / TwoPhase) on three
-// generator graphs, checked in under tests/golden/. Each golden pins the
+// generator graphs, plus the three engine-ported satellite families
+// (hypergraph elimination, directed d-core, weak densest subsets) on
+// fixed-seed instances of their own, checked in under tests/golden/. Each golden pins the
 // full observable result — coreness vector (exact doubles), per-round
 // RoundStats INCLUDING the transport byte counters, and run totals — so
 // any change to the protocols, the round scheduler, the transports, or
@@ -34,11 +36,16 @@
 #include <vector>
 
 #include "core/compact.h"
+#include "core/densest.h"
 #include "core/montresor.h"
 #include "core/two_phase.h"
+#include "directed/dcore_protocol.h"
+#include "directed/digraph.h"
 #include "distsim/engine.h"
 #include "distsim/transport.h"
 #include "graph/generators.h"
+#include "hyper/helim_protocol.h"
+#include "hyper/hypergraph.h"
 #include "util/rng.h"
 
 // Set by main() below; file-scope so the custom main outside the kcore
@@ -225,6 +232,150 @@ std::string RenderTwoPhase(const GoldenGraph& gg, const RunConfig& cfg) {
   return out;
 }
 
+// --- Engine ports of the satellite families (hyper / directed /
+// densest). Each gets its own fixed-seed instances and header since the
+// inputs are not plain Graphs.
+
+struct GoldenHypergraph {
+  const char* name;
+  hyper::Hypergraph h;
+};
+
+std::vector<GoldenHypergraph> MakeGoldenHypergraphs() {
+  std::vector<GoldenHypergraph> out;
+  {
+    util::Rng rng(1314);
+    out.push_back({"uniform3", hyper::RandomUniform(300, 600, 3, rng)});
+  }
+  {
+    util::Rng rng(1315);
+    out.push_back({"uniform5", hyper::RandomUniform(300, 450, 5, rng)});
+  }
+  {
+    util::Rng rng(1311);
+    out.push_back(
+        {"fromgraph", hyper::FromGraph(graph::BarabasiAlbert(300, 3, rng))});
+  }
+  return out;
+}
+
+struct GoldenDigraph {
+  const char* name;
+  double l;
+  directed::Digraph g;
+};
+
+std::vector<GoldenDigraph> MakeGoldenDigraphs() {
+  std::vector<GoldenDigraph> out;
+  {
+    util::Rng rng(1316);
+    out.push_back({"sparse", 1.0, directed::RandomDigraph(300, 0.01, rng)});
+  }
+  {
+    util::Rng rng(1317);
+    out.push_back({"dense", 2.0, directed::RandomDigraph(300, 0.03, rng)});
+  }
+  {
+    util::Rng rng(1311);
+    out.push_back({"closure", 3.0,
+                   directed::SymmetricClosure(
+                       graph::BarabasiAlbert(300, 3, rng))});
+  }
+  return out;
+}
+
+std::string RenderHyper(const GoldenHypergraph& gh, const RunConfig& cfg) {
+  hyper::HyperElimOptions opts;
+  opts.rounds = core::RoundsForEpsilon(
+      static_cast<NodeId>(gh.h.num_nodes()), kEps);
+  opts.num_threads = cfg.threads;
+  opts.balance_shards = cfg.balance;
+  opts.transport = cfg.transport;
+  opts.ranks = cfg.ranks;
+  opts.per_rank_compute = cfg.per_rank;
+  const hyper::HyperElimResult res = hyper::RunHyperElimination(gh.h, opts);
+
+  std::string out = "kcore golden v1\nalgo hyperelim\nhypergraph ";
+  out += gh.name;
+  out += " n=" + std::to_string(gh.h.num_nodes()) +
+         " m=" + std::to_string(gh.h.num_edges()) + "\n";
+  out += "rounds " + std::to_string(res.rounds) + "\n";
+  AppendDoubles(out, "beta", res.b);
+  AppendHistory(out, "history", res.history);
+  AppendTotals(out, res.totals);
+  return out;
+}
+
+std::string RenderDirected(const GoldenDigraph& gd, const RunConfig& cfg) {
+  directed::DCoreElimOptions opts;
+  opts.rounds = core::RoundsForEpsilon(gd.g.num_nodes(), kEps);
+  opts.num_threads = cfg.threads;
+  opts.balance_shards = cfg.balance;
+  opts.transport = cfg.transport;
+  opts.ranks = cfg.ranks;
+  opts.per_rank_compute = cfg.per_rank;
+  const directed::DCoreElimResult res =
+      directed::RunDCoreElimination(gd.g, gd.l, opts);
+
+  std::string out = "kcore golden v1\nalgo dcore\ndigraph ";
+  out += gd.name;
+  out += " n=" + std::to_string(gd.g.num_nodes()) +
+         " arcs=" + std::to_string(gd.g.num_arcs()) + " l=" + Fmt(gd.l) +
+         "\n";
+  out += "rounds " + std::to_string(res.rounds) + "\n";
+  std::size_t alive = 0;
+  for (char a : res.active) alive += a ? 1 : 0;
+  out += "active " + std::to_string(alive) + "/" +
+         std::to_string(res.active.size()) + "\n";
+  AppendDoubles(out, "beta", res.b);
+  AppendHistory(out, "history", res.history);
+  AppendTotals(out, res.totals);
+  return out;
+}
+
+std::string RenderDensest(const GoldenGraph& gg, const RunConfig& cfg) {
+  core::WeakDensestOptions opts;
+  opts.gamma = 3.0;
+  opts.num_threads = cfg.threads;
+  opts.balance_shards = cfg.balance;
+  opts.transport = cfg.transport;
+  opts.ranks = cfg.ranks;
+  opts.per_rank_compute = cfg.per_rank;
+  const core::WeakDensestResult res = core::RunWeakDensest(gg.g, opts);
+
+  std::string out = Header("densest", gg);
+  out += "rounds p1=" + std::to_string(res.rounds_phase1) +
+         " p2=" + std::to_string(res.rounds_phase2) +
+         " p3=" + std::to_string(res.rounds_phase3) +
+         " p4=" + std::to_string(res.rounds_phase4) +
+         " total=" + std::to_string(res.rounds_total) + "\n";
+  out += "best_density " + Fmt(res.best_density) + "\n";
+  char hash[64];
+  std::snprintf(hash, sizeof(hash), "leader_hash %016llx\n",
+                static_cast<unsigned long long>(HashU32s(res.leader_of)));
+  out += hash;
+  std::vector<NodeId> selected_ids;
+  for (NodeId v = 0; v < res.selected.size(); ++v) {
+    if (res.selected[v]) selected_ids.push_back(v);
+  }
+  std::snprintf(hash, sizeof(hash), "selected %zu %016llx\n",
+                selected_ids.size(),
+                static_cast<unsigned long long>(HashU32s(selected_ids)));
+  out += hash;
+  out += "subsets " + std::to_string(res.subsets.size()) + "\n";
+  for (const core::DensestSubsetOut& s : res.subsets) {
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "subset leader=%u size=%zu density=%s hash=%016llx\n",
+                  s.leader, s.members.size(), Fmt(s.density).c_str(),
+                  static_cast<unsigned long long>(HashU32s(s.members)));
+    out += line;
+  }
+  AppendDoubles(out, "beta", res.b);
+  AppendTotals(out, res.totals);
+  return out;
+}
+
 std::string GoldenPath(const std::string& name) {
   return std::string(KCORE_GOLDEN_DIR) + "/" + name + ".golden";
 }
@@ -315,6 +466,48 @@ TEST(Golden, TwoPhaseOrientation) {
     EXPECT_EQ(RenderTwoPhase(gg, kPerRankCfg), canonical)
         << "per-rank compute run diverged from the sequential render";
     CheckGolden(std::string("twophase_") + gg.name, canonical);
+  }
+}
+
+TEST(Golden, HyperElimination) {
+  for (const GoldenHypergraph& gh : MakeGoldenHypergraphs()) {
+    SCOPED_TRACE(gh.name);
+    const std::string canonical = RenderHyper(gh, kCanonical);
+    EXPECT_EQ(RenderHyper(gh, kThreaded), canonical)
+        << "threaded serialized run diverged from the sequential render";
+    EXPECT_EQ(RenderHyper(gh, kProcessCfg), canonical)
+        << "multi-process run diverged from the sequential render";
+    EXPECT_EQ(RenderHyper(gh, kPerRankCfg), canonical)
+        << "per-rank compute run diverged from the sequential render";
+    CheckGolden(std::string("hyperelim_") + gh.name, canonical);
+  }
+}
+
+TEST(Golden, DCoreElimination) {
+  for (const GoldenDigraph& gd : MakeGoldenDigraphs()) {
+    SCOPED_TRACE(gd.name);
+    const std::string canonical = RenderDirected(gd, kCanonical);
+    EXPECT_EQ(RenderDirected(gd, kThreaded), canonical)
+        << "threaded serialized run diverged from the sequential render";
+    EXPECT_EQ(RenderDirected(gd, kProcessCfg), canonical)
+        << "multi-process run diverged from the sequential render";
+    EXPECT_EQ(RenderDirected(gd, kPerRankCfg), canonical)
+        << "per-rank compute run diverged from the sequential render";
+    CheckGolden(std::string("dcore_") + gd.name, canonical);
+  }
+}
+
+TEST(Golden, WeakDensest) {
+  for (const GoldenGraph& gg : MakeGoldenGraphs()) {
+    SCOPED_TRACE(gg.name);
+    const std::string canonical = RenderDensest(gg, kCanonical);
+    EXPECT_EQ(RenderDensest(gg, kThreaded), canonical)
+        << "threaded serialized run diverged from the sequential render";
+    EXPECT_EQ(RenderDensest(gg, kProcessCfg), canonical)
+        << "multi-process run diverged from the sequential render";
+    EXPECT_EQ(RenderDensest(gg, kPerRankCfg), canonical)
+        << "per-rank compute run diverged from the sequential render";
+    CheckGolden(std::string("densest_") + gg.name, canonical);
   }
 }
 

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "core/compact.h"
+#include "distsim/transport.h"
 #include "graph/generators.h"
 #include "hyper/helim.h"
+#include "hyper/helim_protocol.h"
 #include "hyper/hypergraph.h"
 #include "seq/densest_exact.h"
 #include "seq/kcore.h"
@@ -169,6 +174,121 @@ TEST(HyperSurviving, MatchesGraphCompactEliminationAtRankTwo) {
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
       EXPECT_NEAR(hb[v], gb.b[v], 1e-9) << "T=" << T << " v=" << v;
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Engine port: RunHyperElimination must reproduce the sequential oracle
+// HyperSurvivingNumbers bit for bit, under every engine configuration.
+
+// Bitwise equality (EXPECT_EQ on doubles would treat +0.0 == -0.0; the
+// determinism contract is about bits).
+void ExpectBitsEqual(const std::vector<double>& got,
+                     const std::vector<double>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got[v]),
+              std::bit_cast<std::uint64_t>(want[v]))
+        << label << " v=" << v << " got=" << got[v] << " want=" << want[v];
+  }
+}
+
+class HyperElimEngineVsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperElimEngineVsOracle, BitExactOnRandomHypergraphs) {
+  util::Rng rng(2500 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(30));
+  const std::size_t r = 2 + rng.NextBounded(3);
+  const Hypergraph h = RandomUniform(n, 2 * n, std::min<std::size_t>(r, n),
+                                     rng);
+  for (int T : {1, 2, 5}) {
+    const auto oracle = HyperSurvivingNumbers(h, T);
+    HyperElimOptions opts;
+    opts.rounds = T;
+    const auto engine = RunHyperElimination(h, opts);
+    ExpectBitsEqual(engine.b, oracle, "shared/1thr");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HyperElimEngineVsOracle,
+                         ::testing::Range(0, 12));
+
+TEST(HyperElimEngine, ThreadsTransportsRanksBitIdentical) {
+  util::Rng rng(2600);
+  const Hypergraph h = RandomUniform(300, 600, 3, rng);
+  const int T = 4;
+  const auto oracle = HyperSurvivingNumbers(h, T);
+
+  struct Config {
+    const char* label;
+    distsim::TransportKind transport;
+    int threads;
+    int ranks;
+    bool per_rank;
+  };
+  const Config configs[] = {
+      {"shared/1thr", distsim::TransportKind::kSharedMemory, 1, 1, false},
+      {"shared/8thr", distsim::TransportKind::kSharedMemory, 8, 1, false},
+      {"serialized/8thr", distsim::TransportKind::kSerialized, 8, 1, false},
+      {"process/1thr/2ranks", distsim::TransportKind::kProcess, 1, 2, false},
+      {"process/8thr/8ranks", distsim::TransportKind::kProcess, 8, 8, false},
+      {"per-rank/1thr/2ranks", distsim::TransportKind::kProcess, 1, 2, true},
+      {"per-rank/8thr/8ranks", distsim::TransportKind::kProcess, 8, 8, true},
+  };
+  for (const Config& c : configs) {
+    HyperElimOptions opts;
+    opts.rounds = T;
+    opts.num_threads = c.threads;
+    opts.transport = c.transport;
+    opts.ranks = c.ranks;
+    opts.per_rank_compute = c.per_rank;
+    const auto engine = RunHyperElimination(h, opts);
+    ExpectBitsEqual(engine.b, oracle, c.label);
+  }
+}
+
+TEST(HyperElimEngine, SingletonAndEmptyIncidence) {
+  // Node 4 is isolated (b = 0), node 3 has only a singleton edge (its
+  // value is +inf every round, so b = the singleton's weight cap).
+  HypergraphBuilder b(5);
+  b.AddEdge({0, 1, 2}, 2.0).AddEdge({0, 1}, 1.0).AddEdge({3}, 3.0);
+  const Hypergraph h = std::move(b).Build();
+  for (int T : {1, 2, 4}) {
+    const auto oracle = HyperSurvivingNumbers(h, T);
+    HyperElimOptions opts;
+    opts.rounds = T;
+    const auto engine = RunHyperElimination(h, opts);
+    ExpectBitsEqual(engine.b, oracle, "degenerate");
+    EXPECT_EQ(engine.b[4], 0.0);
+  }
+}
+
+TEST(HyperElimEngine, RankTwoMatchesCompactElimination) {
+  // On rank-2 hypergraphs the port IS Algorithm 2: same update, same
+  // tie-break order, bit-identical b.
+  util::Rng rng(2700);
+  const graph::Graph g = graph::ErdosRenyiGnp(50, 0.12, rng);
+  const Hypergraph h = FromGraph(g);
+  for (int T : {1, 3, 6}) {
+    core::CompactOptions copts;
+    copts.rounds = T;
+    const auto compact = core::RunCompactElimination(g, copts);
+    HyperElimOptions opts;
+    opts.rounds = T;
+    const auto engine = RunHyperElimination(h, opts);
+    ExpectBitsEqual(engine.b, compact.b, "rank-2");
+  }
+}
+
+TEST(HyperElimEngine, HistoryCountsBroadcastsEveryRound) {
+  util::Rng rng(2800);
+  const Hypergraph h = RandomUniform(40, 80, 3, rng);
+  HyperElimOptions opts;
+  opts.rounds = 3;
+  const auto res = RunHyperElimination(h, opts);
+  ASSERT_EQ(res.history.size(), 4u);  // init + 3 rounds
+  for (const auto& s : res.history) {
+    EXPECT_EQ(s.active_nodes, 40u);  // nobody halts in this protocol
   }
 }
 

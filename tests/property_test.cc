@@ -4,10 +4,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
 
+#include "core/densest.h"
 #include "core/elimination.h"
+#include "directed/dcore_protocol.h"
+#include "directed/digraph.h"
+#include "distsim/engine.h"
+#include "distsim/transport.h"
 #include "graph/generators.h"
 #include "graph/quotient.h"
+#include "hyper/helim_protocol.h"
+#include "hyper/hypergraph.h"
 #include "seq/brute.h"
 #include "seq/charikar.h"
 #include "seq/densest_exact.h"
@@ -15,6 +26,7 @@
 #include "seq/local_density.h"
 #include "seq/streaming.h"
 #include "util/rng.h"
+#include "util/wire.h"
 
 namespace kcore {
 namespace {
@@ -158,6 +170,137 @@ TEST_P(SandwichOnQuotients, HoldsWithSelfLoops) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SandwichOnQuotients, ::testing::Range(0, 20));
+
+// --- Message shapes of the engine-ported satellite families ---------------
+
+void ExpectBitwiseEqual(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << "i=" << i << " a=" << a[i] << " b=" << b[i];
+  }
+}
+
+// Hyperedge incidence state (surviving number + tie-break permutation)
+// round-trips through the util::Wire codec: SaveNodeState into a buffer,
+// LoadNodeState into a fresh protocol instance, no bytes left over, same
+// bits out — including the pre-run +inf sentinels, which must survive the
+// Double bit-pattern encoding.
+class HyperStateWireRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperStateWireRoundTrip, SaveLoadIsIdentity) {
+  util::Rng rng(3800 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(30));
+  const std::size_t r = 2 + rng.NextBounded(3);
+  const hyper::Hypergraph h =
+      hyper::RandomUniform(n, 2 * n, static_cast<NodeId>(r), rng);
+
+  const auto round_trip = [&](const hyper::HyperEliminationProtocol& src) {
+    hyper::HyperEliminationProtocol dst(h);
+    std::vector<std::uint8_t> buf;
+    for (NodeId v = 0; v < n; ++v) {
+      buf.clear();
+      util::WireAppender ap(buf);
+      src.SaveNodeState(v, ap);
+      util::WireReader rd(buf.data(), buf.size());
+      dst.LoadNodeState(v, rd);
+      EXPECT_FALSE(rd.failed()) << "v=" << v;
+      EXPECT_EQ(rd.remaining(), 0u) << "trailing bytes for v=" << v;
+    }
+    ExpectBitwiseEqual(dst.b(), src.b());
+  };
+
+  // Pre-run state: every surviving number is the +inf sentinel.
+  hyper::HyperEliminationProtocol fresh(h);
+  round_trip(fresh);
+
+  // Post-run state: values shaped by the elimination.
+  hyper::HyperEliminationProtocol ran(h);
+  distsim::Engine engine(ran.substrate(), 1);
+  engine.Run(ran, 1 + static_cast<int>(rng.NextBounded(5)));
+  round_trip(ran);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HyperStateWireRoundTrip,
+                         ::testing::Range(0, 20));
+
+// Directed per-node state (surviving number, activity flag, in-arc
+// permutation) survives pack -> exchange -> unpack: the Save/Load
+// round-trip is an identity, and a serialized-transport run — where every
+// in/out-degree contribution crosses the wire as encoded bytes — lands on
+// the same bits as the zero-copy shared-memory run.
+class DCoreStateWireRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DCoreStateWireRoundTrip, SaveLoadIsIdentityAndWireRunsMatch) {
+  util::Rng rng(3900 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(10 + rng.NextBounded(30));
+  const directed::Digraph g = directed::RandomDigraph(n, 0.2, rng);
+  const double l = static_cast<double>(rng.NextBounded(3));
+  const int T = 1 + static_cast<int>(rng.NextBounded(5));
+
+  directed::DCoreProtocol src(g, l);
+  distsim::Engine engine(src.substrate(), 1);
+  engine.Run(src, T);
+
+  directed::DCoreProtocol dst(g, l);
+  std::vector<std::uint8_t> buf;
+  for (NodeId v = 0; v < n; ++v) {
+    buf.clear();
+    util::WireAppender ap(buf);
+    src.SaveNodeState(v, ap);
+    util::WireReader rd(buf.data(), buf.size());
+    dst.LoadNodeState(v, rd);
+    EXPECT_FALSE(rd.failed()) << "v=" << v;
+    EXPECT_EQ(rd.remaining(), 0u) << "trailing bytes for v=" << v;
+  }
+  ExpectBitwiseEqual(dst.b(), src.b());
+  EXPECT_EQ(dst.active(), src.active());
+
+  directed::DCoreElimOptions shared;
+  shared.rounds = T;
+  directed::DCoreElimOptions wired = shared;
+  wired.transport = distsim::TransportKind::kSerialized;
+  const auto a = directed::RunDCoreElimination(g, l, shared);
+  const auto b = directed::RunDCoreElimination(g, l, wired);
+  ExpectBitwiseEqual(b.b, a.b);
+  EXPECT_EQ(b.active, a.active);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DCoreStateWireRoundTrip,
+                         ::testing::Range(0, 20));
+
+// The densest pipeline's density ratios (deg' / 2 num' picked in phase 4,
+// the reported subset densities, and the phase-1 surviving numbers) stay
+// NaN/Inf-free on arbitrary inputs — including graphs with isolated
+// nodes, where a naive 0/0 would poison the argmax.
+class DensestDensityRatios : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensestDensityRatios, NaNAndInfFree) {
+  util::Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  const NodeId n = static_cast<NodeId>(12 + rng.NextBounded(50));
+  // Sparse enough that isolated nodes and tiny components actually occur.
+  const Graph g = graph::ErdosRenyiGnp(n, 0.05, rng);
+  core::WeakDensestOptions opts;
+  opts.gamma = 2.5 + static_cast<double>(rng.NextBounded(2));
+  opts.pipelined_aggregation = (GetParam() % 2 == 1);
+  const core::WeakDensestResult res = core::RunWeakDensest(g, opts);
+
+  EXPECT_TRUE(std::isfinite(res.best_density)) << res.best_density;
+  EXPECT_GE(res.best_density, 0.0);
+  for (const core::DensestSubsetOut& s : res.subsets) {
+    EXPECT_TRUE(std::isfinite(s.density)) << "leader=" << s.leader;
+    EXPECT_GE(s.density, 0.0);
+    EXPECT_FALSE(s.members.empty()) << "leader=" << s.leader;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_FALSE(std::isnan(res.b[v])) << "v=" << v;
+    EXPECT_TRUE(std::isfinite(res.b[v])) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensestDensityRatios, ::testing::Range(0, 20));
 
 }  // namespace
 }  // namespace kcore

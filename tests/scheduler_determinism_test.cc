@@ -15,11 +15,16 @@
 #include <vector>
 
 #include "core/compact.h"
+#include "core/densest.h"
 #include "core/montresor.h"
 #include "core/two_phase.h"
+#include "directed/dcore_protocol.h"
+#include "directed/digraph.h"
 #include "distsim/engine.h"
 #include "distsim/transport.h"
 #include "graph/generators.h"
+#include "hyper/helim_protocol.h"
+#include "hyper/hypergraph.h"
 #include "util/rng.h"
 
 namespace kcore {
@@ -525,6 +530,74 @@ TEST(SchedulerDeterminism, WeightedShardsSharedVsSerializedTransport) {
         << "round " << i;
   }
   EXPECT_GT(eser.totals().bytes_sent, 0u);
+}
+
+TEST(SchedulerDeterminism, HyperEliminationOneVsEightThreads) {
+  // The hypergraph port runs over the clique-expansion substrate, whose
+  // degree distribution (hub co-membership) differs from the hypergraph's
+  // own — the sharded sweep must not care.
+  util::Rng rng(301);
+  const hyper::Hypergraph h = hyper::RandomUniform(2000, 4000, 3, rng);
+  hyper::HyperElimOptions o1;
+  o1.rounds = 10;
+  hyper::HyperElimOptions o8 = o1;
+  o8.num_threads = 8;
+  o8.balance_shards = true;
+  const hyper::HyperElimResult r1 = hyper::RunHyperElimination(h, o1);
+  const hyper::HyperElimResult r8 = hyper::RunHyperElimination(h, o8);
+  EXPECT_EQ(r1.b, r8.b);
+  EXPECT_EQ(r1.totals.messages, r8.totals.messages);
+  EXPECT_EQ(r1.totals.entries, r8.totals.entries);
+  ExpectSameHistory(r1.history, r8.history);
+}
+
+TEST(SchedulerDeterminism, DCoreEliminationOneVsEightThreads) {
+  // The directed port halts nodes mid-run (failed out-degree constraint),
+  // so shards shrink unevenly as the run proceeds; the census and the
+  // broadcast double-buffer must stay bit-identical anyway.
+  util::Rng rng(302);
+  const directed::Digraph g = directed::RandomDigraph(1500, 0.004, rng);
+  directed::DCoreElimOptions o1;
+  o1.rounds = 10;
+  directed::DCoreElimOptions o8 = o1;
+  o8.num_threads = 8;
+  o8.balance_shards = true;
+  o8.rebalance_rounds = 3;
+  const directed::DCoreElimResult r1 =
+      directed::RunDCoreElimination(g, 2.0, o1);
+  const directed::DCoreElimResult r8 =
+      directed::RunDCoreElimination(g, 2.0, o8);
+  EXPECT_EQ(r1.b, r8.b);
+  EXPECT_EQ(r1.active, r8.active);
+  ExpectSameHistory(r1.history, r8.history);
+}
+
+TEST(SchedulerDeterminism, WeakDensestOneVsEightThreads) {
+  // All four densest phases (elimination, BFS forest, tree elimination,
+  // aggregation) share one engine surface; the whole pipeline — forest
+  // pointers, per-round survival arrays, selected subsets — must be a
+  // pure function of the input at any thread count.
+  const graph::Graph g = TestGraph(303);
+  core::WeakDensestOptions o1;
+  o1.gamma = 3.0;
+  o1.T_override = 8;
+  core::WeakDensestOptions o8 = o1;
+  o8.num_threads = 8;
+  o8.balance_shards = true;
+  const core::WeakDensestResult r1 = core::RunWeakDensest(g, o1);
+  const core::WeakDensestResult r8 = core::RunWeakDensest(g, o8);
+  EXPECT_EQ(r1.b, r8.b);
+  EXPECT_EQ(r1.leader_of, r8.leader_of);
+  EXPECT_EQ(r1.selected, r8.selected);
+  EXPECT_EQ(r1.best_density, r8.best_density);
+  ASSERT_EQ(r1.subsets.size(), r8.subsets.size());
+  for (std::size_t i = 0; i < r1.subsets.size(); ++i) {
+    EXPECT_EQ(r1.subsets[i].leader, r8.subsets[i].leader);
+    EXPECT_EQ(r1.subsets[i].members, r8.subsets[i].members);
+    EXPECT_EQ(r1.subsets[i].density, r8.subsets[i].density);
+  }
+  EXPECT_EQ(r1.totals.messages, r8.totals.messages);
+  EXPECT_EQ(r1.totals.entries, r8.totals.entries);
 }
 
 TEST(SchedulerDeterminism, PerRankComputeAgreesWithThreadedScheduler) {

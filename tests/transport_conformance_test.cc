@@ -36,13 +36,18 @@
 #include <unistd.h>
 
 #include "core/compact.h"
+#include "core/densest.h"
 #include "core/montresor.h"
 #include "core/two_phase.h"
+#include "directed/dcore_protocol.h"
+#include "directed/digraph.h"
 #include "distsim/engine.h"
 #include "distsim/process_transport.h"
 #include "distsim/transport.h"
 #include "graph/binio.h"
 #include "graph/generators.h"
+#include "hyper/helim_protocol.h"
+#include "hyper/hypergraph.h"
 #include "util/rng.h"
 #include "util/wire.h"
 
@@ -547,6 +552,79 @@ TEST_P(TransportConformance, MontresorCorenessAcrossThreadCounts) {
 }
 
 // ---------------------------------------------------------------------
+// The three non-k-core protocol families, driven through the same sweep:
+// hyperedge-incidence updates (hypergraph elimination over the clique
+// expansion), presence-coded in/out-degree pairs (directed d-core over
+// the support substrate), and the four-phase densest pipeline with its
+// density-ratio convergecast. Message shapes the k-core protocols never
+// stage — same contract, same baselines.
+// ---------------------------------------------------------------------
+
+TEST_P(TransportConformance, HyperEliminationAcrossThreadCounts) {
+  util::Rng rng(310);
+  const hyper::Hypergraph h = hyper::RandomUniform(500, 1000, 3, rng);
+  hyper::HyperElimOptions base_opts;
+  base_opts.rounds = 5;
+  const hyper::HyperElimResult base = RunHyperElimination(h, base_opts);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    hyper::HyperElimOptions opts = base_opts;
+    opts.num_threads = threads;
+    opts.transport = GetParam();
+    if (GetParam() == TransportKind::kProcess) opts.ranks = threads;
+    const hyper::HyperElimResult res = RunHyperElimination(h, opts);
+    EXPECT_EQ(res.b, base.b);
+    ExpectSameLogicalHistory(res.history, base.history);
+  }
+}
+
+TEST_P(TransportConformance, DCoreEliminationAcrossThreadCounts) {
+  util::Rng rng(311);
+  const directed::Digraph g = directed::RandomDigraph(500, 0.012, rng);
+  directed::DCoreElimOptions base_opts;
+  base_opts.rounds = 5;
+  const directed::DCoreElimResult base =
+      RunDCoreElimination(g, 2.0, base_opts);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    directed::DCoreElimOptions opts = base_opts;
+    opts.num_threads = threads;
+    opts.transport = GetParam();
+    if (GetParam() == TransportKind::kProcess) opts.ranks = threads;
+    const directed::DCoreElimResult res = RunDCoreElimination(g, 2.0, opts);
+    EXPECT_EQ(res.b, base.b);
+    EXPECT_EQ(res.active, base.active);
+    ExpectSameLogicalHistory(res.history, base.history);
+  }
+}
+
+TEST_P(TransportConformance, WeakDensestAcrossThreadCounts) {
+  util::Rng rng(312);
+  const graph::Graph g = graph::BarabasiAlbert(400, 3, rng);
+  core::WeakDensestOptions base_opts;
+  base_opts.gamma = 3.0;
+  const core::WeakDensestResult base = RunWeakDensest(g, base_opts);
+
+  for (int threads : kThreadCounts) {
+    SCOPED_TRACE(threads);
+    core::WeakDensestOptions opts = base_opts;
+    opts.num_threads = threads;
+    opts.transport = GetParam();
+    if (GetParam() == TransportKind::kProcess) opts.ranks = threads;
+    const core::WeakDensestResult res = RunWeakDensest(g, opts);
+    EXPECT_EQ(res.b, base.b);
+    EXPECT_EQ(res.selected, base.selected);
+    EXPECT_EQ(res.leader_of, base.leader_of);
+    EXPECT_EQ(res.best_density, base.best_density);
+    EXPECT_EQ(res.subsets.size(), base.subsets.size());
+    EXPECT_EQ(res.totals.messages, base.totals.messages);
+    EXPECT_EQ(res.totals.entries, base.totals.entries);
+  }
+}
+
+// ---------------------------------------------------------------------
 // Process-backend-specific cases: rank topology, worker lifecycle, and
 // the killed-worker failure mode.
 // ---------------------------------------------------------------------
@@ -1013,6 +1091,81 @@ TEST(PerRankCompute, SingleRankHasZeroBroadcastBytes) {
     EXPECT_EQ(res.totals.bcast_bytes_sent, 0u);
     EXPECT_EQ(res.totals.bcast_bytes_received, 0u);
     EXPECT_EQ(res.totals.bcast_bytes_per_neighbor, 0u);
+  }
+}
+
+// The three ported families through the full per-rank matrix: every
+// phase's node state — surviving numbers and tie-break permutations,
+// activity flags, forest pointers, per-round survival arrays, and
+// aggregated density ratios — ships via SaveNodeState/LoadNodeState and
+// must come back bit-identical.
+
+TEST(PerRankCompute, HyperEliminationMatrixBitIdentical) {
+  util::Rng rng(420);
+  const hyper::Hypergraph h = hyper::RandomUniform(500, 1000, 3, rng);
+  hyper::HyperElimOptions base_opts;
+  base_opts.rounds = 5;
+  const hyper::HyperElimResult base = RunHyperElimination(h, base_opts);
+
+  for (const auto& cfg : kPerRankMatrix) {
+    SCOPED_TRACE(::testing::Message()
+                 << "ranks=" << cfg.ranks << " threads=" << cfg.threads);
+    hyper::HyperElimOptions opts = base_opts;
+    opts.num_threads = cfg.threads;
+    opts.transport = TransportKind::kProcess;
+    opts.ranks = cfg.ranks;
+    opts.per_rank_compute = true;
+    const hyper::HyperElimResult res = RunHyperElimination(h, opts);
+    EXPECT_EQ(res.b, base.b);
+    ExpectSameLogicalHistory(res.history, base.history);
+  }
+}
+
+TEST(PerRankCompute, DCoreEliminationMatrixBitIdentical) {
+  util::Rng rng(421);
+  const directed::Digraph g = directed::RandomDigraph(500, 0.012, rng);
+  directed::DCoreElimOptions base_opts;
+  base_opts.rounds = 5;
+  const directed::DCoreElimResult base =
+      RunDCoreElimination(g, 2.0, base_opts);
+
+  for (const auto& cfg : kPerRankMatrix) {
+    SCOPED_TRACE(::testing::Message()
+                 << "ranks=" << cfg.ranks << " threads=" << cfg.threads);
+    directed::DCoreElimOptions opts = base_opts;
+    opts.num_threads = cfg.threads;
+    opts.transport = TransportKind::kProcess;
+    opts.ranks = cfg.ranks;
+    opts.per_rank_compute = true;
+    const directed::DCoreElimResult res = RunDCoreElimination(g, 2.0, opts);
+    EXPECT_EQ(res.b, base.b);
+    EXPECT_EQ(res.active, base.active);
+    ExpectSameLogicalHistory(res.history, base.history);
+  }
+}
+
+TEST(PerRankCompute, WeakDensestMatrixBitIdentical) {
+  util::Rng rng(422);
+  const graph::Graph g = graph::BarabasiAlbert(400, 3, rng);
+  core::WeakDensestOptions base_opts;
+  base_opts.gamma = 3.0;
+  const core::WeakDensestResult base = RunWeakDensest(g, base_opts);
+
+  for (const auto& cfg : kPerRankMatrix) {
+    SCOPED_TRACE(::testing::Message()
+                 << "ranks=" << cfg.ranks << " threads=" << cfg.threads);
+    core::WeakDensestOptions opts = base_opts;
+    opts.num_threads = cfg.threads;
+    opts.transport = TransportKind::kProcess;
+    opts.ranks = cfg.ranks;
+    opts.per_rank_compute = true;
+    const core::WeakDensestResult res = RunWeakDensest(g, opts);
+    EXPECT_EQ(res.b, base.b);
+    EXPECT_EQ(res.selected, base.selected);
+    EXPECT_EQ(res.leader_of, base.leader_of);
+    EXPECT_EQ(res.best_density, base.best_density);
+    EXPECT_EQ(res.totals.messages, base.totals.messages);
+    EXPECT_EQ(res.totals.entries, base.totals.entries);
   }
 }
 
